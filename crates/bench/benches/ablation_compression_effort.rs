@@ -1,0 +1,46 @@
+//! Ablation: compression effort (§2.2.1 — latency-tolerant blocks "would be
+//! compressed with more computing time (thus a better compression ratio)").
+//!
+//! Sweeps the lz4kit search depth on the Silesia block mix and prints the
+//! time/ratio frontier behind that policy knob.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use corpus::BlockPool;
+use lz4kit::Level;
+use std::hint::black_box;
+
+fn effort(c: &mut Criterion) {
+    let pool = BlockPool::build(4096, 128, 3);
+    let blocks: Vec<&[u8]> = (0..128).map(|i| pool.get(i)).collect();
+    let total: usize = blocks.iter().map(|b| b.len()).sum();
+    let mut group = c.benchmark_group("ablation_compression_effort");
+    group.throughput(Throughput::Bytes(total as u64));
+    for (name, level) in [
+        ("fast", Level::Fast),
+        ("hc4", Level::High(4)),
+        ("hc16", Level::High(16)),
+        ("hc64", Level::High(64)),
+    ] {
+        let stored: usize = blocks
+            .iter()
+            .map(|b| lz4kit::compress_with(b, level).len())
+            .sum();
+        println!(
+            "[effort] {name}: block-level ratio {:.3}",
+            total as f64 / stored as f64
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &level, |b, &level| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for blk in &blocks {
+                    n += lz4kit::compress_with(black_box(blk), level).len();
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, effort);
+criterion_main!(benches);

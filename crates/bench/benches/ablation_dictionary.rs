@@ -1,0 +1,59 @@
+//! Ablation: cross-block dictionary compression.
+//!
+//! The paper's middle tier compresses each 4 KiB block independently (the
+//! engines are stateless pipelines). Software middle tiers *could* chain
+//! blocks with a dictionary; this ablation measures what that would buy on
+//! the Silesia mix — the ratio the stateless-engine design leaves on the
+//! table — and what it costs in compression time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn ratios(region: &[u8]) -> (f64, f64) {
+    let blocks: Vec<&[u8]> = region.chunks_exact(4096).collect();
+    let standalone: usize = blocks.iter().map(|b| lz4kit::compress(b).len()).sum();
+    let mut chained = 0usize;
+    let mut prev: &[u8] = &[];
+    for b in &blocks {
+        chained += lz4kit::compress_with_dict(prev, b).len();
+        prev = b;
+    }
+    let total = blocks.len() * 4096;
+    (total as f64 / standalone as f64, total as f64 / chained as f64)
+}
+
+fn dictionary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dictionary");
+    for name in ["webster", "xml", "sao"] {
+        let member = corpus::silesia_file(name).unwrap();
+        let region = member.synthesize(256 << 10, 9);
+        let (solo, chained) = ratios(&region);
+        println!(
+            "[dictionary] {name}: standalone {solo:.2}x vs chained {chained:.2}x ({:+.1}% bytes saved)",
+            (1.0 - solo / chained) * 100.0
+        );
+        group.throughput(Throughput::Bytes(region.len() as u64));
+        group.bench_with_input(BenchmarkId::new("standalone", name), &region, |b, r| {
+            b.iter(|| {
+                r.chunks_exact(4096)
+                    .map(|blk| lz4kit::compress(black_box(blk)).len())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("chained", name), &region, |b, r| {
+            b.iter(|| {
+                let mut prev: &[u8] = &[];
+                let mut n = 0usize;
+                for blk in r.chunks_exact(4096) {
+                    n += lz4kit::compress_with_dict(black_box(prev), blk).len();
+                    prev = blk;
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dictionary);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: the I/O memory-agent window (DESIGN.md §5.2).
+//!
+//! In a max-min-fair memory system, an agent with unbounded concurrency
+//! always claws back its demand — no interference could exist. The window
+//! bound is the structural assumption behind Figure 9; this ablation sweeps
+//! it and shows CPU-only throughput under full pressure recover as the
+//! window widens (while SmartDS never cares).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simkit::Time;
+use smartds::{cluster, Design, RunConfig};
+use std::hint::black_box;
+
+fn cfg(design: Design, window: usize) -> RunConfig {
+    let mut cfg = RunConfig::saturating(design);
+    cfg.warmup = Time::from_ms(1.0);
+    cfg.measure = Time::from_ms(3.0);
+    cfg.pool_blocks = 64;
+    cfg.io_mem_window = window;
+    if design == Design::CpuOnly {
+        cfg = cfg.with_cores(32);
+    }
+    cfg.with_mlc(16, 0)
+}
+
+fn mem_agent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mem_agent");
+    group.sample_size(10);
+    for window in [1usize, 2, 4, 8, 16] {
+        let cpu = cluster::run(&cfg(Design::CpuOnly, window));
+        let sds = cluster::run(&cfg(Design::SmartDs { ports: 1 }, window));
+        println!(
+            "[mem_agent] window={window}: CPU-only {:5.1} Gbps, SmartDS-1 {:5.1} Gbps under full pressure",
+            cpu.throughput_gbps, sds.throughput_gbps
+        );
+        let c2 = cfg(Design::CpuOnly, window);
+        group.bench_with_input(BenchmarkId::from_parameter(window), &c2, |b, c2| {
+            b.iter(|| black_box(cluster::run(c2)).throughput_gbps)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mem_agent);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation: the replication factor (DESIGN.md: replication sets the
+//! `rep × C` egress amplification that bounds every design's ingest).
+//!
+//! At the Silesia mix's ~2.2× ratio, 3-way replication makes egress
+//! ~1.4× ingress: the port's TX side binds SmartDS-1. Dropping to 2-way
+//! lifts the egress bound; raising to 4-way tightens it — while CPU-only
+//! stays compression-bound until the amplification overtakes LZ4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simkit::Time;
+use smartds::{cluster, Design, RunConfig};
+use std::hint::black_box;
+
+fn cfg(design: Design, replication: usize) -> RunConfig {
+    let mut cfg = RunConfig::saturating(design).with_replication(replication);
+    cfg.warmup = Time::from_ms(1.0);
+    cfg.measure = Time::from_ms(3.0);
+    cfg.pool_blocks = 64;
+    // Deep enough backlog that the resource bound (not the closed-loop
+    // depth) decides throughput at every replication factor.
+    cfg.outstanding = 320;
+    cfg
+}
+
+fn replication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_replication");
+    group.sample_size(10);
+    for rep in [1usize, 2, 3, 4] {
+        let cpu = cluster::run(&cfg(Design::CpuOnly, rep));
+        let sds = cluster::run(&cfg(Design::SmartDs { ports: 1 }, rep));
+        println!(
+            "[replication] rep={rep}: CPU-only {:5.1} Gbps, SmartDS-1 {:5.1} Gbps",
+            cpu.throughput_gbps, sds.throughput_gbps
+        );
+        let c2 = cfg(Design::SmartDs { ports: 1 }, rep);
+        group.bench_with_input(BenchmarkId::from_parameter(rep), &c2, |b, c2| {
+            b.iter(|| black_box(cluster::run(c2)).throughput_gbps)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, replication);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 10 bench: SmartDS port scaling 1/2/4/6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simkit::Time;
+use smartds::{cluster, Design, RunConfig};
+use std::hint::black_box;
+
+fn fig10_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_ports");
+    group.sample_size(10);
+    for ports in [1usize, 2, 4, 6] {
+        let mut cfg = RunConfig::saturating(Design::SmartDs { ports });
+        cfg.warmup = Time::from_ms(1.0);
+        cfg.measure = Time::from_ms(3.0);
+        cfg.pool_blocks = 64;
+        let once = cluster::run(&cfg);
+        println!(
+            "[fig10] SmartDS-{ports}: {:6.1} Gbps, avg {:5.1} us",
+            once.throughput_gbps, once.avg_us
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(ports), &cfg, |b, cfg| {
+            b.iter(|| black_box(cluster::run(cfg)).throughput_gbps)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10_bench);
+criterion_main!(benches);

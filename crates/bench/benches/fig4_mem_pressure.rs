@@ -1,0 +1,25 @@
+//! Figure 4 bench: RDMA forwarding with and without memory pressure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartds_bench::fig4;
+use std::hint::black_box;
+
+fn fig4_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_mem_pressure");
+    group.sample_size(10);
+    for (name, delay, cores) in [
+        ("solo", u32::MAX, 1usize),
+        ("max_pressure", 0, 48),
+        ("moderate_pressure", 56, 48),
+    ] {
+        let p = fig4::point(delay, cores);
+        println!("[fig4] {name}: RDMA {:.1} Gbps, MLC {:.1} GB/s", p.rdma_gbps, p.mlc_gbs);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(delay, cores), |b, &(d, n)| {
+            b.iter(|| black_box(fig4::point(d, n)).rdma_gbps)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4_bench);
+criterion_main!(benches);

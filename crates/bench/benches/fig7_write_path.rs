@@ -1,0 +1,40 @@
+//! Figure 7 bench: one write-path simulation per middle-tier design.
+//!
+//! Criterion measures the *simulator's* wall-clock here; the interesting
+//! output is the throughput each design sustains, printed once per design.
+//! `cargo bench -- --test` smoke-runs this in CI fashion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simkit::Time;
+use smartds::{cluster, Design, RunConfig};
+use std::hint::black_box;
+
+fn bench_cfg(design: Design) -> RunConfig {
+    let mut cfg = RunConfig::saturating(design);
+    cfg.warmup = Time::from_ms(1.0);
+    cfg.measure = Time::from_ms(3.0);
+    cfg.pool_blocks = 64;
+    cfg
+}
+
+fn fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_write_path");
+    group.sample_size(10);
+    for design in Design::figure7_set() {
+        let cfg = bench_cfg(design);
+        let once = cluster::run(&cfg);
+        println!(
+            "[fig7] {:<12} {:6.1} Gbps  avg {:6.1} us  p999 {:7.1} us",
+            once.label, once.throughput_gbps, once.avg_us, once.p999_us
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(design.label()),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(cluster::run(cfg)).writes_done),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 9 bench: write path under maximum memory pressure per design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simkit::Time;
+use smartds::{cluster, Design, RunConfig};
+use std::hint::black_box;
+
+fn cfg(design: Design, mlc: bool) -> RunConfig {
+    let mut cfg = RunConfig::saturating(design);
+    cfg.warmup = Time::from_ms(1.0);
+    cfg.measure = Time::from_ms(3.0);
+    cfg.pool_blocks = 64;
+    if design == Design::CpuOnly {
+        cfg = cfg.with_cores(32); // 16 cores feed the injector
+    }
+    if mlc {
+        cfg = cfg.with_mlc(16, 0);
+    }
+    cfg
+}
+
+fn fig9_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_interference");
+    group.sample_size(10);
+    for design in [Design::CpuOnly, Design::Acc { ddio: true }, Design::SmartDs { ports: 1 }] {
+        let idle = cluster::run(&cfg(design, false));
+        let pressed = cluster::run(&cfg(design, true));
+        println!(
+            "[fig9] {:<12} idle {:6.1} Gbps → pressed {:6.1} Gbps ({:.0}% retained)",
+            idle.label,
+            idle.throughput_gbps,
+            pressed.throughput_gbps,
+            pressed.throughput_gbps / idle.throughput_gbps * 100.0
+        );
+        let c2 = cfg(design, true);
+        group.bench_with_input(BenchmarkId::from_parameter(design.label()), &c2, |b, c2| {
+            b.iter(|| black_box(cluster::run(c2)).throughput_gbps)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9_bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Codec bench: lz4kit compression/decompression throughput on the
+//! synthetic Silesia members (the real work the engines model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lz4kit::Level;
+use std::hint::black_box;
+
+fn codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lz4_codec");
+    for name in ["dickens", "nci", "sao", "xml"] {
+        let member = corpus::silesia_file(name).unwrap();
+        let data = member.synthesize(1 << 20, 5);
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(BenchmarkId::new("compress_fast", name), &data, |b, d| {
+            b.iter(|| black_box(lz4kit::compress(d)).len())
+        });
+        group.bench_with_input(BenchmarkId::new("compress_hc16", name), &data, |b, d| {
+            b.iter(|| black_box(lz4kit::compress_with(d, Level::High(16))).len())
+        });
+        let packed = lz4kit::compress(&data);
+        group.bench_with_input(BenchmarkId::new("decompress", name), &packed, |b, p| {
+            b.iter(|| lz4kit::decompress_exact(black_box(p), data.len()).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codec);
+criterion_main!(benches);

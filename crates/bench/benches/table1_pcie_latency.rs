@@ -1,0 +1,27 @@
+//! Table 1 bench: PCIe probe-DMA latency under background load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwmodel::consts::{PCIE_HEAVY_D2H_STREAMS, PCIE_HEAVY_H2D_STREAMS};
+use hwmodel::PcieDir;
+use smartds_bench::table1;
+use std::hint::black_box;
+
+fn table1_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_pcie_latency");
+    for (name, dir, bg) in [
+        ("h2d_underloaded", PcieDir::H2D, 0usize),
+        ("d2h_underloaded", PcieDir::D2H, 0),
+        ("h2d_heavy", PcieDir::H2D, PCIE_HEAVY_H2D_STREAMS),
+        ("d2h_heavy", PcieDir::D2H, PCIE_HEAVY_D2H_STREAMS),
+    ] {
+        let cell = table1::probe(dir, bg);
+        println!("[table1] {name}: {:.1} us", cell.latency_us);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(dir, bg), |b, &(d, n)| {
+            b.iter(|| black_box(table1::probe(d, n)).latency_us)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_bench);
+criterion_main!(benches);

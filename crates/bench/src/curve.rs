@@ -1,0 +1,99 @@
+//! **Extension**: open-loop latency–throughput curves.
+//!
+//! Not a paper figure — the paper reports closed-loop saturation points —
+//! but the canonical way to see the same story: CPU-only's latency knee
+//! sits at ~60 Gbps of offered load while SmartDS-1's sits in the same
+//! place with 24× fewer cores, and SmartDS-4 pushes the knee out 4×.
+
+use crate::pool::run_parallel;
+use crate::Profile;
+use smartds::{cluster, Design, RunConfig, RunReport};
+
+/// Offered-load fractions of each design's nominal capacity.
+pub const LOAD_POINTS: [f64; 6] = [0.2, 0.4, 0.6, 0.75, 0.9, 1.0];
+
+/// Nominal capacity used to place the sweep points, Gbps.
+pub fn nominal_gbps(design: Design) -> f64 {
+    match design {
+        Design::CpuOnly => 60.0,
+        Design::Acc { .. } => 66.0,
+        Design::Bf2 => 36.0,
+        Design::SmartDs { ports } => 60.0 * ports as f64,
+    }
+}
+
+/// Runs the curve for the given designs.
+pub fn run(profile: Profile) -> Vec<RunReport> {
+    let designs = [Design::CpuOnly, Design::SmartDs { ports: 1 }];
+    let mut configs = Vec::new();
+    for design in designs {
+        for frac in LOAD_POINTS {
+            configs.push(
+                profile
+                    .apply(RunConfig::saturating(design))
+                    .with_open_loop(nominal_gbps(design) * frac),
+            );
+        }
+    }
+    let reports = run_parallel(configs, cluster::run);
+    println!("Extension: open-loop latency vs offered load");
+    println!(
+        "  {:<14} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "design", "offered", "achieved", "avg(us)", "p99(us)", "p999(us)"
+    );
+    for (r, (design, frac)) in reports.iter().zip(
+        designs
+            .iter()
+            .flat_map(|d| LOAD_POINTS.iter().map(move |f| (d, f))),
+    ) {
+        println!(
+            "  {:<14} {:>9.1} G {:>9.1} G {:>9.1} {:>9.1} {:>9.1}",
+            r.label,
+            nominal_gbps(*design) * frac,
+            r.throughput_gbps,
+            r.avg_us,
+            r.p99_us,
+            r.p999_us
+        );
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_loop_tracks_offered_load_below_saturation() {
+        let cfg = Profile::Quick
+            .apply(RunConfig::saturating(Design::SmartDs { ports: 1 }))
+            .with_open_loop(30.0);
+        let r = cluster::run(&cfg);
+        assert!(
+            (27.0..33.0).contains(&r.throughput_gbps),
+            "achieved {:.1} for 30 offered",
+            r.throughput_gbps
+        );
+        // Well below saturation the latency is near the service floor.
+        assert!(r.avg_us < 60.0, "avg {:.1}", r.avg_us);
+    }
+
+    #[test]
+    fn latency_rises_toward_saturation() {
+        let lo = cluster::run(
+            &Profile::Quick
+                .apply(RunConfig::saturating(Design::CpuOnly))
+                .with_open_loop(20.0),
+        );
+        let hi = cluster::run(
+            &Profile::Quick
+                .apply(RunConfig::saturating(Design::CpuOnly))
+                .with_open_loop(58.0),
+        );
+        // The achieved load tracks the offered load...
+        assert!((54.0..60.0).contains(&hi.throughput_gbps), "{}", hi.throughput_gbps);
+        // ...and queueing pushes the mean and the tail up near capacity.
+        assert!(hi.avg_us > 1.1 * lo.avg_us, "avg {} vs {}", hi.avg_us, lo.avg_us);
+        assert!(hi.p99_us > 1.25 * lo.p99_us, "p99 {} vs {}", hi.p99_us, lo.p99_us);
+    }
+}

@@ -1,0 +1,69 @@
+//! A small worker pool for running independent, deterministic simulations
+//! in parallel (the figure sweeps are embarrassingly parallel).
+
+use crossbeam::channel;
+use std::thread;
+
+/// Runs `job` over every item of `inputs` on up to `available_parallelism`
+/// worker threads, returning outputs in input order.
+///
+/// Each job must be independent and deterministic; the sweeps satisfy this
+/// because every simulation owns its world and RNG.
+pub fn run_parallel<I, O, F>(inputs: Vec<I>, job: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let (in_tx, in_rx) = channel::unbounded::<(usize, I)>();
+    let (out_tx, out_rx) = channel::unbounded::<(usize, O)>();
+    for (i, item) in inputs.into_iter().enumerate() {
+        in_tx.send((i, item)).expect("queue open");
+    }
+    drop(in_tx);
+    let job = &job;
+    thread::scope(|s| {
+        for _ in 0..workers {
+            let in_rx = in_rx.clone();
+            let out_tx = out_tx.clone();
+            s.spawn(move || {
+                while let Ok((i, item)) = in_rx.recv() {
+                    let out = job(&item);
+                    out_tx.send((i, out)).expect("collector open");
+                }
+            });
+        }
+        drop(out_tx);
+        let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        while let Ok((i, out)) = out_rx.recv() {
+            slots[i] = Some(out);
+        }
+        slots.into_iter().map(|s| s.expect("job finished")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_keep_input_order() {
+        let inputs: Vec<u64> = (0..64).collect();
+        let outputs = run_parallel(inputs.clone(), |&x| x * x);
+        assert_eq!(outputs, inputs.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let outputs: Vec<u32> = run_parallel(Vec::<u32>::new(), |&x| x);
+        assert!(outputs.is_empty());
+    }
+}

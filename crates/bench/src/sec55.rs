@@ -1,0 +1,97 @@
+//! **§5.5**: multiple SmartNICs per server.
+//!
+//! Uses a *measured* SmartDS-6 card profile from the cluster simulation and
+//! the paper's published card profile, scaling both to the 8-card 4U server
+//! and comparing against the measured CPU-only peak.
+
+use crate::Profile;
+use smartds::scaleup::{scale, CardProfile, ScaleupReport, ServerLimits};
+use smartds::{cluster, Design, RunConfig};
+
+/// Measured + paper scale-up reports for 1..=8 cards.
+pub struct Sec55 {
+    /// Scale-up from the simulation-measured SmartDS-6 profile.
+    pub measured: Vec<ScaleupReport>,
+    /// Scale-up from the paper's §5.5 card profile.
+    pub paper: Vec<ScaleupReport>,
+    /// Measured CPU-only peak used as the baseline, Gbps.
+    pub cpu_only_gbps: f64,
+}
+
+/// Runs the analysis.
+pub fn run(profile: Profile) -> Sec55 {
+    let cpu = cluster::run(&profile.apply(RunConfig::saturating(Design::CpuOnly)));
+    let sds6 = cluster::run(&profile.apply(RunConfig::saturating(Design::SmartDs { ports: 6 })));
+    let measured_card = CardProfile::from_report(&sds6, 6);
+    let limits = ServerLimits::paper_4u();
+    let cards: Vec<usize> = (1..=limits.max_cards()).collect();
+    let measured: Vec<ScaleupReport> = cards
+        .iter()
+        .map(|&n| scale(measured_card, n, limits, cpu.throughput_gbps))
+        .collect();
+    let paper: Vec<ScaleupReport> = cards
+        .iter()
+        .map(|&n| {
+            scale(
+                CardProfile::paper_smartds6(),
+                n,
+                limits,
+                2800.0 / 51.6,
+            )
+        })
+        .collect();
+    println!("Section 5.5: multiple SmartDS cards per 4U server");
+    println!(
+        "  measured SmartDS-6 card: {:.1} Gbps storage traffic, {:.1} Gbps host mem, {:.1} Gbps PCIe",
+        measured_card.throughput_gbps, measured_card.host_mem_gbps, measured_card.pcie_gbps
+    );
+    println!("  measured CPU-only baseline: {:.1} Gbps", cpu.throughput_gbps);
+    println!(
+        "  {:>5} {:>12} {:>12} {:>14} {:>10} {:>9}",
+        "cards", "total(Gbps)", "mem(Gbps)", "root(Gbps/sw)", "speedup", "feasible"
+    );
+    for r in &measured {
+        println!(
+            "  {:>5} {:>12.0} {:>12.1} {:>14.1} {:>9.1}x {:>9}",
+            r.cards,
+            r.total_gbps,
+            r.host_mem_gbps,
+            r.per_switch_root_gbps,
+            r.speedup_vs_cpu_only,
+            r.feasible
+        );
+    }
+    let last = paper.last().expect("8-card row");
+    println!(
+        "  paper profile at 8 cards: {:.0} Gbps total ({:.1}x CPU-only)",
+        last.total_gbps, last.speedup_vs_cpu_only
+    );
+    Sec55 {
+        measured,
+        paper,
+        cpu_only_gbps: cpu.throughput_gbps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_scaleup_exceeds_2_tbps_and_40x() {
+        let s = run(Profile::Quick);
+        let eight = s.measured.last().unwrap();
+        assert_eq!(eight.cards, 8);
+        // Paper: 2.8 Tbps, 51.6×; our measured card gives the same order.
+        assert!(eight.total_gbps > 2000.0, "total {:.0}", eight.total_gbps);
+        assert!(
+            eight.speedup_vs_cpu_only > 35.0,
+            "speedup {:.1}",
+            eight.speedup_vs_cpu_only
+        );
+        assert!(eight.feasible, "memory/PCIe must have headroom");
+        // Paper profile reproduces the published 51.6×.
+        let paper8 = s.paper.last().unwrap();
+        assert!((paper8.speedup_vs_cpu_only - 51.3).abs() < 1.0);
+    }
+}

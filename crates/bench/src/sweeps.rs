@@ -1,0 +1,211 @@
+//! The cluster-simulation sweeps: Figures 7, 8, 9, and 10.
+
+use crate::pool::run_parallel;
+use crate::Profile;
+use smartds::{cluster, Design, RunConfig, RunReport};
+
+/// Core counts swept per design in Figures 7/8 (the paper sweeps threads up
+/// to the full 48 logical cores for CPU-only and a handful for the others).
+pub fn core_sweep(design: Design) -> Vec<usize> {
+    match design {
+        Design::CpuOnly => vec![1, 2, 4, 8, 16, 24, 32, 40, 48],
+        Design::Acc { .. } => vec![1, 2, 4],
+        Design::Bf2 => vec![1, 2, 4, 8],
+        Design::SmartDs { .. } => vec![1, 2, 4],
+    }
+}
+
+fn sweep_config(profile: Profile, design: Design, cores: usize) -> RunConfig {
+    let mut cfg = profile.apply(RunConfig::saturating(design)).with_cores(cores);
+    // CPU-only's offered load scales with the serving cores (each core
+    // worth of compression needs a backlog); the offload designs' load is
+    // port-bound and independent of host threads.
+    if design == Design::CpuOnly {
+        cfg = cfg.with_outstanding((6 * cores).clamp(16, 288));
+    }
+    cfg
+}
+
+/// Runs the Figure 7 sweep: throughput and latency of serving write
+/// requests vs middle-tier cores, for all four designs.
+pub fn fig7(profile: Profile) -> Vec<RunReport> {
+    let mut configs = Vec::new();
+    for design in Design::figure7_set() {
+        for cores in core_sweep(design) {
+            configs.push(sweep_config(profile, design, cores));
+        }
+    }
+    let reports = run_parallel(configs, cluster::run);
+    println!("Figure 7: write-request throughput and latency vs cores");
+    println!(
+        "  {:<14} {:>5} {:>10} {:>9} {:>9} {:>9}",
+        "design", "cores", "thr(Gbps)", "avg(us)", "p99(us)", "p999(us)"
+    );
+    for r in &reports {
+        println!(
+            "  {:<14} {:>5} {:>10.2} {:>9.1} {:>9.1} {:>9.1}",
+            r.label, r.cores, r.throughput_gbps, r.avg_us, r.p99_us, r.p999_us
+        );
+    }
+    reports
+}
+
+/// Runs the Figure 8 sweep: host memory (read/write) and PCIe (per device,
+/// per direction) bandwidth vs cores, including the Acc w/o-DDIO ablation.
+pub fn fig8(profile: Profile) -> Vec<RunReport> {
+    let mut configs = Vec::new();
+    for design in [
+        Design::CpuOnly,
+        Design::Acc { ddio: true },
+        Design::Acc { ddio: false },
+        Design::SmartDs { ports: 1 },
+    ] {
+        for cores in core_sweep(design) {
+            configs.push(sweep_config(profile, design, cores));
+        }
+    }
+    let reports = run_parallel(configs, cluster::run);
+    println!("Figure 8a: host memory bandwidth (Gbps) vs cores");
+    println!(
+        "  {:<14} {:>5} {:>10} {:>10}",
+        "design", "cores", "mem-read", "mem-write"
+    );
+    for r in &reports {
+        println!(
+            "  {:<14} {:>5} {:>10.2} {:>10.2}",
+            r.label, r.cores, r.mem_read_gbps, r.mem_write_gbps
+        );
+    }
+    println!("Figure 8b: CPU PCIe link bandwidth (Gbps) vs cores");
+    println!(
+        "  {:<14} {:>5} {:>9} {:>9} {:>9} {:>9}",
+        "design", "cores", "nicH2D", "nicD2H", "devH2D", "devD2H"
+    );
+    for r in &reports {
+        println!(
+            "  {:<14} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            r.label,
+            r.cores,
+            r.nic_pcie_h2d_gbps,
+            r.nic_pcie_d2h_gbps,
+            r.dev_pcie_h2d_gbps,
+            r.dev_pcie_d2h_gbps
+        );
+    }
+    reports
+}
+
+/// MLC delay sweep of Figure 9 (cycles between injected requests).
+pub const FIG9_DELAYS: [u32; 7] = [0, 4, 8, 12, 16, 32, 96];
+/// Cores dedicated to the MLC injector in Figure 9 (§5.3: "16 dedicated
+/// cores").
+pub const FIG9_MLC_CORES: usize = 16;
+
+/// Runs the Figure 9 sweep: throughput/latency of each design while 16
+/// cores inject memory pressure at varying intensity.
+pub fn fig9(profile: Profile) -> Vec<RunReport> {
+    let mut configs = Vec::new();
+    for design in [
+        Design::CpuOnly,
+        Design::Acc { ddio: true },
+        Design::SmartDs { ports: 1 },
+    ] {
+        // "The remaining cores are dedicated to serving I/O requests."
+        let cores = match design {
+            Design::CpuOnly => hwmodel::consts::HOST_LOGICAL_CORES - FIG9_MLC_CORES,
+            _ => RunConfig::saturating(design).cores,
+        };
+        for delay in FIG9_DELAYS {
+            configs.push(
+                profile
+                    .apply(RunConfig::saturating(design))
+                    .with_cores(cores)
+                    .with_mlc(FIG9_MLC_CORES, delay),
+            );
+        }
+    }
+    let reports = run_parallel(configs, cluster::run);
+    println!("Figure 9: performance under memory pressure (16 MLC cores)");
+    println!(
+        "  {:<14} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10}",
+        "design", "delay(cyc)", "thr(Gbps)", "avg(us)", "p99(us)", "p999(us)", "MLC(Gbps)"
+    );
+    for (r, cfg_delay) in reports.iter().zip(
+        [
+            Design::CpuOnly,
+            Design::Acc { ddio: true },
+            Design::SmartDs { ports: 1 },
+        ]
+        .iter()
+        .flat_map(|_| FIG9_DELAYS.iter()),
+    ) {
+        println!(
+            "  {:<14} {:>10} {:>10.2} {:>9.1} {:>9.1} {:>9.1} {:>10.1}",
+            r.label, cfg_delay, r.throughput_gbps, r.avg_us, r.p99_us, r.p999_us, r.mlc_gbps
+        );
+    }
+    reports
+}
+
+/// Runs the Figure 10 sweep: SmartDS with 1/2/4/6 ports.
+pub fn fig10(profile: Profile) -> Vec<RunReport> {
+    let configs: Vec<RunConfig> = [1usize, 2, 4, 6]
+        .iter()
+        .map(|&ports| profile.apply(RunConfig::saturating(Design::SmartDs { ports })))
+        .collect();
+    let reports = run_parallel(configs, cluster::run);
+    println!("Figure 10: SmartDS with multiple networking ports");
+    println!(
+        "  {:<11} {:>10} {:>9} {:>9} {:>9} {:>10} {:>10} {:>9}",
+        "design", "thr(Gbps)", "avg(us)", "p99(us)", "p999(us)", "mem(Gbps)", "pcie(Gbps)", "hbm(Gbps)"
+    );
+    for r in &reports {
+        println!(
+            "  {:<11} {:>10.2} {:>9.1} {:>9.1} {:>9.1} {:>10.2} {:>10.2} {:>9.1}",
+            r.label,
+            r.throughput_gbps,
+            r.avg_us,
+            r.p99_us,
+            r.p999_us,
+            r.mem_read_gbps + r.mem_write_gbps,
+            r.dev_pcie_h2d_gbps + r.dev_pcie_d2h_gbps,
+            r.hbm_gbps
+        );
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One condensed end-to-end check over the four headline claims; the
+    /// full-resolution sweeps run from the `experiments` binary.
+    #[test]
+    fn headline_shapes_hold_in_quick_profile() {
+        let cpu = cluster::run(&sweep_config(Profile::Quick, Design::CpuOnly, 48));
+        let sds1 = cluster::run(&sweep_config(
+            Profile::Quick,
+            Design::SmartDs { ports: 1 },
+            2,
+        ));
+        let sds4 = cluster::run(&Profile::Quick.apply(RunConfig::saturating(Design::SmartDs {
+            ports: 4,
+        })));
+        // SmartDS-1 on 2 cores matches CPU-only on 48.
+        assert!(
+            sds1.throughput_gbps > 0.85 * cpu.throughput_gbps,
+            "SmartDS-1 {:.1} vs CPU-only {:.1}",
+            sds1.throughput_gbps,
+            cpu.throughput_gbps
+        );
+        // SmartDS-4 scales ~linearly and beats CPU-only by ~4×.
+        let scaling = sds4.throughput_gbps / sds1.throughput_gbps;
+        assert!((3.5..4.5).contains(&scaling), "port scaling {scaling:.2}");
+        let speedup = sds4.throughput_gbps / cpu.throughput_gbps;
+        assert!((3.4..5.0).contains(&speedup), "speedup {speedup:.2}");
+        // Latency reductions in the paper's direction.
+        assert!(cpu.avg_us > 1.8 * sds1.avg_us, "avg {} vs {}", cpu.avg_us, sds1.avg_us);
+        assert!(cpu.p999_us > 2.2 * sds1.p999_us, "p999 {} vs {}", cpu.p999_us, sds1.p999_us);
+    }
+}

@@ -1,0 +1,87 @@
+//! **Table 1**: PCIe DMA latency under different pressure.
+//!
+//! A 4 KiB probe DMA crosses a PCIe 3.0×16 link shared with N persistent
+//! background DMA streams; the paper measures 1.4 µs unloaded and
+//! 11.3 µs (H2D) / 6.6 µs (D2H) heavily loaded on a Xilinx U280.
+
+use hwmodel::consts::{PCIE_HEAVY_D2H_STREAMS, PCIE_HEAVY_H2D_STREAMS};
+use hwmodel::{PcieDir, PcieLink};
+use simkit::{FlowSpec, Time};
+
+/// One measured cell of Table 1.
+#[derive(Copy, Clone, Debug)]
+pub struct Table1Cell {
+    /// Probe direction.
+    pub dir: PcieDir,
+    /// Background DMA streams sharing the direction.
+    pub background: usize,
+    /// Probe DMA completion latency, µs.
+    pub latency_us: f64,
+}
+
+/// Measures a single probe latency with `background` persistent streams.
+pub fn probe(dir: PcieDir, background: usize) -> Table1Cell {
+    let mut link = PcieLink::new("t1-h2d", "t1-d2h");
+    {
+        let r = link.resource_mut(dir);
+        for i in 0..background {
+            r.start_flow(Time::ZERO, f64::INFINITY, FlowSpec::new(), 1000 + i as u64);
+        }
+    }
+    link.dma(Time::ZERO, 4096.0, dir, 1);
+    let r = link.resource_mut(dir);
+    let done = r.next_wake().expect("probe completes");
+    r.sync(done);
+    let ends = r.take_completed();
+    assert_eq!(ends.len(), 1, "only the probe completes");
+    Table1Cell {
+        dir,
+        background,
+        latency_us: (done + link.propagation()).as_us(),
+    }
+}
+
+/// Runs Table 1: both directions, under-loaded and heavily loaded.
+pub fn run() -> Vec<Table1Cell> {
+    let cells = vec![
+        probe(PcieDir::H2D, 0),
+        probe(PcieDir::D2H, 0),
+        probe(PcieDir::H2D, PCIE_HEAVY_H2D_STREAMS),
+        probe(PcieDir::D2H, PCIE_HEAVY_D2H_STREAMS),
+    ];
+    println!("Table 1: PCIe latency under different pressure");
+    println!("  {:<16} {:>16} {:>16}", "", "H2D latency (us)", "D2H latency (us)");
+    println!(
+        "  {:<16} {:>16.1} {:>16.1}",
+        "Under loaded", cells[0].latency_us, cells[1].latency_us
+    );
+    println!(
+        "  {:<16} {:>16.1} {:>16.1}",
+        "Heavily loaded", cells[2].latency_us, cells[3].latency_us
+    );
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_match_paper_within_15_percent() {
+        let paper = [
+            (PcieDir::H2D, 0, 1.4),
+            (PcieDir::D2H, 0, 1.4),
+            (PcieDir::H2D, PCIE_HEAVY_H2D_STREAMS, 11.3),
+            (PcieDir::D2H, PCIE_HEAVY_D2H_STREAMS, 6.6),
+        ];
+        for (dir, bg, expect) in paper {
+            let cell = probe(dir, bg);
+            let err = (cell.latency_us - expect).abs() / expect;
+            assert!(
+                err < 0.15,
+                "{dir:?} bg={bg}: {:.2} us vs paper {expect} us",
+                cell.latency_us
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! **Table 3**: FPGA resource consumption of "Acc" and SmartDS-{1,2,4,6}.
+
+use hwmodel::fpga::{acc, smartds, FpgaResources, VCU128};
+
+/// One row of Table 3.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Design name as the paper prints it.
+    pub name: String,
+    /// Modelled resource consumption.
+    pub resources: FpgaResources,
+    /// Utilization of the VCU128, (% LUT, % REG, % BRAM).
+    pub utilization: (f64, f64, f64),
+}
+
+/// Computes all five rows.
+pub fn run() -> Vec<Table3Row> {
+    let rows: Vec<(String, FpgaResources)> = vec![
+        ("Acc".into(), acc()),
+        ("SmartDS-1".into(), smartds(1)),
+        ("SmartDS-2".into(), smartds(2)),
+        ("SmartDS-4".into(), smartds(4)),
+        ("SmartDS-6".into(), smartds(6)),
+    ];
+    println!("Table 3: FPGA resource consumption");
+    println!(
+        "  {:<11} {:>14} {:>14} {:>12}",
+        "Name", "LUTs (K)", "REGS (K)", "BRAMs"
+    );
+    let out: Vec<Table3Row> = rows
+        .into_iter()
+        .map(|(name, resources)| {
+            let utilization = resources.utilization(&VCU128);
+            println!(
+                "  {:<11} {:>7.0} ({:>4.1}%) {:>7.0} ({:>4.1}%) {:>5.0} ({:>4.1}%)",
+                name,
+                resources.luts_k,
+                utilization.0,
+                resources.regs_k,
+                utilization.1,
+                resources.brams,
+                utilization.2
+            );
+            Table3Row {
+                name,
+                resources,
+                utilization,
+            }
+        })
+        .collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_rows_in_paper_order() {
+        let rows = run();
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["Acc", "SmartDS-1", "SmartDS-2", "SmartDS-4", "SmartDS-6"]
+        );
+        // Spot-check the headline cells against the paper.
+        assert!((rows[1].resources.luts_k - 157.0).abs() < 2.0);
+        assert!((rows[4].resources.brams - 1752.0).abs() < 10.0);
+        assert!((rows[4].utilization.0 - 72.2).abs() < 1.5);
+    }
+}

@@ -1,0 +1,56 @@
+//! **Motivation**: fleet size and TCO for a cloud-scale storage load,
+//! using *measured* per-server throughputs (§1's "significantly reduces
+//! cloud infrastructure costs").
+
+use crate::Profile;
+use hwmodel::tco::{CostModel, FleetCost};
+use smartds::scaleup::{scale, CardProfile, ServerLimits};
+use smartds::{cluster, Design, RunConfig};
+
+/// Runs the comparison for a 100 Tbps aggregate storage load.
+pub fn run(profile: Profile) -> (FleetCost, FleetCost, f64) {
+    let target_gbps = 100_000.0;
+    let cpu = cluster::run(&profile.apply(RunConfig::saturating(Design::CpuOnly)));
+    let sds6 = cluster::run(&profile.apply(RunConfig::saturating(Design::SmartDs { ports: 6 })));
+    let limits = ServerLimits::paper_4u();
+    let per_server = scale(
+        CardProfile::from_report(&sds6, 6),
+        limits.max_cards(),
+        limits,
+        cpu.throughput_gbps,
+    );
+    let model = CostModel::default();
+    let (cpu_fleet, sds_fleet, reduction) = model.compare(
+        target_gbps,
+        cpu.throughput_gbps,
+        per_server.total_gbps,
+        limits.max_cards() as u64,
+    );
+    println!("Motivation: fleet TCO for {:.0} Tbps of storage traffic", target_gbps / 1000.0);
+    println!(
+        "  CPU-only:  {:>6} servers               capex ${:>12.0}  energy ${:>12.0}  total ${:>12.0}",
+        cpu_fleet.servers, cpu_fleet.capex_usd, cpu_fleet.energy_usd, cpu_fleet.total_usd
+    );
+    println!(
+        "  SmartDS:   {:>6} servers x 8 cards     capex ${:>12.0}  energy ${:>12.0}  total ${:>12.0}",
+        sds_fleet.servers, sds_fleet.capex_usd, sds_fleet.energy_usd, sds_fleet.total_usd
+    );
+    println!(
+        "  server reduction {:.1}x, TCO reduction {:.1}x (unit prices are documented ballparks)",
+        cpu_fleet.servers as f64 / sds_fleet.servers as f64,
+        reduction
+    );
+    (cpu_fleet, sds_fleet, reduction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_tco_reduction_is_an_order_of_magnitude() {
+        let (cpu, sds, reduction) = run(Profile::Quick);
+        assert!(cpu.servers as f64 / sds.servers as f64 > 40.0);
+        assert!(reduction > 8.0, "{reduction:.1}");
+    }
+}

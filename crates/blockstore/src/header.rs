@@ -1,0 +1,312 @@
+//! The 64-byte block-storage message header.
+//!
+//! Every middle-tier message begins with this header (§2.2.1: "a block
+//! storage header containing the VM's unique ID, service type, block offset,
+//! segment ID, and other relevant information"). It is the part of the
+//! message AAMS steers to *host* memory: small, changeful, and parsed by
+//! flexible CPU logic. The encoding is a fixed 64-byte layout protected by a
+//! CRC-32 so corruption (or mis-split) is detected in tests.
+
+use std::error::Error;
+use std::fmt;
+
+/// Exact encoded header size, matching the paper's "e.g., 64 bytes".
+pub const HEADER_LEN: usize = 64;
+
+const MAGIC: u16 = 0x5D5; // "SDS"
+
+/// Message operation carried by a header.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// VM → middle tier: write a data block.
+    Write,
+    /// VM → middle tier: read a data block.
+    Read,
+    /// Middle tier → storage server: append a (compressed) block.
+    Append,
+    /// Storage server → middle tier: append succeeded.
+    AppendAck,
+    /// Middle tier → storage server: fetch a stored block.
+    Fetch,
+    /// Storage server → middle tier: fetched block payload follows.
+    FetchReply,
+    /// Middle tier → VM: write completed.
+    WriteAck,
+    /// Middle tier → VM: read data follows.
+    ReadReply,
+}
+
+impl Op {
+    fn to_u8(self) -> u8 {
+        match self {
+            Op::Write => 1,
+            Op::Read => 2,
+            Op::Append => 3,
+            Op::AppendAck => 4,
+            Op::Fetch => 5,
+            Op::FetchReply => 6,
+            Op::WriteAck => 7,
+            Op::ReadReply => 8,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => Op::Write,
+            2 => Op::Read,
+            3 => Op::Append,
+            4 => Op::AppendAck,
+            5 => Op::Fetch,
+            6 => Op::FetchReply,
+            7 => Op::WriteAck,
+            8 => Op::ReadReply,
+            _ => return None,
+        })
+    }
+}
+
+/// Decoded block-storage header.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// The operation.
+    pub op: Op,
+    /// Issuing VM's unique id.
+    pub vm_id: u32,
+    /// Request id chosen by the issuer (echoed in replies).
+    pub request_id: u64,
+    /// Target segment.
+    pub segment_id: u64,
+    /// Block index within the segment.
+    pub block_index: u64,
+    /// Bytes of payload following this header on the wire.
+    pub payload_len: u32,
+    /// Original (uncompressed) length of the block the payload encodes.
+    pub orig_len: u32,
+    /// Latency-sensitive request: skip compression (§4.3 example).
+    pub latency_sensitive: bool,
+    /// Payload is LZ4-compressed.
+    pub compressed: bool,
+}
+
+/// Errors from [`Header::decode`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HeaderError {
+    /// Input shorter than [`HEADER_LEN`].
+    TooShort {
+        /// Bytes provided.
+        got: usize,
+    },
+    /// Magic number mismatch (not a block-storage header).
+    BadMagic,
+    /// Unknown operation code.
+    BadOp(u8),
+    /// CRC-32 mismatch: the header was corrupted or mis-split.
+    BadChecksum,
+}
+
+impl fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeaderError::TooShort { got } => {
+                write!(f, "header needs {HEADER_LEN} bytes, got {got}")
+            }
+            HeaderError::BadMagic => write!(f, "bad magic: not a block-storage header"),
+            HeaderError::BadOp(v) => write!(f, "unknown operation code {v}"),
+            HeaderError::BadChecksum => write!(f, "header checksum mismatch"),
+        }
+    }
+}
+
+impl Error for HeaderError {}
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+impl Header {
+    /// Encodes into exactly [`HEADER_LEN`] bytes.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+        out[2] = 1; // version
+        out[3] = self.op.to_u8();
+        out[4] = (self.latency_sensitive as u8) | (self.compressed as u8) << 1;
+        // out[5..8] reserved
+        out[8..12].copy_from_slice(&self.vm_id.to_le_bytes());
+        out[12..20].copy_from_slice(&self.request_id.to_le_bytes());
+        out[20..28].copy_from_slice(&self.segment_id.to_le_bytes());
+        out[28..36].copy_from_slice(&self.block_index.to_le_bytes());
+        out[36..40].copy_from_slice(&self.payload_len.to_le_bytes());
+        out[40..44].copy_from_slice(&self.orig_len.to_le_bytes());
+        // out[44..60] reserved for future fields
+        let crc = crc32(&out[..60]);
+        out[60..64].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a header from the first [`HEADER_LEN`] bytes of
+    /// `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HeaderError`] on truncation, bad magic, unknown op, or
+    /// checksum mismatch.
+    pub fn decode(data: &[u8]) -> Result<Header, HeaderError> {
+        if data.len() < HEADER_LEN {
+            return Err(HeaderError::TooShort { got: data.len() });
+        }
+        let d = &data[..HEADER_LEN];
+        if u16::from_le_bytes([d[0], d[1]]) != MAGIC {
+            return Err(HeaderError::BadMagic);
+        }
+        let stored_crc = u32::from_le_bytes([d[60], d[61], d[62], d[63]]);
+        if crc32(&d[..60]) != stored_crc {
+            return Err(HeaderError::BadChecksum);
+        }
+        let op = Op::from_u8(d[3]).ok_or(HeaderError::BadOp(d[3]))?;
+        Ok(Header {
+            op,
+            latency_sensitive: d[4] & 1 != 0,
+            compressed: d[4] & 2 != 0,
+            vm_id: u32::from_le_bytes(d[8..12].try_into().unwrap()),
+            request_id: u64::from_le_bytes(d[12..20].try_into().unwrap()),
+            segment_id: u64::from_le_bytes(d[20..28].try_into().unwrap()),
+            block_index: u64::from_le_bytes(d[28..36].try_into().unwrap()),
+            payload_len: u32::from_le_bytes(d[36..40].try_into().unwrap()),
+            orig_len: u32::from_le_bytes(d[40..44].try_into().unwrap()),
+        })
+    }
+
+    /// A write-request header for one block.
+    pub fn write(vm_id: u32, request_id: u64, segment_id: u64, block_index: u64, len: u32) -> Self {
+        Header {
+            op: Op::Write,
+            vm_id,
+            request_id,
+            segment_id,
+            block_index,
+            payload_len: len,
+            orig_len: len,
+            latency_sensitive: false,
+            compressed: false,
+        }
+    }
+
+    /// Derives a reply header echoing identity fields.
+    pub fn reply(&self, op: Op, payload_len: u32) -> Header {
+        Header {
+            op,
+            payload_len,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Header {
+        Header {
+            op: Op::Write,
+            vm_id: 77,
+            request_id: 0xDEAD_BEEF_1234,
+            segment_id: 42,
+            block_index: 8191,
+            payload_len: 4096,
+            orig_len: 4096,
+            latency_sensitive: true,
+            compressed: false,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let h = sample();
+        let enc = h.encode();
+        assert_eq!(enc.len(), HEADER_LEN);
+        assert_eq!(Header::decode(&enc).unwrap(), h);
+    }
+
+    #[test]
+    fn all_ops_roundtrip() {
+        for op in [
+            Op::Write,
+            Op::Read,
+            Op::Append,
+            Op::AppendAck,
+            Op::Fetch,
+            Op::FetchReply,
+            Op::WriteAck,
+            Op::ReadReply,
+        ] {
+            let h = Header { op, ..sample() };
+            assert_eq!(Header::decode(&h.encode()).unwrap().op, op);
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let enc = sample().encode();
+        assert_eq!(
+            Header::decode(&enc[..63]),
+            Err(HeaderError::TooShort { got: 63 })
+        );
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut enc = sample().encode();
+        enc[25] ^= 0x40;
+        assert_eq!(Header::decode(&enc), Err(HeaderError::BadChecksum));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut enc = sample().encode();
+        enc[0] = 0;
+        assert_eq!(Header::decode(&enc), Err(HeaderError::BadMagic));
+    }
+
+    #[test]
+    fn bad_op_detected() {
+        let mut enc = sample().encode();
+        enc[3] = 200;
+        // Re-seal the CRC so only the op is wrong.
+        let crc = crc32(&enc[..60]);
+        enc[60..64].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(Header::decode(&enc), Err(HeaderError::BadOp(200)));
+    }
+
+    #[test]
+    fn reply_echoes_identity() {
+        let h = sample();
+        let r = h.reply(Op::WriteAck, 0);
+        assert_eq!(r.request_id, h.request_id);
+        assert_eq!(r.vm_id, h.vm_id);
+        assert_eq!(r.op, Op::WriteAck);
+        assert_eq!(r.payload_len, 0);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn decode_ignores_trailing_payload() {
+        let mut buf = sample().encode().to_vec();
+        buf.extend_from_slice(&[9u8; 4096]);
+        assert_eq!(Header::decode(&buf).unwrap(), sample());
+    }
+}

@@ -1,0 +1,162 @@
+//! Virtual-disk address mapping: LBA → segment → chunk → block.
+//!
+//! §2.1: VMs address data in logical blocks (LBA); segments (e.g. 32 GB) are
+//! the unit the middle tier owns; each segment is divided into chunks
+//! (e.g. 64 MB); every I/O request targets a 4 KiB block inside a chunk.
+
+/// Geometry of a virtual disk.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct VdLayout {
+    /// Segment size in bytes (paper example: 32 GB).
+    pub segment_bytes: u64,
+    /// Chunk size in bytes (paper example: 64 MB).
+    pub chunk_bytes: u64,
+    /// Block size in bytes (paper example: 4 KB).
+    pub block_bytes: u64,
+}
+
+impl VdLayout {
+    /// The paper's example geometry: 32 GB segments, 64 MB chunks, 4 KiB
+    /// blocks.
+    pub const fn paper() -> Self {
+        VdLayout {
+            segment_bytes: 32 << 30,
+            chunk_bytes: 64 << 20,
+            block_bytes: 4096,
+        }
+    }
+
+    /// Validates divisibility invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless block | chunk | segment evenly.
+    pub fn validate(&self) {
+        assert!(self.block_bytes > 0 && self.chunk_bytes > 0 && self.segment_bytes > 0);
+        assert_eq!(
+            self.chunk_bytes % self.block_bytes,
+            0,
+            "chunk must be a whole number of blocks"
+        );
+        assert_eq!(
+            self.segment_bytes % self.chunk_bytes,
+            0,
+            "segment must be a whole number of chunks"
+        );
+    }
+
+    /// Blocks per chunk.
+    pub fn blocks_per_chunk(&self) -> u64 {
+        self.chunk_bytes / self.block_bytes
+    }
+
+    /// Chunks per segment.
+    pub fn chunks_per_segment(&self) -> u64 {
+        self.segment_bytes / self.chunk_bytes
+    }
+
+    /// Maps a logical block address to its physical location.
+    pub fn locate(&self, lba: u64) -> BlockAddr {
+        let blocks_per_seg = self.segment_bytes / self.block_bytes;
+        let segment = lba / blocks_per_seg;
+        let within_seg = lba % blocks_per_seg;
+        let chunk = within_seg / self.blocks_per_chunk();
+        let block = within_seg % self.blocks_per_chunk();
+        BlockAddr {
+            segment,
+            chunk,
+            block,
+        }
+    }
+
+    /// Inverse of [`VdLayout::locate`].
+    pub fn lba_of(&self, addr: BlockAddr) -> u64 {
+        let blocks_per_seg = self.segment_bytes / self.block_bytes;
+        addr.segment * blocks_per_seg
+            + addr.chunk * self.blocks_per_chunk()
+            + addr.block
+    }
+}
+
+/// A block's physical coordinates.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockAddr {
+    /// Segment index across the virtual disk.
+    pub segment: u64,
+    /// Chunk index within the segment.
+    pub chunk: u64,
+    /// Block index within the chunk.
+    pub block: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_counts() {
+        let l = VdLayout::paper();
+        l.validate();
+        assert_eq!(l.blocks_per_chunk(), 16384);
+        assert_eq!(l.chunks_per_segment(), 512);
+    }
+
+    #[test]
+    fn locate_first_and_boundaries() {
+        let l = VdLayout::paper();
+        assert_eq!(
+            l.locate(0),
+            BlockAddr {
+                segment: 0,
+                chunk: 0,
+                block: 0
+            }
+        );
+        // Last block of the first chunk.
+        assert_eq!(
+            l.locate(16383),
+            BlockAddr {
+                segment: 0,
+                chunk: 0,
+                block: 16383
+            }
+        );
+        // First block of the second chunk.
+        assert_eq!(
+            l.locate(16384),
+            BlockAddr {
+                segment: 0,
+                chunk: 1,
+                block: 0
+            }
+        );
+        // First block of the second segment (512 chunks × 16384 blocks).
+        assert_eq!(
+            l.locate(512 * 16384),
+            BlockAddr {
+                segment: 1,
+                chunk: 0,
+                block: 0
+            }
+        );
+    }
+
+    #[test]
+    fn locate_roundtrips() {
+        let l = VdLayout::paper();
+        for lba in [0u64, 1, 16383, 16384, 12_345_678, 512 * 16384 + 9999] {
+            assert_eq!(l.lba_of(l.locate(lba)), lba);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of blocks")]
+    fn bad_geometry_panics() {
+        VdLayout {
+            segment_bytes: 1 << 30,
+            chunk_bytes: 5000,
+            block_bytes: 4096,
+        }
+        .validate();
+    }
+}

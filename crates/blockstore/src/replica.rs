@@ -1,0 +1,205 @@
+//! Replica placement and write-quorum tracking.
+//!
+//! §2.2.1: the middle tier chooses "several remote storage servers (usually
+//! three) according to disk usage, distribution of switches, loads of
+//! storage servers, and disaster recovery strategy", then waits until *all*
+//! chosen servers acknowledge before acking the VM.
+
+use crate::server::ServerId;
+use std::collections::HashMap;
+
+/// Chooses replica sets over a set of storage servers, skipping failed ones
+/// and balancing load (appends outstanding per server).
+#[derive(Debug)]
+pub struct ReplicaSelector {
+    servers: Vec<ServerId>,
+    healthy: Vec<bool>,
+    placed: Vec<u64>,
+}
+
+impl ReplicaSelector {
+    /// A selector over `servers` (all initially healthy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty.
+    pub fn new(servers: Vec<ServerId>) -> Self {
+        assert!(!servers.is_empty(), "need at least one storage server");
+        let n = servers.len();
+        ReplicaSelector {
+            servers,
+            healthy: vec![true; n],
+            placed: vec![0; n],
+        }
+    }
+
+    /// Number of healthy servers.
+    pub fn healthy_count(&self) -> usize {
+        self.healthy.iter().filter(|&&h| h).count()
+    }
+
+    /// Marks a server failed/recovered (fail-over path).
+    pub fn set_healthy(&mut self, id: ServerId, healthy: bool) {
+        if let Some(i) = self.servers.iter().position(|&s| s == id) {
+            self.healthy[i] = healthy;
+        }
+    }
+
+    /// Chooses `k` distinct healthy servers for a chunk, preferring the
+    /// least-loaded (fewest placements so far, deterministic tie-break by
+    /// id). Returns `None` when fewer than `k` healthy servers exist —
+    /// the write must stall rather than under-replicate.
+    pub fn choose(&mut self, k: usize) -> Option<Vec<ServerId>> {
+        let mut candidates: Vec<usize> = (0..self.servers.len())
+            .filter(|&i| self.healthy[i])
+            .collect();
+        if candidates.len() < k {
+            return None;
+        }
+        candidates.sort_by_key(|&i| (self.placed[i], self.servers[i]));
+        let chosen: Vec<ServerId> = candidates[..k].iter().map(|&i| self.servers[i]).collect();
+        for &i in &candidates[..k] {
+            self.placed[i] += 1;
+        }
+        Some(chosen)
+    }
+}
+
+/// Tracks outstanding acknowledgements for in-flight replicated writes.
+#[derive(Debug, Default)]
+pub struct QuorumTracker {
+    pending: HashMap<u64, Quorum>,
+}
+
+#[derive(Debug)]
+struct Quorum {
+    needed: usize,
+    acked: Vec<ServerId>,
+}
+
+impl QuorumTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begins tracking `request_id`, requiring `needed` acks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request id is already tracked or `needed` is zero.
+    pub fn begin(&mut self, request_id: u64, needed: usize) {
+        assert!(needed > 0, "quorum of zero");
+        let prev = self.pending.insert(
+            request_id,
+            Quorum {
+                needed,
+                acked: Vec::with_capacity(needed),
+            },
+        );
+        assert!(prev.is_none(), "request {request_id} already tracked");
+    }
+
+    /// Records an ack from `server`. Returns `true` when the quorum is now
+    /// complete (and forgets the request). Duplicate acks are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is unknown (ack after completion is a protocol
+    /// bug in the caller).
+    pub fn ack(&mut self, request_id: u64, server: ServerId) -> bool {
+        let q = self
+            .pending
+            .get_mut(&request_id)
+            .unwrap_or_else(|| panic!("ack for untracked request {request_id}"));
+        if !q.acked.contains(&server) {
+            q.acked.push(server);
+        }
+        if q.acked.len() >= q.needed {
+            self.pending.remove(&request_id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Abandons a request (e.g. fail-over re-replication restarted it).
+    pub fn abort(&mut self, request_id: u64) -> bool {
+        self.pending.remove(&request_id).is_some()
+    }
+
+    /// Requests still waiting for acks.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<ServerId> {
+        v.iter().map(|&i| ServerId(i)).collect()
+    }
+
+    #[test]
+    fn choose_balances_load() {
+        let mut sel = ReplicaSelector::new(ids(&[0, 1, 2, 3, 4, 5]));
+        let a = sel.choose(3).unwrap();
+        let b = sel.choose(3).unwrap();
+        // Second choice must pick the other three servers (they are less
+        // loaded).
+        let mut all: Vec<_> = a.iter().chain(b.iter()).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 6, "placement should spread across servers");
+    }
+
+    #[test]
+    fn choose_skips_failed_servers() {
+        let mut sel = ReplicaSelector::new(ids(&[0, 1, 2, 3]));
+        sel.set_healthy(ServerId(1), false);
+        let chosen = sel.choose(3).unwrap();
+        assert!(!chosen.contains(&ServerId(1)));
+        assert_eq!(sel.healthy_count(), 3);
+    }
+
+    #[test]
+    fn insufficient_healthy_servers_stalls() {
+        let mut sel = ReplicaSelector::new(ids(&[0, 1, 2]));
+        sel.set_healthy(ServerId(0), false);
+        assert!(sel.choose(3).is_none());
+        sel.set_healthy(ServerId(0), true);
+        assert!(sel.choose(3).is_some());
+    }
+
+    #[test]
+    fn quorum_completes_on_all_acks() {
+        let mut q = QuorumTracker::new();
+        q.begin(9, 3);
+        assert!(!q.ack(9, ServerId(0)));
+        assert!(!q.ack(9, ServerId(1)));
+        // Duplicate ack does not complete the quorum.
+        assert!(!q.ack(9, ServerId(1)));
+        assert!(q.ack(9, ServerId(2)));
+        assert_eq!(q.outstanding(), 0);
+    }
+
+    #[test]
+    fn abort_forgets_request() {
+        let mut q = QuorumTracker::new();
+        q.begin(5, 3);
+        assert!(q.abort(5));
+        assert!(!q.abort(5));
+        assert_eq!(q.outstanding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked request")]
+    fn ack_after_completion_panics() {
+        let mut q = QuorumTracker::new();
+        q.begin(1, 1);
+        q.ack(1, ServerId(0));
+        q.ack(1, ServerId(1));
+    }
+}

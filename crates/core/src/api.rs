@@ -1,0 +1,506 @@
+//! The paper's high-level programming interface (Table 2).
+//!
+//! This module exposes SmartDS exactly as §4.3 presents it to middle-tier
+//! developers: `host_alloc`, `dev_alloc`, `open_roce_instance`,
+//! `dev_mixed_recv`, `dev_mixed_send`, `dev_func`, and `poll`. It drives the
+//! *functional* device — real host/device byte pools, the real Split and
+//! Assemble modules, and real LZ4 engines — so the Listing 1 write-serving
+//! loop from the paper runs verbatim-shaped Rust in the `examples/`
+//! directory and every byte can be checked end to end.
+//!
+//! Remote endpoints (a VM, a storage server) are [`RemotePeer`] mailboxes:
+//! single-threaded handles the test or example code drives directly, playing
+//! the roles the other three servers play in the paper's testbed.
+//!
+//! Timing is *not* modelled here — that is [`crate::cluster`]'s job. The two
+//! layers share the same split/assemble semantics from `rocenet`, which is
+//! what ties the measured experiments to the programmable API.
+
+use lz4kit::Level;
+use rocenet::{
+    assemble_from, split_into, AamsError, Message, MemError, MemPool, RecvDesc, Region, SendDesc,
+};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// Hardware engines selectable by [`SmartDs::dev_func`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// LZ4 compression (the paper's `COMPRESS_ENGINE_0`).
+    Compress,
+    /// LZ4 decompression (read path).
+    Decompress,
+}
+
+/// Errors surfaced by the API.
+#[derive(Debug)]
+pub enum ApiError {
+    /// Memory allocation or access failed.
+    Mem(MemError),
+    /// Split/assemble failed (bad descriptor, oversize message).
+    Aams(AamsError),
+    /// `poll` on a receive with no message available and none arriving.
+    WouldBlock,
+    /// `poll` on an unknown or already-consumed event.
+    UnknownEvent,
+    /// `dev_func` decompression failed (corrupt stream).
+    Engine(lz4kit::DecompressError),
+    /// Destination buffer too small for the engine result.
+    EngineOutput {
+        /// Bytes the engine produced.
+        produced: usize,
+        /// Destination capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::Mem(e) => write!(f, "memory error: {e}"),
+            ApiError::Aams(e) => write!(f, "split/assemble error: {e}"),
+            ApiError::WouldBlock => write!(f, "poll would block: no message available"),
+            ApiError::UnknownEvent => write!(f, "unknown or consumed event"),
+            ApiError::Engine(e) => write!(f, "engine error: {e}"),
+            ApiError::EngineOutput { produced, capacity } => {
+                write!(f, "engine produced {produced} bytes, buffer holds {capacity}")
+            }
+        }
+    }
+}
+
+impl Error for ApiError {}
+
+impl From<MemError> for ApiError {
+    fn from(e: MemError) -> Self {
+        ApiError::Mem(e)
+    }
+}
+
+impl From<AamsError> for ApiError {
+    fn from(e: AamsError) -> Self {
+        ApiError::Aams(e)
+    }
+}
+
+/// A remote endpoint (VM or storage server): a pair of mailboxes the
+/// example/test code drives.
+#[derive(Clone, Debug, Default)]
+pub struct RemotePeer {
+    inner: Rc<RefCell<PeerInner>>,
+}
+
+#[derive(Debug, Default)]
+struct PeerInner {
+    /// Messages this peer has sent towards the SmartDS device.
+    to_device: VecDeque<Message>,
+    /// Messages the device has sent to this peer.
+    from_device: VecDeque<Message>,
+}
+
+impl RemotePeer {
+    /// A fresh peer with empty mailboxes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The peer transmits a message (header ++ payload) to the device.
+    pub fn send(&self, msg: Message) {
+        self.inner.borrow_mut().to_device.push_back(msg);
+    }
+
+    /// Takes the next message the device sent to this peer, if any.
+    pub fn recv(&self) -> Option<Message> {
+        self.inner.borrow_mut().from_device.pop_front()
+    }
+
+    /// Messages waiting in the peer's inbox.
+    pub fn pending(&self) -> usize {
+        self.inner.borrow().from_device.len()
+    }
+}
+
+/// A queue pair connecting one RoCE instance to a remote peer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Qp {
+    instance: usize,
+    index: usize,
+}
+
+/// An asynchronous event returned by the verbs (the `e` of Listing 1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Event(u64);
+
+/// A completed event: what `poll` returns.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// Bytes received / sent / produced (`e.size` in Listing 1).
+    pub size: usize,
+}
+
+#[derive(Debug)]
+enum EventState {
+    /// A recv waiting for (or matched to) a message on this QP.
+    RecvPending { qp: Qp, desc: RecvDesc },
+    /// Already satisfied with this completion.
+    Ready(Completion),
+    /// The operation failed; the error surfaces at `poll`, mirroring how a
+    /// failed work request surfaces through the completion queue.
+    Failed(ApiError),
+}
+
+#[derive(Debug)]
+struct ApiQp {
+    peer: RemotePeer,
+}
+
+#[derive(Debug, Default)]
+struct Instance {
+    qps: Vec<ApiQp>,
+}
+
+/// The SmartDS device as seen by middle-tier software.
+///
+/// # Examples
+///
+/// The paper's Listing 1 write-serving loop, condensed:
+///
+/// ```
+/// use smartds::api::{EngineKind, RemotePeer, SmartDs};
+/// use rocenet::Message;
+///
+/// let mut ds = SmartDs::new(1);
+/// let h_buf_recv = ds.host_alloc(64)?;
+/// let d_buf_recv = ds.dev_alloc(8192)?;
+/// let d_buf_send = ds.dev_alloc(8192)?;
+///
+/// let ctx = ds.open_roce_instance(0);
+/// let vm = RemotePeer::new();
+/// let storage = RemotePeer::new();
+/// let qp_recv = ds.connect_qp(ctx, &vm);
+/// let qp_send = ds.connect_qp(ctx, &storage);
+///
+/// // The VM issues a write request: 64 B header + 4 KiB block.
+/// vm.send(Message::header_payload(vec![1u8; 64], vec![0xAB; 4096]));
+///
+/// // Middle-tier software: split-receive, compress on the device, forward.
+/// let e = ds.dev_mixed_recv(qp_recv, h_buf_recv, 64, d_buf_recv, 8192);
+/// let done = ds.poll(e)?;
+/// let payload = done.size - 64;
+/// let e = ds.dev_func(d_buf_recv, payload, d_buf_send, 8192, EngineKind::Compress);
+/// let compressed = ds.poll(e)?.size;
+/// assert!(compressed < payload);
+/// let e = ds.dev_mixed_send(qp_send, h_buf_recv, 64, d_buf_send, compressed);
+/// ds.poll(e)?;
+/// assert_eq!(storage.recv().unwrap().len(), 64 + compressed);
+/// # Ok::<(), smartds::api::ApiError>(())
+/// ```
+#[derive(Debug)]
+pub struct SmartDs {
+    host: MemPool,
+    dev: MemPool,
+    instances: Vec<Instance>,
+    events: Vec<Option<EventState>>,
+}
+
+/// Host memory capacity of the functional device (enough for headers).
+const HOST_POOL: usize = 16 << 20;
+/// Device memory capacity (the VCU128 has 8 GB; we size down for tests).
+const DEV_POOL: usize = 64 << 20;
+
+impl SmartDs {
+    /// A SmartDS with `instances` RoCE instances (one per networking port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is zero or exceeds the VCU128's six ports.
+    pub fn new(instances: usize) -> Self {
+        assert!(
+            (1..=hwmodel::consts::SMARTDS_MAX_PORTS).contains(&instances),
+            "SmartDS exposes 1–6 RoCE instances"
+        );
+        SmartDs {
+            host: MemPool::new("host", HOST_POOL),
+            dev: MemPool::new("smartds-hbm", DEV_POOL),
+            instances: (0..instances).map(|_| Instance::default()).collect(),
+            events: Vec::new(),
+        }
+    }
+
+    /// `host_alloc(size)`: allocates a host-memory buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Mem`] when host memory is exhausted.
+    pub fn host_alloc(&mut self, size: usize) -> Result<Region, ApiError> {
+        Ok(self.host.alloc(size)?)
+    }
+
+    /// `dev_alloc(size)`: allocates a device-memory (HBM) buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Mem`] when device memory is exhausted.
+    pub fn dev_alloc(&mut self, size: usize) -> Result<Region, ApiError> {
+        Ok(self.dev.alloc(size)?)
+    }
+
+    /// `open_roce_instance(i)`: returns the instance handle (its index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn open_roce_instance(&self, i: usize) -> usize {
+        assert!(i < self.instances.len(), "instance {i} does not exist");
+        i
+    }
+
+    /// Connects a new queue pair on `instance` to `peer`.
+    pub fn connect_qp(&mut self, instance: usize, peer: &RemotePeer) -> Qp {
+        let inst = &mut self.instances[instance];
+        inst.qps.push(ApiQp { peer: peer.clone() });
+        Qp {
+            instance,
+            index: inst.qps.len() - 1,
+        }
+    }
+
+    fn new_event(&mut self, st: EventState) -> Event {
+        self.events.push(Some(st));
+        Event((self.events.len() - 1) as u64)
+    }
+
+    /// `dev_mixed_recv`: posts a split receive — the first `h_size` bytes of
+    /// the next message on `qp` land in `h_buf` (host), the remainder in
+    /// `d_buf` (device).
+    pub fn dev_mixed_recv(
+        &mut self,
+        qp: Qp,
+        h_buf: Region,
+        h_size: usize,
+        d_buf: Region,
+        d_size: usize,
+    ) -> Event {
+        let desc = RecvDesc {
+            wr_id: 0,
+            h_buf,
+            h_size,
+            d_buf: Some(d_buf),
+            d_size,
+        };
+        self.new_event(EventState::RecvPending { qp, desc })
+    }
+
+    /// `dev_mixed_send`: assembles `h_size` bytes from `h_buf` (host) and
+    /// `d_size` bytes from `d_buf` (device) into one RDMA message and sends
+    /// it to `qp`'s peer. The event is ready immediately.
+    pub fn dev_mixed_send(
+        &mut self,
+        qp: Qp,
+        h_buf: Region,
+        h_size: usize,
+        d_buf: Region,
+        d_size: usize,
+    ) -> Event {
+        let desc = SendDesc {
+            wr_id: 0,
+            h_buf,
+            h_size,
+            d_buf: Some(d_buf),
+            d_size,
+        };
+        match assemble_from(&desc, &self.host, &self.dev) {
+            Ok(msg) => {
+                let len = msg.len();
+                let peer = self.instances[qp.instance].qps[qp.index].peer.clone();
+                peer.inner.borrow_mut().from_device.push_back(msg);
+                self.new_event(EventState::Ready(Completion { size: len }))
+            }
+            Err(e) => self.new_event(EventState::Failed(e.into())),
+        }
+    }
+
+    /// `dev_func`: runs `src_size` bytes from `src` through `engine`,
+    /// writing the result to `dest` in device memory. The completion carries
+    /// the output size.
+    pub fn dev_func(
+        &mut self,
+        src: Region,
+        src_size: usize,
+        dest: Region,
+        dest_size: usize,
+        engine: EngineKind,
+    ) -> Event {
+        let result: Result<Completion, ApiError> = (|| {
+            let input = self.dev.read(src, 0, src_size)?;
+            let output = match engine {
+                EngineKind::Compress => lz4kit::compress_with(&input, Level::Fast),
+                EngineKind::Decompress => lz4kit::decompress(&input, dest_size.max(dest.len()))
+                    .map_err(ApiError::Engine)?,
+            };
+            if output.len() > dest.len().min(dest_size.max(dest.len())) {
+                return Err(ApiError::EngineOutput {
+                    produced: output.len(),
+                    capacity: dest.len(),
+                });
+            }
+            self.dev.write(dest, 0, &output)?;
+            Ok(Completion { size: output.len() })
+        })();
+        match result {
+            Ok(c) => self.new_event(EventState::Ready(c)),
+            Err(e) => self.new_event(EventState::Failed(e)),
+        }
+    }
+
+    /// `poll(event)`: completes the event, performing the deferred split for
+    /// receives.
+    ///
+    /// # Errors
+    ///
+    /// * [`ApiError::WouldBlock`] — receive with no message available.
+    /// * [`ApiError::UnknownEvent`] — event already consumed.
+    /// * [`ApiError::Aams`] — the arriving message did not fit the
+    ///   descriptor.
+    pub fn poll(&mut self, ev: Event) -> Result<Completion, ApiError> {
+        let slot = ev.0 as usize;
+        let state = self
+            .events
+            .get_mut(slot)
+            .and_then(Option::take)
+            .ok_or(ApiError::UnknownEvent)?;
+        match state {
+            EventState::Ready(c) => Ok(c),
+            EventState::Failed(e) => Err(e),
+            EventState::RecvPending { qp, desc } => {
+                let peer = self.instances[qp.instance].qps[qp.index].peer.clone();
+                let msg = peer.inner.borrow_mut().to_device.pop_front();
+                let Some(msg) = msg else {
+                    // Re-arm so the caller can poll again later.
+                    self.events[slot] = Some(EventState::RecvPending { qp, desc });
+                    return Err(ApiError::WouldBlock);
+                };
+                let placed = split_into(&msg, &desc, &mut self.host, &mut self.dev)?;
+                Ok(Completion {
+                    size: placed.host_bytes + placed.dev_bytes,
+                })
+            }
+        }
+    }
+
+    /// Reads back a host buffer (the software "parsing the header").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Mem`] on out-of-bounds access.
+    pub fn host_read(&self, buf: Region, len: usize) -> Result<Vec<u8>, ApiError> {
+        Ok(self.host.read(buf, 0, len)?.to_vec())
+    }
+
+    /// Writes a host buffer (the software preparing a send header).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Mem`] on out-of-bounds access.
+    pub fn host_write(&mut self, buf: Region, data: &[u8]) -> Result<(), ApiError> {
+        Ok(self.host.write(buf, 0, data)?)
+    }
+
+    /// Reads device memory (test/verification helper; real software cannot
+    /// touch HBM directly, which is the point of the design).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Mem`] on out-of-bounds access.
+    pub fn dev_read(&self, buf: Region, len: usize) -> Result<Vec<u8>, ApiError> {
+        Ok(self.dev.read(buf, 0, len)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recv_splits_header_to_host_payload_to_dev() {
+        let mut ds = SmartDs::new(1);
+        let h = ds.host_alloc(64).unwrap();
+        let d = ds.dev_alloc(4096).unwrap();
+        let vm = RemotePeer::new();
+        let qp = ds.connect_qp(ds.open_roce_instance(0), &vm);
+        vm.send(Message::header_payload(vec![7u8; 64], vec![9u8; 4096]));
+        let e = ds.dev_mixed_recv(qp, h, 64, d, 4096);
+        let c = ds.poll(e).unwrap();
+        assert_eq!(c.size, 4160);
+        assert!(ds.host_read(h, 64).unwrap().iter().all(|&b| b == 7));
+        assert!(ds.dev_read(d, 4096).unwrap().iter().all(|&b| b == 9));
+    }
+
+    #[test]
+    fn poll_without_message_would_block_then_succeeds() {
+        let mut ds = SmartDs::new(1);
+        let h = ds.host_alloc(64).unwrap();
+        let d = ds.dev_alloc(128).unwrap();
+        let vm = RemotePeer::new();
+        let qp = ds.connect_qp(0, &vm);
+        let e = ds.dev_mixed_recv(qp, h, 64, d, 128);
+        assert!(matches!(ds.poll(e), Err(ApiError::WouldBlock)));
+        vm.send(Message::from_bytes(vec![1u8; 32]));
+        assert_eq!(ds.poll(e).unwrap().size, 32);
+        // Consumed now.
+        assert!(matches!(ds.poll(e), Err(ApiError::UnknownEvent)));
+    }
+
+    #[test]
+    fn dev_func_compress_then_decompress_roundtrips() {
+        let mut ds = SmartDs::new(1);
+        let src = ds.dev_alloc(4096).unwrap();
+        let packed = ds.dev_alloc(8192).unwrap();
+        let restored = ds.dev_alloc(4096).unwrap();
+        // Put a compressible block in device memory via a split recv.
+        let vm = RemotePeer::new();
+        let qp = ds.connect_qp(0, &vm);
+        let h = ds.host_alloc(64).unwrap();
+        let block: Vec<u8> = b"smartds".iter().cycle().take(4096).copied().collect();
+        vm.send(Message::header_payload(vec![0u8; 64], block.clone()));
+        let e = ds.dev_mixed_recv(qp, h, 64, src, 4096);
+        ds.poll(e).unwrap();
+        let e = ds.dev_func(src, 4096, packed, 8192, EngineKind::Compress);
+        let csize = ds.poll(e).unwrap().size;
+        assert!(csize < 1024);
+        let e = ds.dev_func(packed, csize, restored, 4096, EngineKind::Decompress);
+        assert_eq!(ds.poll(e).unwrap().size, 4096);
+        assert_eq!(ds.dev_read(restored, 4096).unwrap(), block);
+    }
+
+    #[test]
+    fn send_assembles_host_header_and_dev_payload() {
+        let mut ds = SmartDs::new(2);
+        let storage = RemotePeer::new();
+        let qp = ds.connect_qp(ds.open_roce_instance(1), &storage);
+        let h = ds.host_alloc(64).unwrap();
+        let d = ds.dev_alloc(100).unwrap();
+        ds.host_write(h, &[5u8; 64]).unwrap();
+        // Seed device bytes through the dev pool directly via a recv.
+        let vm = RemotePeer::new();
+        let qp_in = ds.connect_qp(0, &vm);
+        vm.send(Message::from_bytes(vec![8u8; 100]));
+        let e = ds.dev_mixed_recv(qp_in, h, 0, d, 100);
+        ds.poll(e).unwrap();
+        let e = ds.dev_mixed_send(qp, h, 64, d, 100);
+        assert_eq!(ds.poll(e).unwrap().size, 164);
+        let msg = storage.recv().unwrap().to_bytes();
+        assert!(msg[..64].iter().all(|&b| b == 5));
+        assert!(msg[64..].iter().all(|&b| b == 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "instance 3 does not exist")]
+    fn bad_instance_panics() {
+        let ds = SmartDs::new(2);
+        ds.open_roce_instance(3);
+    }
+}

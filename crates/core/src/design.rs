@@ -1,0 +1,252 @@
+//! Middle-tier server designs under evaluation.
+//!
+//! The paper compares four ways to build a middle-tier server (Figure 1):
+//! CPU-only, accelerator-enhanced ("Acc", ± DDIO), SoC SmartNIC ("BF2"),
+//! and SmartDS with 1–6 ports. [`Design`] selects which dataflow the
+//! cluster simulation runs; the per-request resource programs live in
+//! [`crate::plan`].
+
+use hwmodel::consts::{BF2_PORTS, HOST_LOGICAL_CORES, SMARTDS_MAX_PORTS};
+use std::fmt;
+
+/// A middle-tier server architecture.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// Traditional CPU-based middle tier (Figure 1a): parse and LZ4 both on
+    /// host cores, every payload byte crosses the NIC's PCIe link and host
+    /// memory.
+    CpuOnly,
+    /// Accelerator-enhanced (Figure 1b): LZ4 on a separate FPGA card; the
+    /// payload crosses PCIe twice more. `ddio` toggles Intel DDIO for the
+    /// Figure 8a ablation.
+    Acc {
+        /// Whether Direct Data I/O is enabled on the host.
+        ddio: bool,
+    },
+    /// SoC-based SmartNIC (Figure 1d): BlueField-2 with Arm parse and a
+    /// 40 Gbps on-card engine; the host is not involved.
+    Bf2,
+    /// The paper's contribution (Figure 5/6): per-port extended RoCE stacks
+    /// split headers to the host and keep payloads in HBM next to 100 Gbps
+    /// engines.
+    SmartDs {
+        /// Networking ports in use (1–6 on the VCU128).
+        ports: usize,
+    },
+}
+
+impl Design {
+    /// All designs exactly as evaluated in Figure 7.
+    pub fn figure7_set() -> Vec<Design> {
+        vec![
+            Design::CpuOnly,
+            Design::Acc { ddio: true },
+            Design::Bf2,
+            Design::SmartDs { ports: 1 },
+        ]
+    }
+
+    /// Short label used in experiment output (matches the paper's names).
+    pub fn label(&self) -> String {
+        match self {
+            Design::CpuOnly => "CPU-only".into(),
+            Design::Acc { ddio: true } => "Acc".into(),
+            Design::Acc { ddio: false } => "Acc w/o DDIO".into(),
+            Design::Bf2 => "BF2".into(),
+            Design::SmartDs { ports } => format!("SmartDS-{ports}"),
+        }
+    }
+
+    /// Number of middle-tier networking ports this design drives.
+    pub fn ports(&self) -> usize {
+        match self {
+            Design::CpuOnly | Design::Acc { .. } => 1,
+            Design::Bf2 => BF2_PORTS,
+            Design::SmartDs { ports } => *ports,
+        }
+    }
+
+    /// Validates configuration limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a SmartDS port count outside 1–6.
+    pub fn validate(&self) {
+        if let Design::SmartDs { ports } = self {
+            assert!(
+                (1..=SMARTDS_MAX_PORTS).contains(ports),
+                "SmartDS supports 1–{SMARTDS_MAX_PORTS} ports, got {ports}"
+            );
+        }
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// The middle-tier design under test.
+    pub design: Design,
+    /// Host (or Arm) cores given to the middle-tier software.
+    pub cores: usize,
+    /// Closed-loop outstanding write requests (offered load).
+    pub outstanding: usize,
+    /// Simulated warm-up before measurement starts.
+    pub warmup: simkit::Time,
+    /// Simulated measurement window.
+    pub measure: simkit::Time,
+    /// Memory-pressure injector: `(cores, delay_cycles)`, if any (Fig 9).
+    pub mlc: Option<(usize, u32)>,
+    /// Number of distinct corpus blocks in the payload pool.
+    pub pool_blocks: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Fault injections: at each `(time, server, alive)` the storage server
+    /// is failed or recovered (the fail-over maintenance path).
+    pub faults: Vec<(simkit::Time, u32, bool)>,
+    /// Period of the snapshot maintenance service (§2.2.3), if enabled.
+    pub snapshot_period: Option<simkit::Time>,
+    /// Concurrent host-memory bursts the I/O path keeps in flight
+    /// (see `hwmodel::consts::IO_MEM_WINDOW`; exposed for the ablation).
+    pub io_mem_window: usize,
+    /// Zipf skew of block accesses (None = uniform). Production block
+    /// workloads are hot-spotted, which drives compaction pressure.
+    pub zipf_theta: Option<f64>,
+    /// Open-loop offered load in Gbps of write payload (Poisson arrivals).
+    /// `None` = closed loop with `outstanding` slots. Open loop is how
+    /// latency–throughput curves are measured.
+    pub open_loop_gbps: Option<f64>,
+    /// Period of the throughput sampler (transient time series), if any.
+    pub sample_period: Option<simkit::Time>,
+    /// Write replication factor (paper default 3; ablation knob).
+    pub replication: usize,
+}
+
+impl RunConfig {
+    /// A sensible default configuration for `design`: saturating load,
+    /// 10 ms warm-up + 40 ms measurement, Silesia-mix payloads.
+    pub fn saturating(design: Design) -> Self {
+        design.validate();
+        let cores = match design {
+            Design::CpuOnly => HOST_LOGICAL_CORES,
+            Design::Acc { .. } => 4,
+            Design::Bf2 => hwmodel::consts::BF2_ARM_CORES,
+            Design::SmartDs { ports } => {
+                (hwmodel::consts::SMARTDS_CORES_PER_PORT * ports).max(2)
+            }
+        };
+        // Saturating closed-loop depth per design: a production CPU-only
+        // middle tier runs with deep per-core backlogs (its operating point
+        // in Figure 7 is all 48 cores, heavily queued), while SmartDS needs
+        // only enough slots to cover the port's bandwidth-delay product.
+        let outstanding = match design {
+            Design::CpuOnly => 256,
+            Design::Acc { .. } => 144,
+            Design::Bf2 => 192,
+            Design::SmartDs { ports } => 96 * ports,
+        };
+        RunConfig {
+            design,
+            cores,
+            outstanding,
+            warmup: simkit::Time::from_ms(10.0),
+            measure: simkit::Time::from_ms(40.0),
+            mlc: None,
+            pool_blocks: 256,
+            seed: 42,
+            faults: Vec::new(),
+            snapshot_period: None,
+            io_mem_window: hwmodel::consts::IO_MEM_WINDOW,
+            zipf_theta: None,
+            open_loop_gbps: None,
+            sample_period: None,
+            replication: hwmodel::consts::REPLICATION,
+        }
+    }
+
+    /// Same configuration with a different core count (Figure 7 sweeps).
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        self.cores = cores;
+        self
+    }
+
+    /// Same configuration with a different outstanding-request count.
+    pub fn with_outstanding(mut self, outstanding: usize) -> Self {
+        assert!(outstanding > 0, "need at least one outstanding request");
+        self.outstanding = outstanding;
+        self
+    }
+
+    /// Adds a memory-pressure injector (Figure 9 sweeps).
+    pub fn with_mlc(mut self, cores: usize, delay_cycles: u32) -> Self {
+        self.mlc = Some((cores, delay_cycles));
+        self
+    }
+
+    /// Fails (or recovers) a storage server at `at` (fail-over experiments).
+    pub fn with_fault(mut self, at: simkit::Time, server: u32, alive: bool) -> Self {
+        self.faults.push((at, server, alive));
+        self
+    }
+
+    /// Enables the periodic snapshot maintenance service.
+    pub fn with_snapshots(mut self, period: simkit::Time) -> Self {
+        self.snapshot_period = Some(period);
+        self
+    }
+
+    /// Switches to open-loop Poisson arrivals at `gbps` of write payload.
+    pub fn with_open_loop(mut self, gbps: f64) -> Self {
+        assert!(gbps > 0.0, "offered load must be positive");
+        self.open_loop_gbps = Some(gbps);
+        self
+    }
+
+    /// Sets the write replication factor (1–6).
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        assert!((1..=6).contains(&replication), "replication 1–6");
+        self.replication = replication;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Design::CpuOnly.label(), "CPU-only");
+        assert_eq!(Design::Acc { ddio: true }.label(), "Acc");
+        assert_eq!(Design::Acc { ddio: false }.label(), "Acc w/o DDIO");
+        assert_eq!(Design::Bf2.label(), "BF2");
+        assert_eq!(Design::SmartDs { ports: 4 }.label(), "SmartDS-4");
+    }
+
+    #[test]
+    fn port_counts() {
+        assert_eq!(Design::CpuOnly.ports(), 1);
+        assert_eq!(Design::Bf2.ports(), 2);
+        assert_eq!(Design::SmartDs { ports: 6 }.ports(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "SmartDS supports")]
+    fn invalid_port_count_panics() {
+        Design::SmartDs { ports: 7 }.validate();
+    }
+
+    #[test]
+    fn saturating_config_uses_two_cores_per_smartds_port() {
+        let c = RunConfig::saturating(Design::SmartDs { ports: 4 });
+        assert_eq!(c.cores, 8);
+        let c = RunConfig::saturating(Design::CpuOnly);
+        assert_eq!(c.cores, 48);
+    }
+}

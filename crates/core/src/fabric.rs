@@ -1,0 +1,271 @@
+//! The middle-tier server's shared hardware fabric.
+//!
+//! One [`Fabric`] instance holds every fluid resource a design's plans can
+//! reference: host memory, the NIC's and the accelerator/SmartDS card's
+//! PCIe links, N network ports, HBM, and SoC device DRAM. The cluster
+//! executor routes [`Res`] steps here.
+
+use crate::plan::Res;
+use hwmodel::consts::{BF2_DEVMEM_BW, HBM_BW};
+use hwmodel::{HostMemory, MemClass, NicPort, PcieDir, PcieLink};
+use simkit::FluidResource;
+
+/// Identity of one fluid resource in the fabric (for wakeup routing).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FluidKey {
+    /// Host DRAM (classes: read/write/background).
+    Mem,
+    /// NIC PCIe, host→device.
+    NicH2D,
+    /// NIC PCIe, device→host.
+    NicD2H,
+    /// Accelerator/SmartDS PCIe, host→device.
+    DevH2D,
+    /// Accelerator/SmartDS PCIe, device→host.
+    DevD2H,
+    /// SmartDS HBM.
+    Hbm,
+    /// SoC SmartNIC DRAM.
+    DevMem,
+    /// Network port transmit.
+    PortTx(u8),
+    /// Network port receive.
+    PortRx(u8),
+}
+
+impl FluidKey {
+    /// Dense index for bitmask bookkeeping.
+    pub fn index(self) -> usize {
+        match self {
+            FluidKey::Mem => 0,
+            FluidKey::NicH2D => 1,
+            FluidKey::NicD2H => 2,
+            FluidKey::DevH2D => 3,
+            FluidKey::DevD2H => 4,
+            FluidKey::Hbm => 5,
+            FluidKey::DevMem => 6,
+            FluidKey::PortTx(i) => 7 + 2 * i as usize,
+            FluidKey::PortRx(i) => 8 + 2 * i as usize,
+        }
+    }
+
+    /// Inverse of [`FluidKey::index`].
+    pub fn from_index(i: usize) -> FluidKey {
+        match i {
+            0 => FluidKey::Mem,
+            1 => FluidKey::NicH2D,
+            2 => FluidKey::NicD2H,
+            3 => FluidKey::DevH2D,
+            4 => FluidKey::DevD2H,
+            5 => FluidKey::Hbm,
+            6 => FluidKey::DevMem,
+            n if n % 2 == 1 => FluidKey::PortTx(((n - 7) / 2) as u8),
+            n => FluidKey::PortRx(((n - 8) / 2) as u8),
+        }
+    }
+
+    /// Number of distinct keys for a fabric with `ports` ports.
+    pub fn count(ports: usize) -> usize {
+        7 + 2 * ports
+    }
+}
+
+/// Maps a plan resource to its fluid key and accounting class.
+pub fn res_route(res: Res) -> (FluidKey, u8) {
+    match res {
+        Res::MemRead => (FluidKey::Mem, MemClass::Read as u8),
+        Res::MemWrite => (FluidKey::Mem, MemClass::Write as u8),
+        Res::NicH2D => (FluidKey::NicH2D, 0),
+        Res::NicD2H => (FluidKey::NicD2H, 0),
+        Res::DevH2D => (FluidKey::DevH2D, 0),
+        Res::DevD2H => (FluidKey::DevD2H, 0),
+        Res::Hbm => (FluidKey::Hbm, 0),
+        Res::DevMem => (FluidKey::DevMem, 0),
+        Res::PortTx(i) => (FluidKey::PortTx(i), 0),
+        Res::PortRx(i) => (FluidKey::PortRx(i), 0),
+    }
+}
+
+/// All fluid resources of one middle-tier server.
+#[derive(Debug)]
+pub struct Fabric {
+    /// Host DRAM.
+    pub mem: HostMemory,
+    /// The NIC card's PCIe 3.0×16 link.
+    pub nic_pcie: PcieLink,
+    /// The accelerator / SmartDS card's PCIe 3.0×16 link.
+    pub dev_pcie: PcieLink,
+    /// Network ports (1 for CPU-only/Acc, 2 for BF2, N for SmartDS-N).
+    pub ports: Vec<NicPort>,
+    /// SmartDS HBM (§4.2: 16 channels, ~3.4 Tbps).
+    pub hbm: FluidResource,
+    /// BF2 device DRAM (~200 Gbps achievable).
+    pub devmem: FluidResource,
+}
+
+impl Fabric {
+    /// Builds a fabric with `ports` network ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0, "fabric needs at least one port");
+        Fabric {
+            mem: HostMemory::new(),
+            nic_pcie: PcieLink::new("nic-h2d", "nic-d2h"),
+            dev_pcie: PcieLink::new("dev-h2d", "dev-d2h"),
+            ports: (0..ports).map(|_| NicPort::new("port-tx", "port-rx")).collect(),
+            hbm: FluidResource::new("hbm", HBM_BW),
+            devmem: FluidResource::new("bf2-dram", BF2_DEVMEM_BW),
+        }
+    }
+
+    /// The fluid resource behind a key.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a port index beyond the fabric's port count.
+    pub fn fluid_mut(&mut self, key: FluidKey) -> &mut FluidResource {
+        match key {
+            FluidKey::Mem => &mut self.mem.fluid,
+            FluidKey::NicH2D => self.nic_pcie.resource_mut(PcieDir::H2D),
+            FluidKey::NicD2H => self.nic_pcie.resource_mut(PcieDir::D2H),
+            FluidKey::DevH2D => self.dev_pcie.resource_mut(PcieDir::H2D),
+            FluidKey::DevD2H => self.dev_pcie.resource_mut(PcieDir::D2H),
+            FluidKey::Hbm => &mut self.hbm,
+            FluidKey::DevMem => &mut self.devmem,
+            FluidKey::PortTx(i) => &mut self.ports[i as usize].tx,
+            FluidKey::PortRx(i) => &mut self.ports[i as usize].rx,
+        }
+    }
+
+    /// Shared view of a fluid for metering.
+    pub fn fluid(&self, key: FluidKey) -> &FluidResource {
+        match key {
+            FluidKey::Mem => &self.mem.fluid,
+            FluidKey::NicH2D => &self.nic_pcie.h2d,
+            FluidKey::NicD2H => &self.nic_pcie.d2h,
+            FluidKey::DevH2D => &self.dev_pcie.h2d,
+            FluidKey::DevD2H => &self.dev_pcie.d2h,
+            FluidKey::Hbm => &self.hbm,
+            FluidKey::DevMem => &self.devmem,
+            FluidKey::PortTx(i) => &self.ports[i as usize].tx,
+            FluidKey::PortRx(i) => &self.ports[i as usize].rx,
+        }
+    }
+
+    /// Snapshot of cumulative byte counters for rate computation.
+    pub fn traffic(&self) -> Traffic {
+        Traffic {
+            mem_read: self.mem.fluid.bytes_for_class(MemClass::Read as u8),
+            mem_write: self.mem.fluid.bytes_for_class(MemClass::Write as u8),
+            mem_background: self.mem.fluid.bytes_for_class(MemClass::Background as u8),
+            nic_h2d: self.nic_pcie.h2d.total_bytes(),
+            nic_d2h: self.nic_pcie.d2h.total_bytes(),
+            dev_h2d: self.dev_pcie.h2d.total_bytes(),
+            dev_d2h: self.dev_pcie.d2h.total_bytes(),
+            hbm: self.hbm.total_bytes(),
+            devmem: self.devmem.total_bytes(),
+            port_tx: self.ports.iter().map(|p| p.tx.total_bytes()).sum(),
+            port_rx: self.ports.iter().map(|p| p.rx.total_bytes()).sum(),
+        }
+    }
+}
+
+/// Cumulative byte counters across the fabric.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Traffic {
+    /// Host memory read bytes.
+    pub mem_read: f64,
+    /// Host memory write bytes.
+    pub mem_write: f64,
+    /// MLC-injector bytes.
+    pub mem_background: f64,
+    /// NIC PCIe H2D bytes.
+    pub nic_h2d: f64,
+    /// NIC PCIe D2H bytes.
+    pub nic_d2h: f64,
+    /// Accelerator PCIe H2D bytes.
+    pub dev_h2d: f64,
+    /// Accelerator PCIe D2H bytes.
+    pub dev_d2h: f64,
+    /// HBM bytes.
+    pub hbm: f64,
+    /// SoC DRAM bytes.
+    pub devmem: f64,
+    /// All ports, transmit bytes (wire).
+    pub port_tx: f64,
+    /// All ports, receive bytes (wire).
+    pub port_rx: f64,
+}
+
+impl std::ops::Sub for Traffic {
+    type Output = Traffic;
+    fn sub(self, o: Traffic) -> Traffic {
+        Traffic {
+            mem_read: self.mem_read - o.mem_read,
+            mem_write: self.mem_write - o.mem_write,
+            mem_background: self.mem_background - o.mem_background,
+            nic_h2d: self.nic_h2d - o.nic_h2d,
+            nic_d2h: self.nic_d2h - o.nic_d2h,
+            dev_h2d: self.dev_h2d - o.dev_h2d,
+            dev_d2h: self.dev_d2h - o.dev_d2h,
+            hbm: self.hbm - o.hbm,
+            devmem: self.devmem - o.devmem,
+            port_tx: self.port_tx - o.port_tx,
+            port_rx: self.port_rx - o.port_rx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::{FlowSpec, Time};
+
+    #[test]
+    fn key_index_roundtrips() {
+        for ports in 1..=6 {
+            for i in 0..FluidKey::count(ports) {
+                assert_eq!(FluidKey::from_index(i).index(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn routes_cover_all_resources() {
+        let mut f = Fabric::new(2);
+        for res in [
+            Res::MemRead,
+            Res::MemWrite,
+            Res::NicH2D,
+            Res::NicD2H,
+            Res::DevH2D,
+            Res::DevD2H,
+            Res::Hbm,
+            Res::DevMem,
+            Res::PortTx(1),
+            Res::PortRx(0),
+        ] {
+            let (key, class) = res_route(res);
+            let fluid = f.fluid_mut(key);
+            fluid.start_flow(Time::ZERO, 100.0, FlowSpec::new().class(class), 1);
+        }
+        f.fluid_mut(FluidKey::Mem).sync(Time::from_ms(1.0));
+        let t = f.traffic();
+        assert!(t.mem_read > 0.0 && t.mem_write > 0.0);
+    }
+
+    #[test]
+    fn traffic_delta() {
+        let mut f = Fabric::new(1);
+        let t0 = f.traffic();
+        f.mem
+            .transfer(Time::ZERO, 1000.0, MemClass::Write, 1);
+        f.mem.fluid.sync(Time::from_ms(1.0));
+        let d = f.traffic() - t0;
+        assert!((d.mem_write - 1000.0).abs() < 1.0);
+        assert_eq!(d.hbm, 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Run metrics and the experiment report.
+
+use crate::fabric::Traffic;
+use serde::Serialize;
+use simkit::{to_gbps, Histogram, Meter, Time};
+
+/// Live metric collectors inside a running cluster.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Latency of completed write requests (issue → VM ack).
+    pub write_latency: Histogram,
+    /// Latency of completed read requests.
+    pub read_latency: Histogram,
+    /// Payload bytes of completed writes (goodput).
+    pub ingest: Meter,
+    /// Completed requests.
+    pub ops: Meter,
+    /// Stored (compressed) bytes of completed writes, for the measured
+    /// compression ratio.
+    pub stored: Meter,
+    /// LSM compactions performed by the maintenance service.
+    pub compactions: u64,
+    /// Replica appends redirected by the fail-over service.
+    pub failovers: u64,
+    /// Time from issue to each write-path milestone
+    /// (indexed by [`crate::plan::Milestone`]).
+    pub stages: [Histogram; 4],
+}
+
+impl Metrics {
+    /// Resets all collectors at the warm-up boundary.
+    pub fn reset(&mut self, now: Time) {
+        self.write_latency.clear();
+        self.read_latency.clear();
+        self.ingest.reset(now);
+        self.ops.reset(now);
+        self.stored.reset(now);
+        self.compactions = 0;
+        self.failovers = 0;
+        self.stages.iter_mut().for_each(Histogram::clear);
+    }
+}
+
+/// Everything one simulation run reports — the rows the experiment harness
+/// prints for each table/figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunReport {
+    /// Design label (paper naming: "CPU-only", "Acc", "BF2", "SmartDS-N").
+    pub label: String,
+    /// Middle-tier cores used.
+    pub cores: usize,
+    /// Closed-loop outstanding requests.
+    pub outstanding: usize,
+    /// Measurement window, seconds.
+    pub window_secs: f64,
+    /// Completed writes in the window.
+    pub writes_done: u64,
+    /// Write payload goodput, Gbps (Figure 7a / 9a / 10a).
+    pub throughput_gbps: f64,
+    /// Write IOPS.
+    pub iops: f64,
+    /// Mean write latency, µs (Figure 7b).
+    pub avg_us: f64,
+    /// 99th-percentile write latency, µs (Figure 7c).
+    pub p99_us: f64,
+    /// 99.9th-percentile write latency, µs (Figure 7d).
+    pub p999_us: f64,
+    /// Host memory read bandwidth, Gbps (Figure 8a).
+    pub mem_read_gbps: f64,
+    /// Host memory write bandwidth, Gbps (Figure 8a).
+    pub mem_write_gbps: f64,
+    /// Memory-pressure injector achieved bandwidth, Gbps (Figures 4/9).
+    pub mlc_gbps: f64,
+    /// NIC PCIe H2D bandwidth, Gbps (Figure 8b).
+    pub nic_pcie_h2d_gbps: f64,
+    /// NIC PCIe D2H bandwidth, Gbps (Figure 8b).
+    pub nic_pcie_d2h_gbps: f64,
+    /// Accelerator/SmartDS PCIe H2D bandwidth, Gbps (Figure 8b).
+    pub dev_pcie_h2d_gbps: f64,
+    /// Accelerator/SmartDS PCIe D2H bandwidth, Gbps (Figure 8b).
+    pub dev_pcie_d2h_gbps: f64,
+    /// HBM bandwidth, Gbps (Figure 10c).
+    pub hbm_gbps: f64,
+    /// SoC DRAM bandwidth, Gbps.
+    pub devmem_gbps: f64,
+    /// Aggregate port TX (wire), Gbps.
+    pub port_tx_gbps: f64,
+    /// Aggregate port RX (wire), Gbps.
+    pub port_rx_gbps: f64,
+    /// Measured LZ4 ratio over the window (original/stored).
+    pub compression_ratio: f64,
+    /// Maintenance compactions in the window.
+    pub compactions: u64,
+    /// Replica appends redirected by fail-over in the window.
+    pub failovers: u64,
+    /// Mean time from issue to {ingested, parsed, compressed, replicated},
+    /// µs (the latency breakdown).
+    pub stage_means_us: [f64; 4],
+}
+
+impl RunReport {
+    /// Builds a report from the collectors and a fabric-traffic delta.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        label: String,
+        cores: usize,
+        outstanding: usize,
+        metrics: &Metrics,
+        delta: Traffic,
+        start: Time,
+        end: Time,
+    ) -> RunReport {
+        let window = (end - start).as_secs();
+        let (avg, p99, p999) = metrics.write_latency.paper_latencies();
+        let rate = |bytes: f64| {
+            if window > 0.0 {
+                to_gbps(bytes / window)
+            } else {
+                0.0
+            }
+        };
+        RunReport {
+            label,
+            cores,
+            outstanding,
+            window_secs: window,
+            writes_done: metrics.write_latency.count(),
+            throughput_gbps: metrics.ingest.rate_gbps(end),
+            iops: metrics.ops.rate_per_sec(end),
+            avg_us: avg.as_us(),
+            p99_us: p99.as_us(),
+            p999_us: p999.as_us(),
+            mem_read_gbps: rate(delta.mem_read),
+            mem_write_gbps: rate(delta.mem_write),
+            mlc_gbps: rate(delta.mem_background),
+            nic_pcie_h2d_gbps: rate(delta.nic_h2d),
+            nic_pcie_d2h_gbps: rate(delta.nic_d2h),
+            dev_pcie_h2d_gbps: rate(delta.dev_h2d),
+            dev_pcie_d2h_gbps: rate(delta.dev_d2h),
+            hbm_gbps: rate(delta.hbm),
+            devmem_gbps: rate(delta.devmem),
+            port_tx_gbps: rate(delta.port_tx),
+            port_rx_gbps: rate(delta.port_rx),
+            compression_ratio: if metrics.stored.total() > 0.0 {
+                metrics.ingest.total() / metrics.stored.total()
+            } else {
+                1.0
+            },
+            compactions: metrics.compactions,
+            failovers: metrics.failovers,
+            stage_means_us: [
+                metrics.stages[0].mean().as_us(),
+                metrics.stages[1].mean().as_us(),
+                metrics.stages[2].mean().as_us(),
+                metrics.stages[3].mean().as_us(),
+            ],
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<14} cores={:<3} thr={:7.2} Gbps  avg={:7.1} us  p99={:8.1} us  p999={:8.1} us",
+            self.label, self.cores, self.throughput_gbps, self.avg_us, self.p99_us, self.p999_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_rates_from_deltas() {
+        let mut m = Metrics::default();
+        m.reset(Time::ZERO);
+        m.ingest.add(Time::from_ms(1.0), 1.25e7); // 12.5 MB in 10 ms
+        m.stored.add(Time::from_ms(1.0), 6.25e6);
+        m.ops.add(Time::from_ms(1.0), 1.0);
+        m.write_latency.record(Time::from_us(50.0));
+        let delta = Traffic {
+            mem_read: 1.25e7,
+            ..Traffic::default()
+        };
+        let r = RunReport::build(
+            "test".into(),
+            2,
+            8,
+            &m,
+            delta,
+            Time::ZERO,
+            Time::from_ms(10.0),
+        );
+        assert!((r.throughput_gbps - 10.0).abs() < 0.01);
+        assert!((r.mem_read_gbps - 10.0).abs() < 0.01);
+        assert!((r.compression_ratio - 2.0).abs() < 1e-9);
+        assert_eq!(r.writes_done, 1);
+        assert!((r.avg_us - 50.0).abs() / 50.0 < 0.02);
+        assert!(r.summary().contains("test"));
+    }
+}

@@ -1,0 +1,174 @@
+//! The compression-policy engine.
+//!
+//! §2.2.1: when a write arrives, the middle tier decides "whether the block
+//! should be compressed and what compression effort should be used
+//! according to service type and CPU load. Generally, workloads' higher
+//! tolerance for latency and more idleness of the middle-tier server CPU
+//! means that the data block would be compressed with more computing time
+//! (thus a better compression ratio). Some data blocks may even be
+//! compressed many times for a better compression ratio."
+//!
+//! This module is exactly that decision logic — the changeful, flexible
+//! software AAMS keeps on the host CPU — plus the "compress many times"
+//! primitive ([`best_of`]).
+
+use lz4kit::Level;
+
+/// What to do with an arriving block.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Effort {
+    /// Forward uncompressed (latency-sensitive bypass).
+    Skip,
+    /// Single fast pass.
+    Fast,
+    /// Hash-chain search at the given depth.
+    High(u8),
+    /// Try several levels and keep the smallest output.
+    BestOf,
+}
+
+impl Effort {
+    /// The codec level this effort maps to (None for [`Effort::Skip`] and
+    /// [`Effort::BestOf`], which is multi-level).
+    pub fn level(self) -> Option<Level> {
+        match self {
+            Effort::Skip | Effort::BestOf => None,
+            Effort::Fast => Some(Level::Fast),
+            Effort::High(d) => Some(Level::High(d)),
+        }
+    }
+}
+
+/// Load-adaptive effort selection.
+#[derive(Copy, Clone, Debug)]
+pub struct CompressionPolicy {
+    /// Below this utilisation the server is "idle": spend maximum effort.
+    pub idle_below: f64,
+    /// Above this utilisation the server is saturated: cheapest effort.
+    pub busy_above: f64,
+    /// Depth used in the idle band.
+    pub idle_depth: u8,
+    /// Depth used in the middle band.
+    pub mid_depth: u8,
+}
+
+impl CompressionPolicy {
+    /// The default bands: ≤25 % utilisation → deep search (and multi-pass
+    /// for very idle), ≥75 % → fast, in between → moderate depth.
+    pub fn paper_default() -> Self {
+        CompressionPolicy {
+            idle_below: 0.25,
+            busy_above: 0.75,
+            idle_depth: 32,
+            mid_depth: 8,
+        }
+    }
+
+    /// Decides the effort for one block.
+    ///
+    /// * `latency_sensitive` — the header's service-type flag (§4.3's
+    ///   example bypasses compression entirely for these).
+    /// * `utilization` — current compression-stage load in `[0, 1]`
+    ///   (queue depth over capacity, CPU busy fraction…).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not a finite non-negative number.
+    pub fn decide(&self, latency_sensitive: bool, utilization: f64) -> Effort {
+        assert!(
+            utilization.is_finite() && utilization >= 0.0,
+            "bad utilization {utilization}"
+        );
+        if latency_sensitive {
+            return Effort::Skip;
+        }
+        if utilization >= self.busy_above {
+            Effort::Fast
+        } else if utilization < self.idle_below / 2.0 {
+            // Nearly idle: "compressed many times for a better ratio".
+            Effort::BestOf
+        } else if utilization < self.idle_below {
+            Effort::High(self.idle_depth)
+        } else {
+            Effort::High(self.mid_depth)
+        }
+    }
+}
+
+/// Compresses `data` at several levels and returns the smallest stream
+/// (§2.2.1's "compressed many times"). The result always decodes with
+/// [`lz4kit::decompress_exact`].
+pub fn best_of(data: &[u8]) -> Vec<u8> {
+    [Level::Fast, Level::High(8), Level::High(64)]
+        .into_iter()
+        .map(|l| lz4kit::compress_with(data, l))
+        .min_by_key(Vec::len)
+        .expect("non-empty level list")
+}
+
+/// Applies an [`Effort`] to a block, returning `(bytes, compressed?)`.
+pub fn apply(effort: Effort, data: &[u8]) -> (Vec<u8>, bool) {
+    match effort {
+        Effort::Skip => (data.to_vec(), false),
+        Effort::Fast => (lz4kit::compress(data), true),
+        Effort::High(d) => (lz4kit::compress_with(data, Level::High(d)), true),
+        Effort::BestOf => (best_of(data), true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_sensitive_always_skips() {
+        let p = CompressionPolicy::paper_default();
+        for u in [0.0, 0.5, 1.0] {
+            assert_eq!(p.decide(true, u), Effort::Skip);
+        }
+    }
+
+    #[test]
+    fn effort_decreases_with_load() {
+        let p = CompressionPolicy::paper_default();
+        assert_eq!(p.decide(false, 0.05), Effort::BestOf);
+        assert_eq!(p.decide(false, 0.2), Effort::High(32));
+        assert_eq!(p.decide(false, 0.5), Effort::High(8));
+        assert_eq!(p.decide(false, 0.9), Effort::Fast);
+    }
+
+    #[test]
+    fn best_of_never_larger_than_fast_and_roundtrips() {
+        let pool = corpus::BlockPool::build(4096, 24, 5);
+        for i in 0..24 {
+            let data = pool.get(i);
+            let best = best_of(data);
+            let fast = lz4kit::compress(data);
+            assert!(best.len() <= fast.len(), "block {i}");
+            assert_eq!(
+                lz4kit::decompress_exact(&best, data.len()).unwrap(),
+                data,
+                "block {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_matches_effort_semantics() {
+        let data = vec![9u8; 4096];
+        let (raw, compressed) = apply(Effort::Skip, &data);
+        assert!(!compressed);
+        assert_eq!(raw, data);
+        let (packed, compressed) = apply(Effort::BestOf, &data);
+        assert!(compressed);
+        assert!(packed.len() < 100);
+        let (fast, _) = apply(Effort::Fast, &data);
+        assert!(packed.len() <= fast.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad utilization")]
+    fn nan_utilization_rejected() {
+        CompressionPolicy::paper_default().decide(false, f64::NAN);
+    }
+}

@@ -1,0 +1,191 @@
+//! The §5.5 analysis: many SmartDS cards per middle-tier server.
+//!
+//! Because AAMS leaves PCIe and host memory almost idle, a 4U server with
+//! two 1×4 PCIe 3.0×16 switches can host **eight** SmartDS cards. The paper
+//! estimates 2.8 Tbps of storage traffic — 51.6× the CPU-only server — while
+//! host memory sees only 392 Gbps and each PCIe switch root 49.6 Gbps. This
+//! module reproduces that arithmetic from a per-card profile (either the
+//! paper's numbers or a measured [`RunReport`](crate::RunReport)).
+
+use serde::Serialize;
+
+/// Per-card resource profile (one SmartDS-6).
+#[derive(Copy, Clone, Debug, Serialize)]
+pub struct CardProfile {
+    /// Storage traffic the card serves, Gbps.
+    pub throughput_gbps: f64,
+    /// Host memory bandwidth the card induces, Gbps.
+    pub host_mem_gbps: f64,
+    /// PCIe bandwidth the card uses, Gbps.
+    pub pcie_gbps: f64,
+    /// Networking ports on the card.
+    pub ports: usize,
+}
+
+impl CardProfile {
+    /// The paper's §5.5 SmartDS-6 estimate: 348 Gbps storage traffic,
+    /// 49 Gbps host memory, 12.4 Gbps PCIe.
+    pub fn paper_smartds6() -> Self {
+        CardProfile {
+            throughput_gbps: 348.0,
+            host_mem_gbps: 49.0,
+            pcie_gbps: 12.4,
+            ports: 6,
+        }
+    }
+
+    /// A profile from a measured SmartDS run report.
+    pub fn from_report(r: &crate::RunReport, ports: usize) -> Self {
+        CardProfile {
+            throughput_gbps: r.throughput_gbps,
+            host_mem_gbps: r.mem_read_gbps + r.mem_write_gbps,
+            pcie_gbps: r.dev_pcie_h2d_gbps + r.dev_pcie_d2h_gbps,
+            ports,
+        }
+    }
+}
+
+/// Server capacities relevant to the scale-up feasibility check.
+#[derive(Copy, Clone, Debug, Serialize)]
+pub struct ServerLimits {
+    /// PCIe switches in the server.
+    pub pcie_switches: usize,
+    /// Card slots per switch.
+    pub slots_per_switch: usize,
+    /// Usable bandwidth of one switch's root port, Gbps.
+    pub switch_root_gbps: f64,
+    /// Theoretical host memory bandwidth, Gbps.
+    pub host_mem_gbps: f64,
+    /// Logical cores available to drive the cards.
+    pub cores: usize,
+}
+
+impl ServerLimits {
+    /// The paper's 4U platform: two 1×4 PCIe 3.0×16 switches, 1228 Gbps of
+    /// theoretical memory bandwidth, 48 logical cores.
+    pub fn paper_4u() -> Self {
+        ServerLimits {
+            pcie_switches: 2,
+            slots_per_switch: 4,
+            switch_root_gbps: 102.4,
+            host_mem_gbps: 1228.0,
+            cores: hwmodel::consts::HOST_LOGICAL_CORES,
+        }
+    }
+
+    /// Maximum cards the server can physically host.
+    pub fn max_cards(&self) -> usize {
+        self.pcie_switches * self.slots_per_switch
+    }
+}
+
+/// Result of the scale-up analysis.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScaleupReport {
+    /// Cards installed.
+    pub cards: usize,
+    /// Aggregate storage traffic, Gbps.
+    pub total_gbps: f64,
+    /// Aggregate host memory bandwidth, Gbps.
+    pub host_mem_gbps: f64,
+    /// Host memory headroom fraction remaining, in `[0, 1]`.
+    pub host_mem_headroom: f64,
+    /// PCIe load per switch root, Gbps.
+    pub per_switch_root_gbps: f64,
+    /// Whether memory and PCIe roots have headroom.
+    pub feasible: bool,
+    /// Host cores needed at 2 cores/port.
+    pub cores_needed: usize,
+    /// Whether the host has that many cores (the paper's stated caveat).
+    pub cores_sufficient: bool,
+    /// Speed-up over a CPU-only middle-tier server.
+    pub speedup_vs_cpu_only: f64,
+}
+
+/// Scales `card` across `cards` slots of `server`, comparing against a
+/// CPU-only server of `cpu_only_gbps`.
+///
+/// # Panics
+///
+/// Panics if `cards` exceeds the server's slots or is zero.
+pub fn scale(
+    card: CardProfile,
+    cards: usize,
+    server: ServerLimits,
+    cpu_only_gbps: f64,
+) -> ScaleupReport {
+    assert!(
+        cards >= 1 && cards <= server.max_cards(),
+        "server hosts 1–{} cards, got {cards}",
+        server.max_cards()
+    );
+    let per_switch_cards = cards.div_ceil(server.pcie_switches);
+    let per_switch_root_gbps = per_switch_cards as f64 * card.pcie_gbps;
+    let host_mem = cards as f64 * card.host_mem_gbps;
+    let cores_needed = cards * card.ports * hwmodel::consts::SMARTDS_CORES_PER_PORT;
+    ScaleupReport {
+        cards,
+        total_gbps: cards as f64 * card.throughput_gbps,
+        host_mem_gbps: host_mem,
+        host_mem_headroom: 1.0 - host_mem / server.host_mem_gbps,
+        per_switch_root_gbps,
+        feasible: host_mem < server.host_mem_gbps
+            && per_switch_root_gbps < server.switch_root_gbps,
+        cores_needed,
+        cores_sufficient: cores_needed <= server.cores,
+        speedup_vs_cpu_only: cards as f64 * card.throughput_gbps / cpu_only_gbps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_reproduce_section_5_5() {
+        // Paper: 8 cards → 2.8 Tbps, 51.6× CPU-only, 392 Gbps host memory,
+        // 49.6 Gbps per switch root.
+        let r = scale(
+            CardProfile::paper_smartds6(),
+            8,
+            ServerLimits::paper_4u(),
+            2800.0 / 51.6,
+        );
+        assert!((r.total_gbps - 2784.0).abs() < 1.0, "{}", r.total_gbps);
+        assert!((r.host_mem_gbps - 392.0).abs() < 0.5, "{}", r.host_mem_gbps);
+        assert!(
+            (r.per_switch_root_gbps - 49.6).abs() < 0.1,
+            "{}",
+            r.per_switch_root_gbps
+        );
+        assert!(r.feasible);
+        assert!((r.speedup_vs_cpu_only - 51.3).abs() < 1.0, "{}", r.speedup_vs_cpu_only);
+        // The paper's caveat: 96 cores needed > 48 available on this host.
+        assert_eq!(r.cores_needed, 96);
+        assert!(!r.cores_sufficient);
+    }
+
+    #[test]
+    fn single_card_is_always_feasible() {
+        let r = scale(
+            CardProfile::paper_smartds6(),
+            1,
+            ServerLimits::paper_4u(),
+            54.0,
+        );
+        assert!(r.feasible);
+        assert!(r.cores_sufficient);
+        assert!(r.host_mem_headroom > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "server hosts 1–8 cards")]
+    fn too_many_cards_rejected() {
+        scale(
+            CardProfile::paper_smartds6(),
+            9,
+            ServerLimits::paper_4u(),
+            54.0,
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the QoS building blocks.
+
+use proptest::prelude::*;
+use simkit::Time;
+use smartds::qos::{TokenBucket, WeightedScheduler};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A token bucket never admits more than burst + rate × elapsed over
+    /// any arbitrary admit/advance sequence.
+    #[test]
+    fn bucket_never_over_admits(
+        ops in proptest::collection::vec((1u64..20_000, 0u64..2_000_000), 1..100),
+        rate_mbps in 1u64..10_000,
+        burst_kib in 1u64..512,
+    ) {
+        let rate = rate_mbps as f64 * 1e6;
+        let burst = (burst_kib * 1024) as f64;
+        let mut bucket = TokenBucket::new(rate, burst);
+        let mut now = Time::ZERO;
+        let mut admitted = 0u64;
+        for (bytes, advance_ns) in ops {
+            now += Time::from_ps(advance_ns * 1000);
+            if bucket.admit(now, bytes).is_ok() {
+                admitted += bytes;
+            }
+            // Oversize requests may leave the bucket in debt by up to one
+            // request beyond the burst, hence the max-request slack.
+            let budget = burst + rate * now.as_secs() + 20_000.0;
+            prop_assert!(
+                (admitted as f64) <= budget,
+                "admitted {admitted} > budget {budget} at {now}"
+            );
+        }
+    }
+
+    /// The `Err(ready_at)` returned on refusal is tight: admission succeeds
+    /// at that instant (for the same request).
+    #[test]
+    fn refusal_ready_time_is_sufficient(
+        bytes in 1u64..100_000,
+        rate_mbps in 1u64..1_000,
+    ) {
+        let rate = rate_mbps as f64 * 1e6;
+        let mut bucket = TokenBucket::new(rate, 1024.0);
+        // Drain the burst.
+        let _ = bucket.admit(Time::ZERO, 1024);
+        match bucket.admit(Time::ZERO, bytes) {
+            Ok(()) => prop_assert!(bytes <= 1024),
+            Err(ready) => prop_assert!(bucket.admit(ready, bytes).is_ok()),
+        }
+    }
+
+    /// DWRR serves backlogged tenants within ±35 % of their weight share
+    /// (byte-weighted), for arbitrary weights.
+    #[test]
+    fn dwrr_weight_shares_hold(
+        w0 in 1u32..8,
+        w1 in 1u32..8,
+        cost0 in prop_oneof![Just(1024u64), Just(4096)],
+        cost1 in prop_oneof![Just(1024u64), Just(4096)],
+    ) {
+        let mut s = WeightedScheduler::new(vec![w0 as f64, w1 as f64], 4096.0);
+        for i in 0..600u32 {
+            s.push(0, cost0, i);
+            s.push(1, cost1, i);
+        }
+        let mut served = [0f64; 2];
+        for _ in 0..400 {
+            let (t, _) = s.pop().expect("backlogged");
+            served[t] += if t == 0 { cost0 as f64 } else { cost1 as f64 };
+        }
+        let got = served[0] / served[1];
+        let want = w0 as f64 / w1 as f64;
+        prop_assert!(
+            (got / want - 1.0).abs() < 0.35,
+            "byte ratio {got:.2} vs weight ratio {want:.2}"
+        );
+    }
+}

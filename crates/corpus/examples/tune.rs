@@ -1,0 +1,41 @@
+//! Calibration aid: prints each synthetic Silesia member's block-level LZ4
+//! ratio against its target, then bisects `copy_prob` to re-derive the tuned
+//! value. Run after changing the generator to refresh the constants in
+//! `src/silesia.rs`.
+use corpus::{generate, BlockPool, Profile, SILESIA};
+
+fn block_ratio(p: &Profile) -> f64 {
+    let data = generate(p, 1 << 18, 7);
+    let (mut orig, mut packed) = (0usize, 0usize);
+    for chunk in data.chunks_exact(4096) {
+        orig += chunk.len();
+        packed += lz4kit::compress(chunk).len();
+    }
+    orig as f64 / packed as f64
+}
+
+fn main() {
+    for f in &SILESIA {
+        let current = block_ratio(&f.profile);
+        let mut prof = f.profile;
+        let (mut lo, mut hi) = (0.0f64, 0.998f64);
+        for _ in 0..24 {
+            let mid = (lo + hi) / 2.0;
+            prof.copy_prob = mid;
+            if block_ratio(&prof) < f.target_ratio {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        println!(
+            "{:10} target {:4.2}  current {:5.2}  retuned copy_prob {:.4}",
+            f.name,
+            f.target_ratio,
+            current,
+            (lo + hi) / 2.0
+        );
+    }
+    let pool = BlockPool::build(4096, 512, 11);
+    println!("pool mix ratio: {:.3}", pool.mean_lz4_ratio());
+}

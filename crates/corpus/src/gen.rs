@@ -1,0 +1,108 @@
+//! The synthetic data generator.
+
+use crate::profile::Profile;
+use simkit::Rng;
+
+/// Generates `len` bytes under `profile`, deterministically from `seed`.
+///
+/// # Examples
+///
+/// ```
+/// use corpus::{generate, Profile};
+///
+/// let a = generate(&Profile::text_like(), 8192, 7);
+/// let b = generate(&Profile::text_like(), 8192, 7);
+/// assert_eq!(a, b, "same seed, same bytes");
+/// assert_eq!(a.len(), 8192);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the profile fails [`Profile::validate`].
+pub fn generate(profile: &Profile, len: usize, seed: u64) -> Vec<u8> {
+    profile.validate();
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let do_copy = !out.is_empty() && rng.gen_bool(profile.copy_prob);
+        if do_copy {
+            let max_len = (profile.copy_max).min(len - out.len()).max(1);
+            let clen = if max_len <= profile.copy_min {
+                max_len
+            } else {
+                profile.copy_min + rng.gen_range((max_len - profile.copy_min + 1) as u64) as usize
+            };
+            let reach = out.len().min(profile.window);
+            // Source must fit before the write position (no overlap, so a
+            // plain extend_from_within suffices).
+            if reach >= clen {
+                let back = clen + rng.gen_range((reach - clen + 1) as u64) as usize;
+                let from = out.len() - back;
+                out.extend_from_within(from..from + clen);
+                continue;
+            }
+        }
+        let span = profile.lit_max - profile.lit_min + 1;
+        let run = (profile.lit_min + rng.gen_range(span as u64) as usize).min(len - out.len());
+        for _ in 0..run {
+            out.push(skewed_byte(&mut rng, profile.alphabet, profile.skew));
+        }
+    }
+    debug_assert_eq!(out.len(), len);
+    out
+}
+
+/// Draws a byte from `[0, alphabet)` with power-law skew, then spreads it
+/// over the printable range so text-like profiles look text-like in hexdumps.
+fn skewed_byte(rng: &mut Rng, alphabet: u16, skew: f64) -> u8 {
+    let u = rng.gen_f64().powf(skew);
+    let sym = (u * alphabet as f64) as u16;
+    let sym = sym.min(alphabet - 1);
+    if alphabet <= 96 {
+        // Map into printable ASCII starting at space.
+        (0x20 + sym as u8) & 0x7F
+    } else {
+        (sym & 0xFF) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lz4kit::{ratio, Level};
+
+    #[test]
+    fn exact_length_produced() {
+        for len in [0, 1, 13, 4096, 100_000] {
+            assert_eq!(generate(&Profile::text_like(), len, 1).len(), len);
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let p = Profile::redundant();
+        assert_eq!(generate(&p, 50_000, 42), generate(&p, 50_000, 42));
+        assert_ne!(generate(&p, 50_000, 42), generate(&p, 50_000, 43));
+    }
+
+    #[test]
+    fn incompressible_profile_ratio_near_one() {
+        let data = generate(&Profile::incompressible(), 1 << 18, 9);
+        let r = ratio(&data, Level::Fast);
+        assert!(r < 1.05, "incompressible ratio should be ~1, got {r:.3}");
+    }
+
+    #[test]
+    fn redundant_profile_ratio_high() {
+        let data = generate(&Profile::redundant(), 1 << 18, 9);
+        let r = ratio(&data, Level::Fast);
+        assert!(r > 4.0, "redundant ratio should exceed 4, got {r:.3}");
+    }
+
+    #[test]
+    fn text_profile_ratio_midrange() {
+        let data = generate(&Profile::text_like(), 1 << 18, 9);
+        let r = ratio(&data, Level::Fast);
+        assert!((1.4..3.0).contains(&r), "text ratio out of range: {r:.3}");
+    }
+}

@@ -1,0 +1,27 @@
+//! # corpus — synthetic Silesia corpus and block samplers
+//!
+//! The SmartDS experiments run 4 KiB write requests whose payloads come from
+//! the Silesia compression corpus. This crate synthesizes a corpus double
+//! with matched per-file LZ4 ratios (see [`SILESIA`]) and packages it as a
+//! [`BlockPool`] the workload generators draw from.
+//!
+//! ```
+//! use corpus::BlockPool;
+//!
+//! // 128 Silesia-mix blocks of 4 KiB.
+//! let pool = BlockPool::build(4096, 128, 1);
+//! let block = pool.get(42);
+//! let packed = lz4kit::compress(block);
+//! assert!(packed.len() <= lz4kit::compress_bound(block.len()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod profile;
+mod silesia;
+
+pub use gen::generate;
+pub use profile::Profile;
+pub use silesia::{silesia_file, BlockPool, CorpusFile, SILESIA};

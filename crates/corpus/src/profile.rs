@@ -1,0 +1,118 @@
+//! Generation profiles: knobs controlling synthetic-data compressibility.
+
+/// Parameters of the synthetic data generator.
+///
+/// The generator emits a stream that alternates between *literal runs*
+/// (fresh bytes drawn from a skewed alphabet) and *copies* (chunks repeated
+/// from earlier in the stream). LZ4's ratio on the result is governed by the
+/// copy probability and length (more/longer copies → higher ratio) and by
+/// the literal alphabet size (smaller → more incidental matches).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Profile {
+    /// Probability that the next emission is a copy of earlier content.
+    pub copy_prob: f64,
+    /// Minimum copy length in bytes.
+    pub copy_min: usize,
+    /// Maximum copy length in bytes (inclusive).
+    pub copy_max: usize,
+    /// How far back a copy source may reach, in bytes.
+    pub window: usize,
+    /// Number of distinct literal byte values (1–256).
+    pub alphabet: u16,
+    /// Skew exponent for the literal distribution; 1.0 = uniform, larger
+    /// values concentrate mass on few symbols (text-like entropy).
+    pub skew: f64,
+    /// Minimum literal-run length.
+    pub lit_min: usize,
+    /// Maximum literal-run length (inclusive).
+    pub lit_max: usize,
+}
+
+impl Profile {
+    /// Validates the parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters (probabilities outside `[0,1]`,
+    /// empty ranges, zero alphabet).
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.copy_prob), "copy_prob: {}", self.copy_prob);
+        assert!(self.copy_min >= 4, "LZ4 matches need >= 4 bytes");
+        assert!(self.copy_max >= self.copy_min, "copy range empty");
+        assert!(self.window > 0, "window must be positive");
+        assert!((1..=256).contains(&self.alphabet), "alphabet: {}", self.alphabet);
+        assert!(self.skew >= 1.0, "skew must be >= 1.0");
+        assert!(self.lit_min >= 1 && self.lit_max >= self.lit_min, "literal range empty");
+    }
+
+    /// A profile producing nearly incompressible data (LZ4 ratio ≈ 1.0).
+    pub fn incompressible() -> Self {
+        Profile {
+            copy_prob: 0.0,
+            copy_min: 4,
+            copy_max: 8,
+            window: 1 << 16,
+            alphabet: 256,
+            skew: 1.0,
+            lit_min: 64,
+            lit_max: 256,
+        }
+    }
+
+    /// A profile producing English-text-like data (LZ4 ratio ≈ 1.8–2.1).
+    pub fn text_like() -> Self {
+        Profile {
+            copy_prob: 0.42,
+            copy_min: 5,
+            copy_max: 16,
+            window: 1 << 15,
+            alphabet: 64,
+            skew: 2.0,
+            lit_min: 3,
+            lit_max: 12,
+        }
+    }
+
+    /// A profile producing highly redundant database/markup-like data
+    /// (LZ4 ratio ≈ 6–8).
+    pub fn redundant() -> Self {
+        Profile {
+            copy_prob: 0.9,
+            copy_min: 16,
+            copy_max: 128,
+            window: 1 << 14,
+            alphabet: 48,
+            skew: 2.0,
+            lit_min: 2,
+            lit_max: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        Profile::incompressible().validate();
+        Profile::text_like().validate();
+        Profile::redundant().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_prob")]
+    fn bad_probability_panics() {
+        let mut p = Profile::text_like();
+        p.copy_prob = 1.5;
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet")]
+    fn zero_alphabet_panics() {
+        let mut p = Profile::text_like();
+        p.alphabet = 0;
+        p.validate();
+    }
+}

@@ -1,0 +1,43 @@
+//! # hwmodel — calibrated hardware component models
+//!
+//! Every middle-tier design in the SmartDS reproduction is assembled from
+//! the components in this crate:
+//!
+//! * [`HostMemory`] + [`Ddio`] — the DDR subsystem with the DDIO/LLC
+//!   occupancy model behind Figure 8a.
+//! * [`PcieLink`] — PCIe 3.0×16 with load-dependent DMA latency (Table 1).
+//! * [`NicPort`] + [`wire_bytes`] — 100 GbE ports with RoCE framing
+//!   overhead, so ~97 Gbps goodput *emerges*.
+//! * [`CompressEngine`] — SmartDS/Acc 100 Gbps engines and the BF2's
+//!   40 Gbps engine.
+//! * [`CpuPool`] — SMT-aware host cores (2.1 Gbps LZ4 solo, 2.7 Gbps per
+//!   pair) and wimpy BF2 Arm cores.
+//! * [`MlcInjector`] — the Intel-MLC memory-pressure stand-in of §3.1.2.
+//! * [`fpga`] — the module-level FPGA resource model reproducing Table 3.
+//! * [`soc`] — §3.4's SoC-SmartNIC feasibility arithmetic (BlueField-2/3,
+//!   Stingray): why their DRAM and compression cannot host the middle tier.
+//! * [`tco`] — the fleet-size and cost arithmetic behind the paper's
+//!   51.6×-fewer-servers motivation.
+//! * [`consts`] — every constant, each anchored to a paper statement.
+//!
+//! All timing flows through `simkit`'s fluid resources and server pools;
+//! nothing here performs I/O.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consts;
+mod engine;
+pub mod fpga;
+mod mem;
+mod mlc;
+mod nic;
+mod pcie;
+pub mod soc;
+pub mod tco;
+
+pub use engine::{CompressEngine, CpuPool, CpuWork};
+pub use mem::{Ddio, HostMemory, MemClass};
+pub use mlc::MlcInjector;
+pub use nic::{wire_bytes, NicPort, PortDir};
+pub use pcie::{PcieDir, PcieLink};

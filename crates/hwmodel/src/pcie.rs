@@ -1,0 +1,129 @@
+//! PCIe link model.
+//!
+//! A [`PcieLink`] is a full-duplex PCIe 3.0×16 connection modelled as two
+//! fluid resources (H2D = host-to-device DMA reads, D2H = device-to-host DMA
+//! writes) plus a fixed propagation/root-complex latency. DMA latency under
+//! load — Table 1 of the paper — emerges from fair-sharing the link with
+//! background streams.
+
+use crate::consts::{PCIE3_X16_BW, PCIE_PROPAGATION};
+use simkit::{FlowId, FlowSpec, FluidResource, Time};
+
+/// DMA direction over PCIe.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PcieDir {
+    /// Host memory → device (device-issued DMA *read*).
+    H2D,
+    /// Device → host memory (device-issued DMA *write*).
+    D2H,
+}
+
+/// A full-duplex PCIe 3.0×16 link between the host and one device.
+#[derive(Debug)]
+pub struct PcieLink {
+    /// Host-to-device direction (DMA reads). Public for wakeup wiring.
+    pub h2d: FluidResource,
+    /// Device-to-host direction (DMA writes). Public for wakeup wiring.
+    pub d2h: FluidResource,
+    propagation: Time,
+}
+
+impl PcieLink {
+    /// A PCIe 3.0×16 link at the paper's achievable ~104 Gbps per direction.
+    pub fn new(name_h2d: &'static str, name_d2h: &'static str) -> Self {
+        PcieLink {
+            h2d: FluidResource::new(name_h2d, PCIE3_X16_BW),
+            d2h: FluidResource::new(name_d2h, PCIE3_X16_BW),
+            propagation: PCIE_PROPAGATION,
+        }
+    }
+
+    /// Fixed per-DMA latency (propagation, root complex, doorbell) to add on
+    /// top of the fluid transfer time.
+    pub fn propagation(&self) -> Time {
+        self.propagation
+    }
+
+    /// Starts a DMA of `bytes` in `dir`. The flow completes when the bytes
+    /// have crossed the link; the caller adds [`PcieLink::propagation`] when
+    /// computing delivery time.
+    pub fn dma(&mut self, now: Time, bytes: f64, dir: PcieDir, token: u64) -> FlowId {
+        let r = self.resource_mut(dir);
+        r.start_flow(now, bytes, FlowSpec::new(), token)
+    }
+
+    /// The fluid resource for one direction.
+    pub fn resource_mut(&mut self, dir: PcieDir) -> &mut FluidResource {
+        match dir {
+            PcieDir::H2D => &mut self.h2d,
+            PcieDir::D2H => &mut self.d2h,
+        }
+    }
+
+    /// Cumulative bytes moved in one direction.
+    pub fn bytes(&self, dir: PcieDir) -> f64 {
+        match dir {
+            PcieDir::H2D => self.h2d.total_bytes(),
+            PcieDir::D2H => self.d2h.total_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::{PCIE_HEAVY_D2H_STREAMS, PCIE_HEAVY_H2D_STREAMS};
+
+    /// Computes the completion latency of a single 4 KiB probe DMA with `n`
+    /// persistent background streams sharing the direction — the Table 1
+    /// micro-benchmark in miniature.
+    fn probe_latency(n_background: usize, dir: PcieDir) -> Time {
+        let mut link = PcieLink::new("h2d", "d2h");
+        let r = link.resource_mut(dir);
+        for i in 0..n_background {
+            r.start_flow(Time::ZERO, f64::INFINITY, FlowSpec::new(), 1000 + i as u64);
+        }
+        link.dma(Time::ZERO, 4096.0, dir, 1);
+        let r = link.resource_mut(dir);
+        let done = r.next_wake().expect("probe completes");
+        r.sync(done);
+        let ends = r.take_completed();
+        assert_eq!(ends.len(), 1);
+        assert_eq!(ends[0].token, 1);
+        done + link.propagation()
+    }
+
+    #[test]
+    fn unloaded_latency_matches_table1() {
+        // Table 1: 1.4 µs under-loaded, both directions.
+        for dir in [PcieDir::H2D, PcieDir::D2H] {
+            let t = probe_latency(0, dir).as_us();
+            assert!((1.2..1.6).contains(&t), "{dir:?}: {t:.2} µs");
+        }
+    }
+
+    #[test]
+    fn heavy_h2d_latency_matches_table1() {
+        // Table 1: 11.3 µs heavily loaded H2D.
+        let t = probe_latency(PCIE_HEAVY_H2D_STREAMS, PcieDir::H2D).as_us();
+        assert!((10.0..12.5).contains(&t), "H2D heavy: {t:.2} µs");
+    }
+
+    #[test]
+    fn heavy_d2h_latency_matches_table1() {
+        // Table 1: 6.6 µs heavily loaded D2H.
+        let t = probe_latency(PCIE_HEAVY_D2H_STREAMS, PcieDir::D2H).as_us();
+        assert!((5.8..7.4).contains(&t), "D2H heavy: {t:.2} µs");
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut link = PcieLink::new("h2d", "d2h");
+        link.dma(Time::ZERO, 1e6, PcieDir::H2D, 1);
+        assert_eq!(link.d2h.active_flows(), 0);
+        assert_eq!(link.h2d.active_flows(), 1);
+        link.h2d.sync(Time::from_ms(1.0));
+        assert!(link.bytes(PcieDir::H2D) > 0.0);
+        assert_eq!(link.bytes(PcieDir::D2H), 0.0);
+    }
+}

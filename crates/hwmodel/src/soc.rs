@@ -1,0 +1,160 @@
+//! §3.4's SoC-SmartNIC feasibility analysis.
+//!
+//! The paper argues current and upcoming SoC SmartNICs cannot host the
+//! middle tier: their compression ability and device-memory bandwidth are
+//! both provisioned far below their networking ability. This module encodes
+//! the published device profiles and the §3.4 arithmetic — the middle-tier
+//! dataflow crosses device DRAM ~3.5× per ingested byte — and computes
+//! where each device tops out.
+
+use crate::consts::SOC_DEVMEM_AMPLIFICATION;
+
+/// Published profile of an SoC SmartNIC.
+#[derive(Copy, Clone, Debug)]
+pub struct SocProfile {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Total networking ability, Gbps.
+    pub network_gbps: f64,
+    /// Hardware compression engine throughput, Gbps (None = no engine).
+    pub engine_gbps: Option<f64>,
+    /// Software (Arm) compression throughput of the full CPU complex, Gbps.
+    pub arm_compress_gbps: f64,
+    /// Theoretical device-DRAM bandwidth, Gbps.
+    pub devmem_theoretical_gbps: f64,
+    /// Achievable fraction of theoretical DRAM bandwidth (§3.4: ~0.7).
+    pub devmem_efficiency: f64,
+}
+
+impl SocProfile {
+    /// NVIDIA BlueField-2: 2×100 GbE, ~40 Gbps compression engine, 8 Arm
+    /// A72 cores, 2 DDR4-3200 channels (§3.4, §5.1).
+    pub fn bluefield2() -> Self {
+        SocProfile {
+            name: "BlueField-2",
+            network_gbps: 200.0,
+            engine_gbps: Some(40.0),
+            arm_compress_gbps: 17.0, // 8×A72 at ~2.1 Gbps/core ÷ wimpy factor
+            devmem_theoretical_gbps: 409.6, // 2 × 3200 MT/s × 8 B
+            devmem_efficiency: 0.7,
+        }
+    }
+
+    /// NVIDIA BlueField-3: 400 GbE, **no** compression engine (the PDA "is
+    /// not suitable for compression"), 16 Arm cores at ~50 Gbps total LZ4,
+    /// 2 DDR5-5600 channels = 716.8 Gbps theoretical (§3.4).
+    pub fn bluefield3() -> Self {
+        SocProfile {
+            name: "BlueField-3",
+            network_gbps: 400.0,
+            engine_gbps: None,
+            arm_compress_gbps: 50.0,
+            devmem_theoretical_gbps: 716.8,
+            devmem_efficiency: 0.7,
+        }
+    }
+
+    /// Broadcom Stingray PS1100R: 100 GbE, no compression support (§3.4).
+    pub fn stingray_ps1100r() -> Self {
+        SocProfile {
+            name: "Stingray PS1100R",
+            network_gbps: 100.0,
+            engine_gbps: None,
+            arm_compress_gbps: 12.0,
+            devmem_theoretical_gbps: 409.6,
+            devmem_efficiency: 0.7,
+        }
+    }
+}
+
+/// Result of the §3.4 feasibility arithmetic.
+#[derive(Copy, Clone, Debug)]
+pub struct SocAnalysis {
+    /// Device-DRAM bandwidth the middle-tier dataflow needs to run the
+    /// device's full network rate (amplification × network).
+    pub required_devmem_gbps: f64,
+    /// Achievable device-DRAM bandwidth.
+    pub achievable_devmem_gbps: f64,
+    /// Storage traffic the DRAM alone could sustain.
+    pub devmem_bound_gbps: f64,
+    /// Storage traffic the compression path alone could sustain.
+    pub compress_bound_gbps: f64,
+    /// The binding constraint: achievable middle-tier traffic.
+    pub middle_tier_bound_gbps: f64,
+    /// Fraction of the device's network ability that is usable.
+    pub network_utilization: f64,
+}
+
+/// Runs the §3.4 arithmetic for a device profile.
+pub fn analyze(p: &SocProfile) -> SocAnalysis {
+    let required = p.network_gbps * SOC_DEVMEM_AMPLIFICATION;
+    let achievable = p.devmem_theoretical_gbps * p.devmem_efficiency;
+    let devmem_bound = achievable / SOC_DEVMEM_AMPLIFICATION;
+    let compress_bound = p.engine_gbps.unwrap_or(0.0).max(p.arm_compress_gbps);
+    let bound = p
+        .network_gbps
+        .min(devmem_bound)
+        .min(compress_bound);
+    SocAnalysis {
+        required_devmem_gbps: required,
+        achievable_devmem_gbps: achievable,
+        devmem_bound_gbps: devmem_bound,
+        compress_bound_gbps: compress_bound,
+        middle_tier_bound_gbps: bound,
+        network_utilization: bound / p.network_gbps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bluefield3_matches_section_3_4() {
+        let a = analyze(&SocProfile::bluefield3());
+        // "400 Gbps write request needs 3.5× memory bandwidth 1400 Gbps."
+        assert!((a.required_devmem_gbps - 1400.0).abs() < 1.0);
+        // "achievable memory bandwidth is ... around 500 Gbps".
+        assert!((a.achievable_devmem_gbps - 501.8).abs() < 5.0);
+        // "far less than the required bandwidth".
+        assert!(a.achievable_devmem_gbps < a.required_devmem_gbps);
+        // Arm compression (~50 Gbps) binds before DRAM (~143 Gbps).
+        assert!((a.compress_bound_gbps - 50.0).abs() < 0.1);
+        assert!((a.middle_tier_bound_gbps - 50.0).abs() < 0.1);
+        // Only ~12.5 % of the 400 GbE is usable for middle-tier duty.
+        assert!(a.network_utilization < 0.15);
+    }
+
+    #[test]
+    fn bluefield2_is_engine_bound_at_40() {
+        let a = analyze(&SocProfile::bluefield2());
+        assert!((a.compress_bound_gbps - 40.0).abs() < 0.1);
+        assert!((a.middle_tier_bound_gbps - 40.0).abs() < 0.1);
+        // Matches the cluster simulation's BF2 plateau (§5.2 / Figure 7a).
+        assert!(a.middle_tier_bound_gbps < 0.25 * 200.0);
+    }
+
+    #[test]
+    fn stingray_has_no_viable_compression_path() {
+        let a = analyze(&SocProfile::stingray_ps1100r());
+        assert!(a.compress_bound_gbps < 15.0);
+        assert_eq!(a.middle_tier_bound_gbps, a.compress_bound_gbps.min(a.devmem_bound_gbps).min(100.0));
+    }
+
+    #[test]
+    fn every_profile_is_network_underutilized() {
+        for p in [
+            SocProfile::bluefield2(),
+            SocProfile::bluefield3(),
+            SocProfile::stingray_ps1100r(),
+        ] {
+            let a = analyze(&p);
+            assert!(
+                a.network_utilization < 0.5,
+                "{}: {:.0}% usable",
+                p.name,
+                a.network_utilization * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Safe, bounds-checked LZ4 block decompression.
+//!
+//! The decoder is written entirely in safe Rust and validates every field:
+//! truncated streams, literal overruns, zero or out-of-range offsets, and
+//! output-size violations all produce a typed [`DecompressError`] rather
+//! than UB or a panic. Overlapping match copies (offset < length) are
+//! handled byte-by-byte, which is what gives LZ4 its run-length behaviour.
+
+use crate::error::DecompressError;
+
+/// Decompresses `src`, appending to `out`, with `limit` as the maximum total
+/// output length. Returns the number of bytes appended.
+///
+/// # Errors
+///
+/// All malformed-stream conditions return a [`DecompressError`]; `out` may
+/// contain partial output in that case.
+pub fn decompress_append(
+    src: &[u8],
+    out: &mut Vec<u8>,
+    limit: usize,
+) -> Result<usize, DecompressError> {
+    decompress_append_inner(src, out, limit, false)
+}
+
+/// Like [`decompress_append`], but the bytes already in `out` serve as
+/// match history (streaming/dictionary continuation): offsets may reach
+/// into them.
+///
+/// # Errors
+///
+/// Same as [`decompress_append`].
+pub fn decompress_append_continuing(
+    src: &[u8],
+    out: &mut Vec<u8>,
+    limit: usize,
+) -> Result<usize, DecompressError> {
+    decompress_append_inner(src, out, limit, true)
+}
+
+/// Decompresses `src` produced by [`compress_with_dict`](crate::compress_with_dict)
+/// with the same dictionary, expecting exactly `expected` output bytes.
+///
+/// # Errors
+///
+/// Same conditions as [`decompress_exact`].
+pub fn decompress_with_dict(
+    dict: &[u8],
+    src: &[u8],
+    expected: usize,
+) -> Result<Vec<u8>, DecompressError> {
+    // Offsets only reach 64 KiB back, so seed only that much history.
+    let dict = &dict[dict.len().saturating_sub(65_535)..];
+    let mut out = Vec::with_capacity(dict.len() + expected);
+    out.extend_from_slice(dict);
+    let appended = decompress_append_continuing(src, &mut out, dict.len() + expected)?;
+    if appended != expected {
+        return Err(DecompressError::WrongSize {
+            expected,
+            actual: appended,
+        });
+    }
+    Ok(out.split_off(dict.len()))
+}
+
+fn decompress_append_inner(
+    src: &[u8],
+    out: &mut Vec<u8>,
+    limit: usize,
+    history: bool,
+) -> Result<usize, DecompressError> {
+    let start_len = if history { 0 } else { out.len() };
+    let appended_base = out.len();
+    let mut ip = 0usize;
+
+    macro_rules! take {
+        () => {{
+            let b = *src.get(ip).ok_or(DecompressError::TruncatedInput)?;
+            ip += 1;
+            b
+        }};
+    }
+
+    loop {
+        let token = take!();
+        // --- literals ---
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            loop {
+                let b = take!();
+                lit_len += b as usize;
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        if ip + lit_len > src.len() {
+            return Err(DecompressError::LiteralOverrun);
+        }
+        if out.len() + lit_len > limit {
+            return Err(DecompressError::OutputOverflow { limit });
+        }
+        out.extend_from_slice(&src[ip..ip + lit_len]);
+        ip += lit_len;
+        if ip == src.len() {
+            // Final sequence: literals only.
+            return Ok(out.len() - appended_base);
+        }
+        // --- match ---
+        if ip + 2 > src.len() {
+            return Err(DecompressError::TruncatedInput);
+        }
+        let offset = src[ip] as usize | (src[ip + 1] as usize) << 8;
+        ip += 2;
+        let produced = out.len() - start_len;
+        if offset == 0 || offset > produced {
+            return Err(DecompressError::InvalidOffset { offset, produced });
+        }
+        let mut match_len = (token & 0x0F) as usize + 4;
+        if match_len == 19 {
+            loop {
+                let b = take!();
+                match_len += b as usize;
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        if out.len() + match_len > limit {
+            return Err(DecompressError::OutputOverflow { limit });
+        }
+        let mut from = out.len() - offset;
+        if offset >= match_len {
+            // Non-overlapping: bulk copy.
+            out.extend_from_within(from..from + match_len);
+        } else {
+            // Overlapping run: byte-at-a-time semantics.
+            for _ in 0..match_len {
+                let b = out[from];
+                out.push(b);
+                from += 1;
+            }
+        }
+    }
+}
+
+/// Decompresses `src` into a fresh buffer of at most `limit` bytes.
+///
+/// # Errors
+///
+/// Returns a [`DecompressError`] for any malformed stream or if the output
+/// would exceed `limit`.
+///
+/// # Examples
+///
+/// ```
+/// let packed = lz4kit::compress(b"abcabcabcabcabcabcabcabc");
+/// let out = lz4kit::decompress(&packed, 1024)?;
+/// assert_eq!(out, b"abcabcabcabcabcabcabcabc");
+/// # Ok::<(), lz4kit::DecompressError>(())
+/// ```
+pub fn decompress(src: &[u8], limit: usize) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(limit.min(1 << 20));
+    decompress_append(src, &mut out, limit)?;
+    Ok(out)
+}
+
+/// Decompresses `src`, requiring the output to be exactly `expected` bytes —
+/// the natural API for block storage, where the uncompressed block size is
+/// recorded out-of-band.
+///
+/// # Errors
+///
+/// Returns [`DecompressError::WrongSize`] if the stream decodes cleanly but
+/// to a different size, or any other [`DecompressError`] for malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let block = vec![42u8; 4096];
+/// let packed = lz4kit::compress(&block);
+/// assert_eq!(lz4kit::decompress_exact(&packed, 4096)?, block);
+/// assert!(lz4kit::decompress_exact(&packed, 4095).is_err());
+/// # Ok::<(), lz4kit::DecompressError>(())
+/// ```
+pub fn decompress_exact(src: &[u8], expected: usize) -> Result<Vec<u8>, DecompressError> {
+    let out = decompress(src, expected)?;
+    if out.len() != expected {
+        return Err(DecompressError::WrongSize {
+            expected,
+            actual: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{compress, compress_with, Level};
+
+    #[test]
+    fn empty_stream_is_error() {
+        assert_eq!(decompress(b"", 10), Err(DecompressError::TruncatedInput));
+    }
+
+    #[test]
+    fn single_zero_token_decodes_empty() {
+        assert_eq!(decompress(&[0x00], 10).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn literal_only_stream() {
+        // token: 3 literals, no match (final sequence).
+        let stream = [0x30, b'a', b'b', b'c'];
+        assert_eq!(decompress(&stream, 10).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn truncated_literals_detected() {
+        let stream = [0x30, b'a']; // claims 3 literals, provides 1
+        assert_eq!(
+            decompress(&stream, 10),
+            Err(DecompressError::LiteralOverrun)
+        );
+    }
+
+    #[test]
+    fn zero_offset_rejected() {
+        // 1 literal, then a match with offset 0.
+        let stream = [0x10, b'x', 0x00, 0x00];
+        assert_eq!(
+            decompress(&stream, 100),
+            Err(DecompressError::InvalidOffset {
+                offset: 0,
+                produced: 1
+            })
+        );
+    }
+
+    #[test]
+    fn offset_before_start_rejected() {
+        let stream = [0x10, b'x', 0x05, 0x00]; // offset 5 > 1 byte produced
+        assert!(matches!(
+            decompress(&stream, 100),
+            Err(DecompressError::InvalidOffset { offset: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_offset_detected() {
+        let stream = [0x10, b'x', 0x01]; // missing offset high byte
+        assert_eq!(decompress(&stream, 100), Err(DecompressError::TruncatedInput));
+    }
+
+    #[test]
+    fn overlapping_match_is_run_length() {
+        // 1 literal 'a', match offset 1 length 8, then final literal 'b':
+        // produces "aaaaaaaaa" + "b".
+        let stream = [0x14, b'a', 0x01, 0x00, 0x10, b'b'];
+        assert_eq!(decompress(&stream, 100).unwrap(), b"aaaaaaaaab");
+    }
+
+    #[test]
+    fn output_limit_enforced() {
+        let packed = compress(&vec![7u8; 10_000]);
+        assert_eq!(
+            decompress(&packed, 512),
+            Err(DecompressError::OutputOverflow { limit: 512 })
+        );
+    }
+
+    #[test]
+    fn wrong_size_reported() {
+        let packed = compress(b"hello world, hello world");
+        let err = decompress_exact(&packed, 99).unwrap_err();
+        assert!(matches!(err, DecompressError::WrongSize { actual: 24, .. }));
+    }
+
+    #[test]
+    fn long_match_extension_decodes() {
+        let data = vec![3u8; 5_000];
+        for level in [Level::Fast, Level::High(16)] {
+            let packed = compress_with(&data, level);
+            assert_eq!(decompress_exact(&packed, 5_000).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        // Feed many deterministic pseudo-random buffers; decoding must either
+        // succeed or return an error, never panic.
+        let mut x = 0xDEADBEEFu64;
+        for len in 0..200 {
+            let buf: Vec<u8> = (0..len)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (x >> 33) as u8
+                })
+                .collect();
+            let _ = decompress(&buf, 1 << 16);
+        }
+    }
+}

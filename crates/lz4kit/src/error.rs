@@ -1,0 +1,80 @@
+//! Error types for the codec.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when compression cannot proceed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CompressError {
+    /// Destination buffer is smaller than [`compress_bound`] requires for
+    /// this input in the worst case and the compressed stream did not fit.
+    ///
+    /// [`compress_bound`]: crate::compress_bound
+    OutputTooSmall {
+        /// Bytes the destination offered.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::OutputTooSmall { capacity } => {
+                write!(f, "compressed output does not fit in {capacity} bytes")
+            }
+        }
+    }
+}
+
+impl Error for CompressError {}
+
+/// Error returned when a compressed block cannot be decoded.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DecompressError {
+    /// The stream ended in the middle of a token, length, or offset field.
+    TruncatedInput,
+    /// A literal run claims more bytes than remain in the stream.
+    LiteralOverrun,
+    /// A match offset of zero, or one pointing before the output start.
+    InvalidOffset {
+        /// The offending offset value.
+        offset: usize,
+        /// Output bytes produced so far.
+        produced: usize,
+    },
+    /// Decoded output would exceed the caller's size limit.
+    OutputOverflow {
+        /// The caller-imposed limit.
+        limit: usize,
+    },
+    /// Output finished at an unexpected size (for exact-size decoding).
+    WrongSize {
+        /// Size the caller expected.
+        expected: usize,
+        /// Size actually produced.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompressError::TruncatedInput => write!(f, "compressed stream is truncated"),
+            DecompressError::LiteralOverrun => {
+                write!(f, "literal run extends past end of compressed stream")
+            }
+            DecompressError::InvalidOffset { offset, produced } => write!(
+                f,
+                "match offset {offset} is invalid with {produced} bytes produced"
+            ),
+            DecompressError::OutputOverflow { limit } => {
+                write!(f, "decoded output exceeds limit of {limit} bytes")
+            }
+            DecompressError::WrongSize { expected, actual } => {
+                write!(f, "decoded {actual} bytes, expected exactly {expected}")
+            }
+        }
+    }
+}
+
+impl Error for DecompressError {}

@@ -1,0 +1,468 @@
+//! The LZ4 **frame** format (`.lz4` container).
+//!
+//! While the middle tier stores raw blocks, tooling and cold storage use the
+//! self-describing [frame format](https://github.com/lz4/lz4/blob/dev/doc/lz4_Frame_format.md):
+//! magic number, a descriptor with feature flags, a sequence of size-prefixed
+//! blocks (each independently compressed or stored raw), an end mark, and
+//! xxHash32 integrity checksums. This module implements the writer and a
+//! fully validated reader for block-independent frames.
+//!
+//! # Examples
+//!
+//! ```
+//! use lz4kit::frame::{compress_frame, decompress_frame, FrameOptions};
+//!
+//! let data = b"frame me ".repeat(1000);
+//! let frame = compress_frame(&data, &FrameOptions::default());
+//! assert_eq!(decompress_frame(&frame)?, data);
+//! # Ok::<(), lz4kit::frame::FrameError>(())
+//! ```
+
+use crate::compress::{compress_with, Level};
+use crate::decompress::decompress;
+use crate::xxhash::xxh32;
+use std::error::Error;
+use std::fmt;
+
+/// Frame magic number (little endian on the wire).
+pub const MAGIC: u32 = 0x184D_2204;
+
+/// Maximum block size selector (the BD byte's table).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BlockMaxSize {
+    /// 64 KiB blocks.
+    Max64KiB,
+    /// 256 KiB blocks.
+    Max256KiB,
+    /// 1 MiB blocks.
+    Max1MiB,
+    /// 4 MiB blocks.
+    Max4MiB,
+}
+
+impl BlockMaxSize {
+    fn code(self) -> u8 {
+        match self {
+            BlockMaxSize::Max64KiB => 4,
+            BlockMaxSize::Max256KiB => 5,
+            BlockMaxSize::Max1MiB => 6,
+            BlockMaxSize::Max4MiB => 7,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            4 => BlockMaxSize::Max64KiB,
+            5 => BlockMaxSize::Max256KiB,
+            6 => BlockMaxSize::Max1MiB,
+            7 => BlockMaxSize::Max4MiB,
+            _ => return None,
+        })
+    }
+
+    /// The block size in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            BlockMaxSize::Max64KiB => 64 << 10,
+            BlockMaxSize::Max256KiB => 256 << 10,
+            BlockMaxSize::Max1MiB => 1 << 20,
+            BlockMaxSize::Max4MiB => 4 << 20,
+        }
+    }
+}
+
+/// Options for frame compression.
+#[derive(Copy, Clone, Debug)]
+pub struct FrameOptions {
+    /// Compression level for each block.
+    pub level: Level,
+    /// Maximum block size.
+    pub block_max: BlockMaxSize,
+    /// Append a per-block xxHash32.
+    pub block_checksums: bool,
+    /// Append a whole-content xxHash32.
+    pub content_checksum: bool,
+    /// Record the decompressed size in the header.
+    pub content_size: bool,
+}
+
+impl Default for FrameOptions {
+    fn default() -> Self {
+        FrameOptions {
+            level: Level::Fast,
+            block_max: BlockMaxSize::Max64KiB,
+            block_checksums: false,
+            content_checksum: true,
+            content_size: true,
+        }
+    }
+}
+
+/// Errors from frame decoding.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Input does not start with the LZ4 frame magic.
+    BadMagic,
+    /// Frame ends mid-field.
+    Truncated,
+    /// Unsupported version or reserved bits set.
+    UnsupportedFlags,
+    /// Invalid block-max-size code.
+    BadBlockSizeCode(u8),
+    /// Header checksum mismatch.
+    HeaderChecksum,
+    /// A block exceeds the declared maximum size.
+    OversizedBlock {
+        /// Declared size of the offending block.
+        got: usize,
+        /// Frame's maximum block size.
+        max: usize,
+    },
+    /// A block failed to decompress.
+    BadBlock,
+    /// Per-block checksum mismatch.
+    BlockChecksum,
+    /// Content checksum mismatch.
+    ContentChecksum,
+    /// Decoded size differs from the header's content size.
+    ContentSize {
+        /// Size the header declared.
+        declared: u64,
+        /// Size actually decoded.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "not an LZ4 frame (bad magic)"),
+            FrameError::Truncated => write!(f, "frame is truncated"),
+            FrameError::UnsupportedFlags => write!(f, "unsupported frame flags or version"),
+            FrameError::BadBlockSizeCode(c) => write!(f, "invalid block max-size code {c}"),
+            FrameError::HeaderChecksum => write!(f, "frame header checksum mismatch"),
+            FrameError::OversizedBlock { got, max } => {
+                write!(f, "block of {got} bytes exceeds frame maximum {max}")
+            }
+            FrameError::BadBlock => write!(f, "block failed to decompress"),
+            FrameError::BlockChecksum => write!(f, "block checksum mismatch"),
+            FrameError::ContentChecksum => write!(f, "content checksum mismatch"),
+            FrameError::ContentSize { declared, actual } => {
+                write!(f, "content size mismatch: declared {declared}, decoded {actual}")
+            }
+        }
+    }
+}
+
+impl Error for FrameError {}
+
+/// Compresses `data` into a complete LZ4 frame.
+pub fn compress_frame(data: &[u8], opts: &FrameOptions) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 64);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    // FLG: version 01, block-independent, optional checksums/size.
+    let mut flg = 0b0100_0000u8 | 0b0010_0000; // version + B.Indep
+    if opts.block_checksums {
+        flg |= 0b0001_0000;
+    }
+    if opts.content_size {
+        flg |= 0b0000_1000;
+    }
+    if opts.content_checksum {
+        flg |= 0b0000_0100;
+    }
+    let bd = opts.block_max.code() << 4;
+    let header_start = out.len();
+    out.push(flg);
+    out.push(bd);
+    if opts.content_size {
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    }
+    let hc = (xxh32(&out[header_start..], 0) >> 8) as u8;
+    out.push(hc);
+
+    for chunk in data.chunks(opts.block_max.bytes()) {
+        let packed = compress_with(chunk, opts.level);
+        // The frame format stores a block raw when compression does not
+        // shrink it (high bit of the size word set).
+        let (payload, raw): (&[u8], bool) = if packed.len() < chunk.len() {
+            (&packed, false)
+        } else {
+            (chunk, true)
+        };
+        let size = payload.len() as u32 | if raw { 0x8000_0000 } else { 0 };
+        out.extend_from_slice(&size.to_le_bytes());
+        out.extend_from_slice(payload);
+        if opts.block_checksums {
+            out.extend_from_slice(&xxh32(payload, 0).to_le_bytes());
+        }
+    }
+    // EndMark.
+    out.extend_from_slice(&0u32.to_le_bytes());
+    if opts.content_checksum {
+        out.extend_from_slice(&xxh32(data, 0).to_le_bytes());
+    }
+    out
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        let b = *self.data.get(self.pos).ok_or(FrameError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        if self.pos + 4 > self.data.len() {
+            return Err(FrameError::Truncated);
+        }
+        let v = u32::from_le_bytes(self.data[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        if self.pos + 8 > self.data.len() {
+            return Err(FrameError::Truncated);
+        }
+        let v = u64::from_le_bytes(self.data[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        Ok(v)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.pos + n > self.data.len() {
+            return Err(FrameError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// Decompresses a complete LZ4 frame, validating every checksum present.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] describing the first violation found.
+pub fn decompress_frame(frame: &[u8]) -> Result<Vec<u8>, FrameError> {
+    let mut r = Reader {
+        data: frame,
+        pos: 0,
+    };
+    if r.u32()? != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let header_start = r.pos;
+    let flg = r.u8()?;
+    if flg >> 6 != 0b01 {
+        return Err(FrameError::UnsupportedFlags);
+    }
+    if flg & 0b0000_0011 != 0 {
+        // Reserved bit or DictID (unsupported here).
+        return Err(FrameError::UnsupportedFlags);
+    }
+    let block_checksums = flg & 0b0001_0000 != 0;
+    let has_content_size = flg & 0b0000_1000 != 0;
+    let has_content_checksum = flg & 0b0000_0100 != 0;
+    let bd = r.u8()?;
+    let block_max = BlockMaxSize::from_code((bd >> 4) & 0x7)
+        .ok_or(FrameError::BadBlockSizeCode((bd >> 4) & 0x7))?;
+    let content_size = if has_content_size { Some(r.u64()?) } else { None };
+    let header_end = r.pos;
+    let hc = r.u8()?;
+    if (xxh32(&frame[header_start..header_end], 0) >> 8) as u8 != hc {
+        return Err(FrameError::HeaderChecksum);
+    }
+
+    let mut out = Vec::with_capacity(content_size.unwrap_or(0) as usize);
+    loop {
+        let size_word = r.u32()?;
+        if size_word == 0 {
+            break; // EndMark
+        }
+        let raw = size_word & 0x8000_0000 != 0;
+        let size = (size_word & 0x7FFF_FFFF) as usize;
+        if size > block_max.bytes() + 16 {
+            return Err(FrameError::OversizedBlock {
+                got: size,
+                max: block_max.bytes(),
+            });
+        }
+        let payload = r.bytes(size)?;
+        if block_checksums {
+            let bc = r.u32()?;
+            if xxh32(payload, 0) != bc {
+                return Err(FrameError::BlockChecksum);
+            }
+        }
+        if raw {
+            out.extend_from_slice(payload);
+        } else {
+            let before = out.len();
+            let decoded =
+                decompress(payload, block_max.bytes()).map_err(|_| FrameError::BadBlock)?;
+            out.extend_from_slice(&decoded);
+            debug_assert!(out.len() - before <= block_max.bytes());
+        }
+    }
+    if has_content_checksum {
+        let cc = r.u32()?;
+        if xxh32(&out, 0) != cc {
+            return Err(FrameError::ContentChecksum);
+        }
+    }
+    if let Some(declared) = content_size {
+        if declared != out.len() as u64 {
+            return Err(FrameError::ContentSize {
+                declared,
+                actual: out.len() as u64,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<u8> {
+        b"lz4 frame format sample content / "
+            .iter()
+            .cycle()
+            .take(n)
+            .copied()
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_default_options() {
+        for n in [0, 1, 100, 65_536, 200_000] {
+            let data = sample(n);
+            let frame = compress_frame(&data, &FrameOptions::default());
+            assert_eq!(decompress_frame(&frame).unwrap(), data, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_block_sizes_and_checksums() {
+        let data = sample(300_000);
+        for block_max in [
+            BlockMaxSize::Max64KiB,
+            BlockMaxSize::Max256KiB,
+            BlockMaxSize::Max1MiB,
+            BlockMaxSize::Max4MiB,
+        ] {
+            let opts = FrameOptions {
+                block_max,
+                block_checksums: true,
+                ..FrameOptions::default()
+            };
+            let frame = compress_frame(&data, &opts);
+            assert_eq!(decompress_frame(&frame).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn incompressible_blocks_are_stored_raw() {
+        // Pseudo-random data: frame must not expand by more than headers.
+        let mut x = 1u64;
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        let frame = compress_frame(&data, &FrameOptions::default());
+        assert!(frame.len() < data.len() + 64, "overhead {}", frame.len() - data.len());
+        assert_eq!(decompress_frame(&frame).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupted_magic_rejected() {
+        let mut frame = compress_frame(&sample(100), &FrameOptions::default());
+        frame[0] ^= 1;
+        assert_eq!(decompress_frame(&frame), Err(FrameError::BadMagic));
+    }
+
+    #[test]
+    fn corrupted_header_detected() {
+        let mut frame = compress_frame(&sample(100), &FrameOptions::default());
+        frame[5] ^= 0x10; // flip a BD bit → header checksum must fail
+        let err = decompress_frame(&frame).unwrap_err();
+        assert!(
+            matches!(err, FrameError::HeaderChecksum | FrameError::BadBlockSizeCode(_)),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_content_detected_by_content_checksum() {
+        let data = sample(50_000);
+        let mut frame = compress_frame(&data, &FrameOptions::default());
+        // Flip a byte inside the first block's payload.
+        let idx = 20;
+        frame[idx] ^= 0xFF;
+        let err = decompress_frame(&frame).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FrameError::BadBlock | FrameError::ContentChecksum | FrameError::ContentSize { .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_block_detected_by_block_checksum() {
+        let opts = FrameOptions {
+            block_checksums: true,
+            content_checksum: false,
+            content_size: false,
+            ..FrameOptions::default()
+        };
+        let data = sample(10_000);
+        let mut frame = compress_frame(&data, &opts);
+        frame[15] ^= 0x01;
+        let err = decompress_frame(&frame).unwrap_err();
+        assert!(
+            matches!(err, FrameError::BlockChecksum | FrameError::BadBlock),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let data = sample(10_000);
+        let frame = compress_frame(&data, &FrameOptions::default());
+        for cut in [0, 3, 4, 5, 6, 7, 14, frame.len() / 2, frame.len() - 1] {
+            let err = decompress_frame(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    FrameError::Truncated | FrameError::BadMagic | FrameError::ContentSize { .. }
+                ),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hc_level_frames_decode_too() {
+        let data = sample(150_000);
+        let opts = FrameOptions {
+            level: Level::High(32),
+            ..FrameOptions::default()
+        };
+        let frame = compress_frame(&data, &opts);
+        let fast = compress_frame(&data, &FrameOptions::default());
+        assert!(frame.len() <= fast.len());
+        assert_eq!(decompress_frame(&frame).unwrap(), data);
+    }
+}

@@ -1,0 +1,347 @@
+//! Application-aware message split (AAMS): the Split and Assemble modules.
+//!
+//! This is the paper's key mechanism (§4.1). A *recv descriptor* names a
+//! host buffer (`h_buf`/`h_size`) and a device buffer (`d_buf`/`d_size`);
+//! when a message arrives, the **Split module** writes its first `h_size`
+//! bytes (the block-storage header, which needs flexible CPU processing)
+//! into host memory and the remainder (the payload, which needs fixed heavy
+//! computation) into device memory. A *send descriptor* names the same two
+//! buffers and the **Assemble module** gathers them back into one wire
+//! message. Split ∘ Assemble is the identity on message bytes — property
+//! tested in `tests/aams_props.rs`.
+//!
+//! The modules here perform the *functional* byte movement and validation;
+//! the driver charges the corresponding PCIe/HBM transfer times.
+
+use crate::mem::{MemError, MemPool, Region};
+use crate::message::Message;
+use std::error::Error;
+use std::fmt;
+
+/// A receive descriptor posted to the Split module's table
+/// (`dev_mixed_recv` in the paper's API, Table 2).
+#[derive(Copy, Clone, Debug)]
+pub struct RecvDesc {
+    /// Work-request id returned in the completion.
+    pub wr_id: u64,
+    /// Host buffer for the message's first `h_size` bytes.
+    pub h_buf: Region,
+    /// How many leading bytes go to the host (the header size).
+    pub h_size: usize,
+    /// Device buffer for the remainder. `None` for a conventional recv that
+    /// places the whole message in host memory (the baselines' path).
+    pub d_buf: Option<Region>,
+    /// Capacity reserved in `d_buf`.
+    pub d_size: usize,
+}
+
+impl RecvDesc {
+    /// A conventional (non-split) receive: the entire message lands in the
+    /// host buffer.
+    pub fn host_only(wr_id: u64, h_buf: Region) -> Self {
+        RecvDesc {
+            wr_id,
+            h_size: h_buf.len(),
+            h_buf,
+            d_buf: None,
+            d_size: 0,
+        }
+    }
+
+    /// A split receive: first `h_size` bytes to `h_buf`, remainder to
+    /// `d_buf`.
+    pub fn split(wr_id: u64, h_buf: Region, h_size: usize, d_buf: Region) -> Self {
+        RecvDesc {
+            wr_id,
+            h_size,
+            h_buf,
+            d_size: d_buf.len(),
+            d_buf: Some(d_buf),
+        }
+    }
+}
+
+/// A send descriptor for the Assemble module (`dev_mixed_send`).
+#[derive(Copy, Clone, Debug)]
+pub struct SendDesc {
+    /// Work-request id returned in the completion.
+    pub wr_id: u64,
+    /// Host buffer holding the message prefix (header).
+    pub h_buf: Region,
+    /// Bytes to gather from `h_buf`.
+    pub h_size: usize,
+    /// Device buffer holding the payload. `None` for host-only sends.
+    pub d_buf: Option<Region>,
+    /// Bytes to gather from `d_buf`.
+    pub d_size: usize,
+}
+
+/// Where the Split module placed an arriving message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitPlacement {
+    /// The matched descriptor's work-request id.
+    pub wr_id: u64,
+    /// Bytes written to host memory (≤ `h_size`).
+    pub host_bytes: usize,
+    /// Bytes written to device memory.
+    pub dev_bytes: usize,
+}
+
+/// Errors raised by the Split/Assemble modules.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AamsError {
+    /// No receive descriptor was posted for the arriving message
+    /// (receiver-not-ready).
+    ReceiverNotReady,
+    /// The message exceeds the descriptor's combined capacity.
+    MessageTooLong {
+        /// Arriving message length.
+        msg_len: usize,
+        /// Host + device capacity of the descriptor.
+        capacity: usize,
+    },
+    /// A buffer access failed (offset bug in the descriptor).
+    Memory(MemError),
+}
+
+impl fmt::Display for AamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AamsError::ReceiverNotReady => write!(f, "no receive descriptor posted"),
+            AamsError::MessageTooLong { msg_len, capacity } => {
+                write!(f, "message of {msg_len} bytes exceeds capacity {capacity}")
+            }
+            AamsError::Memory(e) => write!(f, "buffer access failed: {e}"),
+        }
+    }
+}
+
+impl Error for AamsError {}
+
+impl From<MemError> for AamsError {
+    fn from(e: MemError) -> Self {
+        AamsError::Memory(e)
+    }
+}
+
+/// Splits an arriving `msg` according to `desc`, writing header bytes into
+/// `host` and payload bytes into `dev`.
+///
+/// # Errors
+///
+/// * [`AamsError::MessageTooLong`] if the message exceeds
+///   `h_size + d_size` (or `h_size` for a host-only descriptor).
+/// * [`AamsError::Memory`] if a descriptor region is invalid.
+pub fn split_into(
+    msg: &Message,
+    desc: &RecvDesc,
+    host: &mut MemPool,
+    dev: &mut MemPool,
+) -> Result<SplitPlacement, AamsError> {
+    let capacity = desc.h_size + desc.d_buf.map_or(0, |_| desc.d_size);
+    if msg.len() > capacity {
+        return Err(AamsError::MessageTooLong {
+            msg_len: msg.len(),
+            capacity,
+        });
+    }
+    let mut m = msg.clone();
+    let head = m.split_prefix(desc.h_size);
+    host.write(desc.h_buf, 0, &head.to_bytes())?;
+    let dev_bytes = m.len();
+    if dev_bytes > 0 {
+        let d_buf = desc.d_buf.expect("capacity check guarantees d_buf");
+        dev.write(d_buf, 0, &m.to_bytes())?;
+    }
+    Ok(SplitPlacement {
+        wr_id: desc.wr_id,
+        host_bytes: head.len(),
+        dev_bytes,
+    })
+}
+
+/// Assembles an outgoing message per `desc`, gathering `h_size` bytes from
+/// host memory and `d_size` bytes from device memory.
+///
+/// # Errors
+///
+/// Returns [`AamsError::Memory`] if a region read is out of bounds.
+pub fn assemble_from(
+    desc: &SendDesc,
+    host: &MemPool,
+    dev: &MemPool,
+) -> Result<Message, AamsError> {
+    let mut msg = Message::new();
+    if desc.h_size > 0 {
+        msg.append(host.read(desc.h_buf, 0, desc.h_size)?);
+    }
+    if desc.d_size > 0 {
+        let d_buf = desc.d_buf.ok_or(MemError::OutOfBounds)?;
+        msg.append(dev.read(d_buf, 0, desc.d_size)?);
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pools() -> (MemPool, MemPool) {
+        (MemPool::new("host", 1 << 16), MemPool::new("dev", 1 << 20))
+    }
+
+    #[test]
+    fn split_places_header_and_payload() {
+        let (mut host, mut dev) = pools();
+        let h_buf = host.alloc(64).unwrap();
+        let d_buf = dev.alloc(4096).unwrap();
+        let msg = Message::header_payload(vec![0xAA; 64], vec![0xBB; 4096]);
+        let desc = RecvDesc::split(1, h_buf, 64, d_buf);
+        let placed = split_into(&msg, &desc, &mut host, &mut dev).unwrap();
+        assert_eq!(
+            placed,
+            SplitPlacement {
+                wr_id: 1,
+                host_bytes: 64,
+                dev_bytes: 4096
+            }
+        );
+        assert!(host.read(h_buf, 0, 64).unwrap().iter().all(|&b| b == 0xAA));
+        assert!(dev.read(d_buf, 0, 4096).unwrap().iter().all(|&b| b == 0xBB));
+    }
+
+    #[test]
+    fn short_message_goes_entirely_to_host() {
+        let (mut host, mut dev) = pools();
+        let h_buf = host.alloc(64).unwrap();
+        let d_buf = dev.alloc(128).unwrap();
+        let msg = Message::from_bytes(vec![1u8; 40]);
+        let desc = RecvDesc::split(2, h_buf, 64, d_buf);
+        let placed = split_into(&msg, &desc, &mut host, &mut dev).unwrap();
+        assert_eq!(placed.host_bytes, 40);
+        assert_eq!(placed.dev_bytes, 0);
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let (mut host, mut dev) = pools();
+        let h_buf = host.alloc(64).unwrap();
+        let d_buf = dev.alloc(100).unwrap();
+        let msg = Message::from_bytes(vec![0u8; 200]);
+        let desc = RecvDesc::split(3, h_buf, 64, d_buf);
+        let err = split_into(&msg, &desc, &mut host, &mut dev).unwrap_err();
+        assert_eq!(
+            err,
+            AamsError::MessageTooLong {
+                msg_len: 200,
+                capacity: 164
+            }
+        );
+    }
+
+    #[test]
+    fn host_only_descriptor_behaves_like_plain_recv() {
+        let (mut host, mut dev) = pools();
+        let h_buf = host.alloc(8192).unwrap();
+        let msg = Message::header_payload(vec![5u8; 64], vec![6u8; 4096]);
+        let desc = RecvDesc::host_only(4, h_buf);
+        let placed = split_into(&msg, &desc, &mut host, &mut dev).unwrap();
+        assert_eq!(placed.host_bytes, 4160);
+        assert_eq!(placed.dev_bytes, 0);
+    }
+
+    #[test]
+    fn assemble_reverses_split() {
+        let (mut host, mut dev) = pools();
+        let h_buf = host.alloc(64).unwrap();
+        let d_buf = dev.alloc(4096).unwrap();
+        let original = Message::header_payload(
+            (0u8..64).collect::<Vec<_>>(),
+            (0u8..=255).cycle().take(4096).collect::<Vec<_>>(),
+        );
+        let rdesc = RecvDesc::split(1, h_buf, 64, d_buf);
+        let placed = split_into(&original, &rdesc, &mut host, &mut dev).unwrap();
+        let sdesc = SendDesc {
+            wr_id: 2,
+            h_buf,
+            h_size: placed.host_bytes,
+            d_buf: Some(d_buf),
+            d_size: placed.dev_bytes,
+        };
+        let rebuilt = assemble_from(&sdesc, &host, &dev).unwrap();
+        assert_eq!(rebuilt.to_bytes(), original.to_bytes());
+    }
+
+    #[test]
+    fn assemble_host_only() {
+        let (mut host, dev) = pools();
+        let h_buf = host.alloc(32).unwrap();
+        host.write(h_buf, 0, b"hello-smartds").unwrap();
+        let sdesc = SendDesc {
+            wr_id: 1,
+            h_buf,
+            h_size: 13,
+            d_buf: None,
+            d_size: 0,
+        };
+        let m = assemble_from(&sdesc, &host, &dev).unwrap();
+        assert_eq!(&m.to_bytes()[..], b"hello-smartds");
+    }
+}
+
+/// The Split module's receive-descriptor table: per-QP FIFOs of posted
+/// [`RecvDesc`]s, consumed in order as messages arrive.
+#[derive(Debug, Default)]
+pub struct RecvTable {
+    tables: std::collections::HashMap<u32, std::collections::VecDeque<RecvDesc>>,
+}
+
+impl RecvTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Posts a descriptor for queue pair `qpn`.
+    pub fn post(&mut self, qpn: u32, desc: RecvDesc) {
+        self.tables.entry(qpn).or_default().push_back(desc);
+    }
+
+    /// Pops the oldest descriptor for `qpn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AamsError::ReceiverNotReady`] when none is posted — the
+    /// RoCE RNR condition.
+    pub fn take(&mut self, qpn: u32) -> Result<RecvDesc, AamsError> {
+        self.tables
+            .get_mut(&qpn)
+            .and_then(|q| q.pop_front())
+            .ok_or(AamsError::ReceiverNotReady)
+    }
+
+    /// Descriptors currently posted for `qpn`.
+    pub fn depth(&self, qpn: u32) -> usize {
+        self.tables.get(&qpn).map_or(0, |q| q.len())
+    }
+}
+
+#[cfg(test)]
+mod table_tests {
+    use super::*;
+
+    #[test]
+    fn descriptors_match_fifo_per_qp() {
+        let mut host = MemPool::new("host", 1024);
+        let b = host.alloc(64).unwrap();
+        let mut t = RecvTable::new();
+        t.post(1, RecvDesc::host_only(10, b));
+        t.post(1, RecvDesc::host_only(11, b));
+        t.post(2, RecvDesc::host_only(20, b));
+        assert_eq!(t.depth(1), 2);
+        assert_eq!(t.take(1).unwrap().wr_id, 10);
+        assert_eq!(t.take(2).unwrap().wr_id, 20);
+        assert_eq!(t.take(1).unwrap().wr_id, 11);
+        assert_eq!(t.take(1).unwrap_err(), AamsError::ReceiverNotReady);
+    }
+}

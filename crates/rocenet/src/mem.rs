@@ -1,0 +1,269 @@
+//! Byte-addressed memory pools with region allocation.
+//!
+//! SmartDS messages span *two* address spaces: host memory (headers) and the
+//! SmartNIC's device memory (payloads). A [`MemPool`] is one such space —
+//! real bytes, bounds-checked reads/writes, and a simple free-list allocator
+//! behind the paper's `host_alloc` / `dev_alloc` API.
+
+use bytes::Bytes;
+use std::error::Error;
+use std::fmt;
+
+/// A contiguous allocation inside one [`MemPool`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Region {
+    offset: usize,
+    len: usize,
+}
+
+impl Region {
+    /// Byte offset inside the pool.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the region is zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-region `[start, start+len)` of this region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds the region.
+    pub fn slice(&self, start: usize, len: usize) -> Region {
+        assert!(
+            start + len <= self.len,
+            "slice {start}+{len} exceeds region of {} bytes",
+            self.len
+        );
+        Region {
+            offset: self.offset + start,
+            len,
+        }
+    }
+}
+
+/// Errors from pool operations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// The pool has no free range large enough.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Largest free range available.
+        largest_free: usize,
+    },
+    /// Access outside a region's bounds.
+    OutOfBounds,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfMemory {
+                requested,
+                largest_free,
+            } => write!(
+                f,
+                "out of memory: requested {requested} bytes, largest free range {largest_free}"
+            ),
+            MemError::OutOfBounds => write!(f, "access outside region bounds"),
+        }
+    }
+}
+
+impl Error for MemError {}
+
+/// A byte-addressed memory pool (host DRAM or SmartNIC device memory).
+#[derive(Debug)]
+pub struct MemPool {
+    name: &'static str,
+    data: Vec<u8>,
+    /// Sorted, coalesced free ranges as (offset, len).
+    free: Vec<(usize, usize)>,
+}
+
+impl MemPool {
+    /// Creates a pool of `capacity` bytes.
+    pub fn new(name: &'static str, capacity: usize) -> Self {
+        MemPool {
+            name,
+            data: vec![0; capacity],
+            free: vec![(0, capacity)],
+        }
+    }
+
+    /// Pool display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bytes currently available for allocation.
+    pub fn free_bytes(&self) -> usize {
+        self.free.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// Allocates `len` bytes (first fit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfMemory`] when no free range fits.
+    pub fn alloc(&mut self, len: usize) -> Result<Region, MemError> {
+        if len == 0 {
+            return Ok(Region { offset: 0, len: 0 });
+        }
+        let Some(idx) = self.free.iter().position(|&(_, l)| l >= len) else {
+            return Err(MemError::OutOfMemory {
+                requested: len,
+                largest_free: self.free.iter().map(|&(_, l)| l).max().unwrap_or(0),
+            });
+        };
+        let (off, flen) = self.free[idx];
+        if flen == len {
+            self.free.remove(idx);
+        } else {
+            self.free[idx] = (off + len, flen - len);
+        }
+        Ok(Region { offset: off, len })
+    }
+
+    /// Returns a region to the pool, coalescing adjacent free ranges.
+    pub fn free(&mut self, region: Region) {
+        if region.is_empty() {
+            return;
+        }
+        let pos = self
+            .free
+            .partition_point(|&(off, _)| off < region.offset);
+        self.free.insert(pos, (region.offset, region.len));
+        // Coalesce around the insertion point.
+        let mut i = pos.saturating_sub(1);
+        while i + 1 < self.free.len() {
+            let (a_off, a_len) = self.free[i];
+            let (b_off, b_len) = self.free[i + 1];
+            if a_off + a_len == b_off {
+                self.free[i] = (a_off, a_len + b_len);
+                self.free.remove(i + 1);
+            } else if i + 1 > pos {
+                break;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Writes `bytes` at `offset` within `region`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the write exceeds the region.
+    pub fn write(&mut self, region: Region, offset: usize, bytes: &[u8]) -> Result<(), MemError> {
+        if offset + bytes.len() > region.len {
+            return Err(MemError::OutOfBounds);
+        }
+        let at = region.offset + offset;
+        self.data[at..at + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset` within `region`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the read exceeds the region.
+    pub fn read(&self, region: Region, offset: usize, len: usize) -> Result<Bytes, MemError> {
+        if offset + len > region.len {
+            return Err(MemError::OutOfBounds);
+        }
+        let at = region.offset + offset;
+        Ok(Bytes::copy_from_slice(&self.data[at..at + len]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_write_read_roundtrip() {
+        let mut p = MemPool::new("host", 1024);
+        let r = p.alloc(64).unwrap();
+        p.write(r, 0, b"hello").unwrap();
+        assert_eq!(&p.read(r, 0, 5).unwrap()[..], b"hello");
+        assert_eq!(p.free_bytes(), 1024 - 64);
+    }
+
+    #[test]
+    fn oom_reports_largest_range() {
+        let mut p = MemPool::new("host", 100);
+        p.alloc(60).unwrap();
+        let err = p.alloc(50).unwrap_err();
+        assert_eq!(
+            err,
+            MemError::OutOfMemory {
+                requested: 50,
+                largest_free: 40
+            }
+        );
+    }
+
+    #[test]
+    fn free_coalesces_adjacent_ranges() {
+        let mut p = MemPool::new("host", 300);
+        let a = p.alloc(100).unwrap();
+        let b = p.alloc(100).unwrap();
+        let c = p.alloc(100).unwrap();
+        p.free(a);
+        p.free(c);
+        p.free(b);
+        assert_eq!(p.free_bytes(), 300);
+        // Fully coalesced: a single 300-byte allocation must succeed.
+        assert!(p.alloc(300).is_ok());
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut p = MemPool::new("host", 128);
+        let r = p.alloc(16).unwrap();
+        assert_eq!(p.write(r, 10, &[0; 10]), Err(MemError::OutOfBounds));
+        assert_eq!(p.read(r, 16, 1).unwrap_err(), MemError::OutOfBounds);
+    }
+
+    #[test]
+    fn zero_sized_alloc_is_fine() {
+        let mut p = MemPool::new("host", 10);
+        let r = p.alloc(0).unwrap();
+        assert!(r.is_empty());
+        p.free(r);
+        assert_eq!(p.free_bytes(), 10);
+    }
+
+    #[test]
+    fn region_slicing() {
+        let mut p = MemPool::new("host", 64);
+        let r = p.alloc(32).unwrap();
+        p.write(r, 0, &(0u8..32).collect::<Vec<_>>()).unwrap();
+        let s = r.slice(8, 8);
+        assert_eq!(&p.read(s, 0, 8).unwrap()[..], &[8, 9, 10, 11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds region")]
+    fn bad_slice_panics() {
+        let mut p = MemPool::new("host", 64);
+        let r = p.alloc(8).unwrap();
+        r.slice(4, 8);
+    }
+}

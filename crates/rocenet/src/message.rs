@@ -1,0 +1,163 @@
+//! RDMA messages as zero-copy byte ropes.
+//!
+//! A middle-tier message is a 64-byte block-storage header followed by a
+//! payload (a data block, possibly compressed). AAMS splits and reassembles
+//! messages at arbitrary byte boundaries, so [`Message`] is a small rope of
+//! [`Bytes`] segments: prefix splits and concatenation are O(segments)
+//! without copying payload bytes.
+
+use bytes::Bytes;
+
+/// An RDMA message: an ordered sequence of byte segments.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Message {
+    parts: Vec<Bytes>,
+}
+
+impl Message {
+    /// An empty message.
+    pub fn new() -> Self {
+        Message::default()
+    }
+
+    /// A message from one contiguous buffer.
+    pub fn from_bytes(data: impl Into<Bytes>) -> Self {
+        let b = data.into();
+        if b.is_empty() {
+            Message::new()
+        } else {
+            Message { parts: vec![b] }
+        }
+    }
+
+    /// A message of `header` followed by `payload` (the canonical write
+    /// request layout), sharing both buffers.
+    pub fn header_payload(header: impl Into<Bytes>, payload: impl Into<Bytes>) -> Self {
+        let mut m = Message::new();
+        m.append(header.into());
+        m.append(payload.into());
+        m
+    }
+
+    /// Appends a segment (no copy).
+    pub fn append(&mut self, segment: Bytes) {
+        if !segment.is_empty() {
+            self.parts.push(segment);
+        }
+    }
+
+    /// Total length in bytes.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(Bytes::len).sum()
+    }
+
+    /// True if the message carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Splits off the first `n` bytes (clamped to the message length),
+    /// returning them as a new message and leaving the remainder in `self`.
+    /// Zero-copy: segments are sliced, not duplicated.
+    pub fn split_prefix(&mut self, n: usize) -> Message {
+        let mut head = Message::new();
+        let mut want = n;
+        let mut rest = Vec::new();
+        for part in self.parts.drain(..) {
+            if want == 0 {
+                rest.push(part);
+            } else if part.len() <= want {
+                want -= part.len();
+                head.append(part);
+            } else {
+                head.append(part.slice(..want));
+                rest.push(part.slice(want..));
+                want = 0;
+            }
+        }
+        self.parts = rest;
+        head
+    }
+
+    /// Copies the message into one contiguous buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        match self.parts.len() {
+            0 => Bytes::new(),
+            1 => self.parts[0].clone(),
+            _ => {
+                let mut v = Vec::with_capacity(self.len());
+                for p in &self.parts {
+                    v.extend_from_slice(p);
+                }
+                Bytes::from(v)
+            }
+        }
+    }
+
+    /// Iterates over the underlying segments.
+    pub fn segments(&self) -> impl Iterator<Item = &Bytes> {
+        self.parts.iter()
+    }
+}
+
+impl From<Vec<u8>> for Message {
+    fn from(v: Vec<u8>) -> Self {
+        Message::from_bytes(Bytes::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_payload_layout() {
+        let m = Message::header_payload(vec![1u8; 64], vec![2u8; 4096]);
+        assert_eq!(m.len(), 4160);
+        let flat = m.to_bytes();
+        assert!(flat[..64].iter().all(|&b| b == 1));
+        assert!(flat[64..].iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn split_prefix_is_exact_and_zero_copy() {
+        let mut m = Message::header_payload(vec![1u8; 64], vec![2u8; 4096]);
+        let head = m.split_prefix(64);
+        assert_eq!(head.len(), 64);
+        assert_eq!(m.len(), 4096);
+        // Split inside a segment.
+        let mut m2 = Message::from_bytes(vec![7u8; 100]);
+        let h2 = m2.split_prefix(33);
+        assert_eq!(h2.len(), 33);
+        assert_eq!(m2.len(), 67);
+    }
+
+    #[test]
+    fn split_clamps_to_length() {
+        let mut m = Message::from_bytes(vec![0u8; 10]);
+        let head = m.split_prefix(50);
+        assert_eq!(head.len(), 10);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn split_then_concat_is_identity() {
+        let data: Vec<u8> = (0..200u8).cycle().take(5000).collect();
+        for cut in [0, 1, 63, 64, 65, 4999, 5000] {
+            let mut m = Message::from_bytes(data.clone());
+            let mut head = m.split_prefix(cut);
+            for seg in m.segments() {
+                head.append(seg.clone());
+            }
+            assert_eq!(&head.to_bytes()[..], &data[..], "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn empty_segments_are_dropped() {
+        let mut m = Message::new();
+        m.append(Bytes::new());
+        assert!(m.is_empty());
+        assert_eq!(m.to_bytes().len(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Reliable-connection queue pairs.
+//!
+//! The simulated transport provides RoCE RC semantics at message
+//! granularity: each queue pair delivers its messages **reliably and in
+//! order**. In-order delivery is enforced structurally — a QP serializes its
+//! send queue, handing the driver one message at a time; the driver starts
+//! the next wire transfer only when the previous one completes, exactly like
+//! a NIC draining a send queue.
+
+use crate::message::Message;
+use std::collections::VecDeque;
+
+/// Address of a queue pair: owning node and QP number on that node.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QpAddr {
+    /// Owning node id (assigned by the cluster driver).
+    pub node: u32,
+    /// Queue pair number within the node.
+    pub qpn: u32,
+}
+
+/// A posted send, queued until the wire is free.
+#[derive(Clone, Debug)]
+pub struct PostedSend {
+    /// Caller-chosen work-request id, returned in the completion.
+    pub wr_id: u64,
+    /// The message to transmit.
+    pub msg: Message,
+}
+
+/// One side of a reliable connection.
+#[derive(Debug)]
+pub struct QueuePair {
+    addr: QpAddr,
+    peer: Option<QpAddr>,
+    sq: VecDeque<PostedSend>,
+    /// True while a message from this QP is on the wire.
+    sending: bool,
+    sends_completed: u64,
+}
+
+impl QueuePair {
+    /// Creates an unconnected QP with the given address.
+    pub fn new(addr: QpAddr) -> Self {
+        QueuePair {
+            addr,
+            peer: None,
+            sq: VecDeque::new(),
+            sending: false,
+            sends_completed: 0,
+        }
+    }
+
+    /// This QP's address.
+    pub fn addr(&self) -> QpAddr {
+        self.addr
+    }
+
+    /// The connected peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the QP is not connected.
+    pub fn peer(&self) -> QpAddr {
+        self.peer.expect("queue pair is not connected")
+    }
+
+    /// True once [`QueuePair::connect`] has been called.
+    pub fn is_connected(&self) -> bool {
+        self.peer.is_some()
+    }
+
+    /// Connects this QP to a remote peer (one side of the handshake).
+    ///
+    /// # Panics
+    ///
+    /// Panics if already connected.
+    pub fn connect(&mut self, peer: QpAddr) {
+        assert!(self.peer.is_none(), "queue pair already connected");
+        self.peer = Some(peer);
+    }
+
+    /// Posts a message to the send queue. Returns the message to put on the
+    /// wire *now* if the QP was idle; otherwise the message waits its turn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the QP is not connected.
+    pub fn post_send(&mut self, wr_id: u64, msg: Message) -> Option<PostedSend> {
+        assert!(self.peer.is_some(), "post_send on unconnected QP");
+        self.sq.push_back(PostedSend { wr_id, msg });
+        if self.sending {
+            None
+        } else {
+            self.sending = true;
+            self.sq.front().cloned()
+        }
+    }
+
+    /// Reports that the in-flight message finished its wire transfer.
+    /// Returns the next queued message to transmit, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no send was in flight.
+    pub fn send_complete(&mut self) -> (PostedSend, Option<PostedSend>) {
+        assert!(self.sending, "send_complete with no send in flight");
+        let done = self.sq.pop_front().expect("in-flight send present");
+        self.sends_completed += 1;
+        match self.sq.front() {
+            Some(next) => (done, Some(next.clone())),
+            None => {
+                self.sending = false;
+                (done, None)
+            }
+        }
+    }
+
+    /// Messages waiting (including the one in flight).
+    pub fn send_queue_depth(&self) -> usize {
+        self.sq.len()
+    }
+
+    /// Completed send count.
+    pub fn sends_completed(&self) -> u64 {
+        self.sends_completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qp() -> QueuePair {
+        let mut q = QueuePair::new(QpAddr { node: 0, qpn: 1 });
+        q.connect(QpAddr { node: 1, qpn: 9 });
+        q
+    }
+
+    #[test]
+    fn idle_qp_sends_immediately() {
+        let mut q = qp();
+        let first = q.post_send(7, Message::from_bytes(vec![1, 2, 3]));
+        assert_eq!(first.unwrap().wr_id, 7);
+    }
+
+    #[test]
+    fn busy_qp_queues_in_order() {
+        let mut q = qp();
+        q.post_send(1, Message::new());
+        assert!(q.post_send(2, Message::new()).is_none());
+        assert!(q.post_send(3, Message::new()).is_none());
+        assert_eq!(q.send_queue_depth(), 3);
+        let (done, next) = q.send_complete();
+        assert_eq!(done.wr_id, 1);
+        assert_eq!(next.unwrap().wr_id, 2);
+        let (done, next) = q.send_complete();
+        assert_eq!(done.wr_id, 2);
+        assert_eq!(next.unwrap().wr_id, 3);
+        let (done, next) = q.send_complete();
+        assert_eq!(done.wr_id, 3);
+        assert!(next.is_none());
+        assert_eq!(q.sends_completed(), 3);
+        // Idle again: next post starts immediately.
+        assert!(q.post_send(4, Message::new()).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "unconnected")]
+    fn send_on_unconnected_panics() {
+        let mut q = QueuePair::new(QpAddr { node: 0, qpn: 0 });
+        q.post_send(1, Message::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "no send in flight")]
+    fn spurious_completion_panics() {
+        let mut q = qp();
+        q.send_complete();
+    }
+}

@@ -1,0 +1,272 @@
+//! One-sided RDMA verbs: memory regions, keys, and WRITE/READ execution.
+//!
+//! The Figure 4 micro-benchmark "uses RDMA READ and RDMA WRITE to access
+//! remote memory", and the SmartDS RoCE stack supports "accessing host
+//! memory using one-sided and two-sided RDMA verbs" (§4.1). This module
+//! provides the one-sided half: memory-region registration with local and
+//! remote keys, permission-checked remote access, and typed failures
+//! (RoCE's remote-access-error class).
+
+use crate::mem::{MemPool, Region};
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Access rights attached to a registered memory region.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Remote peers may RDMA-READ this region.
+    pub remote_read: bool,
+    /// Remote peers may RDMA-WRITE this region.
+    pub remote_write: bool,
+}
+
+impl Access {
+    /// Read-only remote access.
+    pub const READ_ONLY: Access = Access {
+        remote_read: true,
+        remote_write: false,
+    };
+    /// Full remote access.
+    pub const READ_WRITE: Access = Access {
+        remote_read: true,
+        remote_write: true,
+    };
+    /// Local-only (no remote rights; one-sided ops will be rejected).
+    pub const LOCAL_ONLY: Access = Access {
+        remote_read: false,
+        remote_write: false,
+    };
+}
+
+/// The remote key naming a registered region (what peers embed in their
+/// work requests).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RKey(u32);
+
+/// One-sided operation failures (RoCE remote access error class).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum VerbError {
+    /// The rkey does not name a registered region (or was invalidated).
+    BadKey(RKey),
+    /// The region forbids the requested direction.
+    AccessDenied {
+        /// The offending key.
+        rkey: RKey,
+        /// True for writes, false for reads.
+        write: bool,
+    },
+    /// The access exceeds the region's bounds.
+    OutOfBounds {
+        /// Requested offset.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+        /// Region capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for VerbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerbError::BadKey(k) => write!(f, "remote access error: unknown rkey {k:?}"),
+            VerbError::AccessDenied { rkey, write } => write!(
+                f,
+                "remote access error: {} denied for {rkey:?}",
+                if *write { "write" } else { "read" }
+            ),
+            VerbError::OutOfBounds {
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "remote access error: {offset}+{len} exceeds region of {capacity} bytes"
+            ),
+        }
+    }
+}
+
+impl Error for VerbError {}
+
+#[derive(Debug)]
+struct Registered {
+    region: Region,
+    access: Access,
+}
+
+/// A protection domain: registered regions over one memory pool.
+#[derive(Debug, Default)]
+pub struct ProtectionDomain {
+    regions: HashMap<RKey, Registered>,
+    next_key: u32,
+}
+
+impl ProtectionDomain {
+    /// An empty protection domain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `region` with the given remote `access`, returning its
+    /// remote key.
+    pub fn register(&mut self, region: Region, access: Access) -> RKey {
+        let key = RKey(self.next_key);
+        self.next_key += 1;
+        self.regions.insert(key, Registered { region, access });
+        key
+    }
+
+    /// Invalidates a key (deregistration). Subsequent one-sided access
+    /// fails with [`VerbError::BadKey`].
+    pub fn deregister(&mut self, rkey: RKey) -> bool {
+        self.regions.remove(&rkey).is_some()
+    }
+
+    /// Number of live registrations.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    fn lookup(&self, rkey: RKey, write: bool, offset: usize, len: usize) -> Result<Region, VerbError> {
+        let reg = self.regions.get(&rkey).ok_or(VerbError::BadKey(rkey))?;
+        let allowed = if write {
+            reg.access.remote_write
+        } else {
+            reg.access.remote_read
+        };
+        if !allowed {
+            return Err(VerbError::AccessDenied { rkey, write });
+        }
+        if offset + len > reg.region.len() {
+            return Err(VerbError::OutOfBounds {
+                offset,
+                len,
+                capacity: reg.region.len(),
+            });
+        }
+        Ok(reg.region)
+    }
+
+    /// Executes an incoming RDMA WRITE: places `data` at `offset` within
+    /// the region named by `rkey`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerbError`] on key, permission, or bounds violations.
+    pub fn rdma_write(
+        &self,
+        pool: &mut MemPool,
+        rkey: RKey,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), VerbError> {
+        let region = self.lookup(rkey, true, offset, data.len())?;
+        pool.write(region, offset, data)
+            .expect("bounds pre-checked");
+        Ok(())
+    }
+
+    /// Executes an incoming RDMA READ: returns `len` bytes from `offset`
+    /// within the region named by `rkey`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerbError`] on key, permission, or bounds violations.
+    pub fn rdma_read(
+        &self,
+        pool: &MemPool,
+        rkey: RKey,
+        offset: usize,
+        len: usize,
+    ) -> Result<Bytes, VerbError> {
+        let region = self.lookup(rkey, false, offset, len)?;
+        Ok(pool.read(region, offset, len).expect("bounds pre-checked"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MemPool, ProtectionDomain, Region) {
+        let mut pool = MemPool::new("host", 4096);
+        let region = pool.alloc(1024).unwrap();
+        (pool, ProtectionDomain::new(), region)
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let (mut pool, mut pd, region) = setup();
+        let rkey = pd.register(region, Access::READ_WRITE);
+        pd.rdma_write(&mut pool, rkey, 100, b"one-sided").unwrap();
+        let got = pd.rdma_read(&pool, rkey, 100, 9).unwrap();
+        assert_eq!(&got[..], b"one-sided");
+    }
+
+    #[test]
+    fn read_only_region_rejects_writes() {
+        let (mut pool, mut pd, region) = setup();
+        let rkey = pd.register(region, Access::READ_ONLY);
+        let err = pd.rdma_write(&mut pool, rkey, 0, b"x").unwrap_err();
+        assert_eq!(err, VerbError::AccessDenied { rkey, write: true });
+        // Reads still work.
+        assert!(pd.rdma_read(&pool, rkey, 0, 8).is_ok());
+    }
+
+    #[test]
+    fn local_only_region_rejects_everything_remote() {
+        let (mut pool, mut pd, region) = setup();
+        let rkey = pd.register(region, Access::LOCAL_ONLY);
+        assert!(pd.rdma_write(&mut pool, rkey, 0, b"x").is_err());
+        assert!(pd.rdma_read(&pool, rkey, 0, 1).is_err());
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let (mut pool, mut pd, region) = setup();
+        let rkey = pd.register(region, Access::READ_WRITE);
+        let err = pd.rdma_write(&mut pool, rkey, 1020, &[0; 8]).unwrap_err();
+        assert_eq!(
+            err,
+            VerbError::OutOfBounds {
+                offset: 1020,
+                len: 8,
+                capacity: 1024
+            }
+        );
+        assert!(pd.rdma_read(&pool, rkey, 1024, 1).is_err());
+    }
+
+    #[test]
+    fn deregistration_invalidates_key() {
+        let (pool, mut pd, region) = setup();
+        let rkey = pd.register(region, Access::READ_WRITE);
+        assert!(pd.deregister(rkey));
+        assert!(!pd.deregister(rkey));
+        assert_eq!(pd.rdma_read(&pool, rkey, 0, 1), Err(VerbError::BadKey(rkey)));
+        assert!(pd.is_empty());
+    }
+
+    #[test]
+    fn keys_are_unique_per_registration() {
+        let (mut pool, mut pd, _) = setup();
+        let r1 = pool.alloc(64).unwrap();
+        let r2 = pool.alloc(64).unwrap();
+        let k1 = pd.register(r1, Access::READ_WRITE);
+        let k2 = pd.register(r2, Access::READ_WRITE);
+        assert_ne!(k1, k2);
+        assert_eq!(pd.len(), 2);
+        // Writes through one key do not touch the other region.
+        pd.rdma_write(&mut pool, k1, 0, &[7; 64]).unwrap();
+        let other = pd.rdma_read(&pool, k2, 0, 64).unwrap();
+        assert!(other.iter().all(|&b| b == 0));
+    }
+}

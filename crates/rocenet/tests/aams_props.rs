@@ -1,0 +1,69 @@
+//! Property tests for the AAMS split/assemble invariants.
+
+use proptest::prelude::*;
+use rocenet::{assemble_from, split_into, Message, MemPool, RecvDesc, SendDesc};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For every message and every split point, splitting into host+device
+    /// buffers and assembling back yields the original bytes.
+    #[test]
+    fn split_assemble_identity(
+        data in proptest::collection::vec(any::<u8>(), 0..8192),
+        h_size in 0usize..256,
+    ) {
+        let mut host = MemPool::new("host", 1 << 10);
+        let mut dev = MemPool::new("dev", 1 << 14);
+        let h_buf = host.alloc(256).unwrap();
+        let d_buf = dev.alloc(8192).unwrap();
+        let msg = Message::from_bytes(data.clone());
+        let desc = RecvDesc::split(1, h_buf, h_size, d_buf);
+        let placed = split_into(&msg, &desc, &mut host, &mut dev).unwrap();
+        prop_assert_eq!(placed.host_bytes + placed.dev_bytes, data.len());
+        prop_assert_eq!(placed.host_bytes, h_size.min(data.len()));
+        let sdesc = SendDesc {
+            wr_id: 2,
+            h_buf,
+            h_size: placed.host_bytes,
+            d_buf: Some(d_buf),
+            d_size: placed.dev_bytes,
+        };
+        let rebuilt = assemble_from(&sdesc, &host, &dev).unwrap();
+        prop_assert_eq!(&rebuilt.to_bytes()[..], &data[..]);
+    }
+
+    /// Messages larger than the descriptor capacity are always rejected and
+    /// never partially placed beyond buffer bounds.
+    #[test]
+    fn oversize_always_rejected(extra in 1usize..4096) {
+        let mut host = MemPool::new("host", 1 << 10);
+        let mut dev = MemPool::new("dev", 1 << 13);
+        let h_buf = host.alloc(64).unwrap();
+        let d_buf = dev.alloc(1024).unwrap();
+        let msg = Message::from_bytes(vec![0u8; 64 + 1024 + extra]);
+        let desc = RecvDesc::split(1, h_buf, 64, d_buf);
+        prop_assert!(split_into(&msg, &desc, &mut host, &mut dev).is_err());
+    }
+
+    /// Message rope splitting at any sequence of points preserves content.
+    #[test]
+    fn rope_split_preserves_bytes(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+        cuts in proptest::collection::vec(0usize..4096, 0..6),
+    ) {
+        let mut m = Message::from_bytes(data.clone());
+        let mut parts = Vec::new();
+        for c in cuts {
+            parts.push(m.split_prefix(c % (data.len() + 1)));
+        }
+        parts.push(m);
+        let mut whole = Message::new();
+        for p in &parts {
+            for seg in p.segments() {
+                whole.append(seg.clone());
+            }
+        }
+        prop_assert_eq!(&whole.to_bytes()[..], &data[..]);
+    }
+}

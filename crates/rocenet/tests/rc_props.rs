@@ -1,0 +1,159 @@
+//! Property tests: the RC protocol delivers every message exactly once, in
+//! order, byte-identical, across arbitrarily lossy channels — the guarantee
+//! the middle tier assumes of its transport (§2.2.1).
+
+use proptest::prelude::*;
+use rocenet::rc::{Control, Psn, RcReceiver, RcSender, RxAction};
+use rocenet::Message;
+use std::collections::VecDeque;
+
+/// A channel that drops and duplicates deterministically from a seed.
+struct LossyChannel {
+    state: u64,
+    drop_pct: u8,
+    dup_pct: u8,
+}
+
+impl LossyChannel {
+    fn new(seed: u64, drop_pct: u8, dup_pct: u8) -> Self {
+        LossyChannel {
+            state: seed | 1,
+            drop_pct,
+            dup_pct,
+        }
+    }
+
+    fn roll(&mut self) -> u8 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        (self.state % 100) as u8
+    }
+
+    /// Applies loss/duplication: returns 0, 1 or 2 copies.
+    fn transmit<T: Clone>(&mut self, item: T) -> Vec<T> {
+        let r = self.roll();
+        if r < self.drop_pct {
+            return vec![];
+        }
+        if r < self.drop_pct + self.dup_pct {
+            return vec![item.clone(), item];
+        }
+        vec![item]
+    }
+}
+
+/// Drives sender↔receiver over lossy data and control channels until every
+/// message is delivered (or panics on livelock).
+fn run_lossy(
+    msgs: &[(u64, Vec<u8>)],
+    mtu: usize,
+    window: usize,
+    seed: u64,
+    drop_pct: u8,
+    dup_pct: u8,
+) -> (Vec<(u64, Vec<u8>)>, u64) {
+    let mut tx = RcSender::new(mtu, window, Psn::new(0xFF_FFFA));
+    let mut rx = RcReceiver::new(Psn::new(0xFF_FFFA), msgs.len() + 4);
+    for (id, data) in msgs {
+        tx.post(*id, Message::from_bytes(data.clone()));
+    }
+    let mut data_chan = LossyChannel::new(seed, drop_pct, dup_pct);
+    let mut ctrl_chan = LossyChannel::new(seed ^ 0xABCD, drop_pct, dup_pct);
+    let mut wire: VecDeque<rocenet::rc::DataPacket> = VecDeque::new();
+    let mut ctrl_wire: VecDeque<Control> = VecDeque::new();
+    let mut delivered = Vec::new();
+    let mut idle_rounds = 0u32;
+    let mut total_rounds = 0u64;
+    while !tx.is_idle() {
+        total_rounds += 1;
+        assert!(
+            total_rounds < 2_000_000,
+            "livelock: {} delivered of {}",
+            delivered.len(),
+            msgs.len()
+        );
+        let mut progressed = false;
+        if let Some(pkt) = tx.poll_tx() {
+            for copy in data_chan.transmit(pkt) {
+                wire.push_back(copy);
+            }
+            progressed = true;
+        }
+        if let Some(pkt) = wire.pop_front() {
+            let action = rx.on_packet(&pkt);
+            let reply = match action {
+                RxAction::Reply(c) => c,
+                RxAction::Deliver { wr_id, msg, reply } => {
+                    delivered.push((wr_id, msg.to_bytes().to_vec()));
+                    reply
+                }
+            };
+            for copy in ctrl_chan.transmit(reply) {
+                ctrl_wire.push_back(copy);
+            }
+            progressed = true;
+        }
+        while let Some(c) = ctrl_wire.pop_front() {
+            tx.on_control(c);
+            progressed = true;
+        }
+        if progressed {
+            idle_rounds = 0;
+        } else {
+            idle_rounds += 1;
+            if idle_rounds > 4 {
+                // Everything in flight was lost: retransmission timeout.
+                tx.on_timeout();
+                idle_rounds = 0;
+            }
+        }
+    }
+    (delivered, tx.retransmissions())
+}
+
+fn messages_strategy() -> impl Strategy<Value = Vec<(u64, Vec<u8>)>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..3000), 1..12).prop_map(
+        |datas| {
+            datas
+                .into_iter()
+                .enumerate()
+                .map(|(i, d)| (i as u64, d))
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exactly-once, in-order, byte-identical delivery under loss and
+    /// duplication on both the data and control channels.
+    #[test]
+    fn reliable_delivery_under_loss(
+        msgs in messages_strategy(),
+        seed in any::<u64>(),
+        drop_pct in 0u8..35,
+        dup_pct in 0u8..15,
+        mtu in prop_oneof![Just(256usize), Just(700), Just(4096)],
+        window in 1usize..10,
+    ) {
+        let (delivered, _) = run_lossy(&msgs, mtu, window, seed, drop_pct, dup_pct);
+        prop_assert_eq!(delivered.len(), msgs.len(), "exactly once");
+        for (got, want) in delivered.iter().zip(msgs.iter()) {
+            prop_assert_eq!(got.0, want.0, "in order");
+            prop_assert_eq!(&got.1, &want.1, "byte identical");
+        }
+    }
+
+    /// A clean channel never retransmits.
+    #[test]
+    fn clean_channel_is_retransmission_free(
+        msgs in messages_strategy(),
+        window in 1usize..10,
+    ) {
+        let (delivered, retx) = run_lossy(&msgs, 1024, window, 7, 0, 0);
+        prop_assert_eq!(delivered.len(), msgs.len());
+        prop_assert_eq!(retx, 0, "no loss, no retransmissions");
+    }
+}

@@ -1,0 +1,319 @@
+//! The discrete-event engine: an event queue plus an executor.
+//!
+//! The engine is deliberately minimal. A simulation is a [`World`]: a single
+//! state machine that owns every model object (nodes, resources, transports)
+//! and receives its own event type back from the queue. Model objects are
+//! written as *passive* state machines — they return "what to do next" data
+//! instead of scheduling directly — and the world maps those onto
+//! [`Scheduler::schedule_in`] calls. This keeps models unit-testable without
+//! an engine and sidesteps shared-mutability patterns.
+//!
+//! Determinism: events at the same timestamp fire in FIFO insertion order
+//! (a monotonically increasing sequence number breaks ties), so a seeded
+//! simulation is exactly reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::{Scheduler, Simulation, Time, World};
+//!
+//! struct Counter {
+//!     fired: Vec<u32>,
+//! }
+//!
+//! impl World for Counter {
+//!     type Event = u32;
+//!     fn handle(&mut self, ev: u32, sched: &mut Scheduler<u32>) {
+//!         self.fired.push(ev);
+//!         if ev < 3 {
+//!             sched.schedule_in(Time::from_ns(10.0), ev + 1);
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Counter { fired: vec![] });
+//! sim.schedule_at(Time::ZERO, 0);
+//! sim.run();
+//! assert_eq!(sim.world().fired, vec![0, 1, 2, 3]);
+//! assert_eq!(sim.now(), Time::from_ns(30.0));
+//! ```
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A simulation world: owns all model state and handles its own events.
+pub trait World {
+    /// The event type circulated through the queue.
+    type Event;
+
+    /// Handles one event at the scheduler's current time.
+    fn handle(&mut self, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The scheduling interface handed to [`World::handle`].
+///
+/// Tracks the current simulated time and accepts future events.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    stopped: bool,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            now: Time::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            stopped: false,
+        }
+    }
+
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `event` at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`Scheduler::now`]).
+    pub fn schedule_at(&mut self, at: Time, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Schedules `event` after a relative delay from now.
+    pub fn schedule_in(&mut self, delay: Time, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Requests that the executor stop after the current event.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn next_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop().map(|Reverse(s)| s)
+    }
+}
+
+/// A discrete-event simulation: a [`World`] plus its event queue.
+#[derive(Debug)]
+pub struct Simulation<W: World> {
+    world: W,
+    sched: Scheduler<W::Event>,
+    executed: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Creates a simulation at time zero with an empty queue.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::new(),
+            executed: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Time {
+        self.sched.now()
+    }
+
+    /// Total number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (e.g. to inject load or read metrics).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedules an event before or between runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_at(&mut self, at: Time, event: W::Event) {
+        self.sched.schedule_at(at, event);
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Time, event: W::Event) {
+        self.sched.schedule_in(delay, event);
+    }
+
+    /// Executes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(s) = self.sched.pop() else {
+            return false;
+        };
+        debug_assert!(s.at >= self.sched.now);
+        self.sched.now = s.at;
+        self.executed += 1;
+        self.world.handle(s.event, &mut self.sched);
+        true
+    }
+
+    /// Runs until the queue is empty or [`Scheduler::stop`] is called.
+    pub fn run(&mut self) {
+        while !self.sched.stopped && self.step() {}
+        self.sched.stopped = false;
+    }
+
+    /// Runs until the queue drains, `stop()` is called, or the next event
+    /// would fire after `deadline`. Time is left at the last executed event
+    /// (it does not jump to the deadline).
+    pub fn run_until(&mut self, deadline: Time) {
+        while !self.sched.stopped {
+            match self.sched.next_time() {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.sched.stopped = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        log: Vec<(u64, &'static str)>,
+        stop_at: Option<&'static str>,
+    }
+
+    impl World for Recorder {
+        type Event = &'static str;
+        fn handle(&mut self, ev: &'static str, sched: &mut Scheduler<&'static str>) {
+            self.log.push((sched.now().as_ps(), ev));
+            if self.stop_at == Some(ev) {
+                sched.stop();
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_order_for_simultaneous_events() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule_at(Time::from_ps(10), "a");
+        sim.schedule_at(Time::from_ps(10), "b");
+        sim.schedule_at(Time::from_ps(5), "c");
+        sim.run();
+        assert_eq!(
+            sim.world().log,
+            vec![(5, "c"), (10, "a"), (10, "b")],
+            "same-time events must preserve insertion order"
+        );
+    }
+
+    #[test]
+    fn run_until_stops_before_deadline_exceeded() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule_at(Time::from_ps(10), "a");
+        sim.schedule_at(Time::from_ps(20), "b");
+        sim.schedule_at(Time::from_ps(30), "c");
+        sim.run_until(Time::from_ps(20));
+        assert_eq!(sim.world().log, vec![(10, "a"), (20, "b")]);
+        assert_eq!(sim.now(), Time::from_ps(20));
+        sim.run();
+        assert_eq!(sim.world().log.last(), Some(&(30, "c")));
+    }
+
+    #[test]
+    fn stop_halts_and_resets() {
+        let mut sim = Simulation::new(Recorder {
+            stop_at: Some("b"),
+            ..Recorder::default()
+        });
+        sim.schedule_at(Time::from_ps(1), "a");
+        sim.schedule_at(Time::from_ps(2), "b");
+        sim.schedule_at(Time::from_ps(3), "c");
+        sim.run();
+        assert_eq!(sim.world().log.len(), 2);
+        // Stop flag resets: a second run resumes.
+        sim.world_mut().stop_at = None;
+        sim.run();
+        assert_eq!(sim.world().log.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule_at(Time::from_ps(10), "a");
+        sim.run();
+        sim.schedule_at(Time::from_ps(5), "late");
+    }
+
+    #[test]
+    fn executed_counter() {
+        let mut sim = Simulation::new(Recorder::default());
+        for i in 0..5 {
+            sim.schedule_at(Time::from_ps(i), "x");
+        }
+        sim.run();
+        assert_eq!(sim.executed(), 5);
+    }
+}

@@ -1,0 +1,533 @@
+//! Fluid-flow bandwidth resources with weighted max-min fair sharing.
+//!
+//! Links, PCIe lanes, memory systems and compression engines are all modelled
+//! as a [`FluidResource`]: a capacity in bytes/second shared by the flows
+//! currently crossing it. Whenever the flow set changes, rates are
+//! recomputed with **weighted max-min fairness** (water-filling): each flow
+//! receives `weight × fair-share`, clamped to its optional rate cap, and
+//! capacity freed by capped flows is redistributed to the rest. Between
+//! changes, rates are constant, so every flow's completion instant is exact —
+//! this is the classic piecewise-constant fluid approximation used by flow
+//! simulators, and it is what lets a laptop reproduce bandwidth phenomena
+//! measured on 100 GbE hardware.
+//!
+//! A flow may be *persistent* (infinite bytes) to model background pressure —
+//! e.g. the Intel MLC memory-load injector from the paper's Section 3 — and
+//! every flow carries a `class` tag so callers can account bytes per
+//! direction (memory read vs write, PCIe H2D vs D2H).
+//!
+//! # Driving protocol
+//!
+//! The resource is passive. After *any* batch of calls at one instant, the
+//! driver must:
+//!
+//! 1. drain [`FluidResource::take_completed`], and
+//! 2. re-arm a wakeup at [`FluidResource::next_wake`] carrying
+//!    [`FluidResource::epoch`]; stale epochs are ignored on delivery.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::{FlowSpec, FluidResource, Time};
+//!
+//! // A 100 Gbps link (12.5 GB/s).
+//! let mut link = FluidResource::new("nic0", 12.5e9);
+//! link.start_flow(Time::ZERO, 12.5e9, FlowSpec::new(), 1);
+//! link.start_flow(Time::ZERO, 12.5e9, FlowSpec::new(), 2);
+//! // Two equal flows share the link: each runs at 6.25 GB/s and both
+//! // 12.5 GB transfers finish at t = 2 s (+1 ps rounding guard).
+//! let wake = link.next_wake().unwrap();
+//! assert_eq!(wake, Time::from_secs(2.0) + Time::from_ps(1));
+//! link.sync(wake);
+//! let done = link.take_completed();
+//! assert_eq!(done.len(), 2);
+//! ```
+
+use crate::time::{Time, PS_PER_SEC};
+
+/// Residual byte count below which a flow is considered complete.
+const EPS_BYTES: f64 = 0.5;
+
+/// Identifier for a flow within one [`FluidResource`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FlowId(u32);
+
+/// Parameters of a new flow.
+#[derive(Copy, Clone, Debug)]
+pub struct FlowSpec {
+    /// Relative share weight (default 1.0).
+    pub weight: f64,
+    /// Upper bound on this flow's rate in bytes/sec (default unbounded).
+    /// Used when the flow's source or sink is slower than this resource.
+    pub rate_cap: f64,
+    /// Accounting class (e.g. 0 = read, 1 = write). Purely for metering.
+    pub class: u8,
+}
+
+impl FlowSpec {
+    /// A weight-1, uncapped, class-0 flow.
+    pub fn new() -> Self {
+        FlowSpec {
+            weight: 1.0,
+            rate_cap: f64::INFINITY,
+            class: 0,
+        }
+    }
+
+    /// Sets the fair-share weight.
+    pub fn weight(mut self, w: f64) -> Self {
+        assert!(w > 0.0 && w.is_finite(), "weight must be positive: {w}");
+        self.weight = w;
+        self
+    }
+
+    /// Sets a rate cap in bytes/sec.
+    pub fn rate_cap(mut self, cap: f64) -> Self {
+        assert!(cap >= 0.0, "rate cap must be non-negative: {cap}");
+        self.rate_cap = cap;
+        self
+    }
+
+    /// Sets the accounting class.
+    pub fn class(mut self, class: u8) -> Self {
+        self.class = class;
+        self
+    }
+}
+
+impl Default for FlowSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A finished flow, reported by [`FluidResource::take_completed`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FlowEnd {
+    /// The caller-supplied token identifying what this flow was.
+    pub token: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    remaining: f64,
+    spec: FlowSpec,
+    rate: f64,
+    token: u64,
+    live: bool,
+}
+
+/// A shared-bandwidth resource with weighted max-min fair allocation.
+///
+/// See the module-level documentation for the driving protocol.
+#[derive(Debug)]
+pub struct FluidResource {
+    name: &'static str,
+    capacity: f64,
+    flows: Vec<Flow>,
+    free: Vec<u32>,
+    active: usize,
+    last_sync: Time,
+    epoch: u64,
+    completed: Vec<FlowEnd>,
+    /// Cumulative bytes moved, per accounting class.
+    class_bytes: [f64; 8],
+}
+
+impl FluidResource {
+    /// Creates a resource with `capacity` bytes/sec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is negative or NaN.
+    pub fn new(name: &'static str, capacity: f64) -> Self {
+        assert!(
+            capacity >= 0.0 && !capacity.is_nan(),
+            "capacity must be non-negative: {capacity}"
+        );
+        FluidResource {
+            name,
+            capacity,
+            flows: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            last_sync: Time::ZERO,
+            epoch: 0,
+            completed: Vec::new(),
+            class_bytes: [0.0; 8],
+        }
+    }
+
+    /// The resource's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Configured capacity in bytes/sec.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.active
+    }
+
+    /// Monotonic epoch, bumped whenever rates change. Wakeups scheduled under
+    /// an older epoch must be discarded.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Cumulative bytes transferred for an accounting class.
+    pub fn bytes_for_class(&self, class: u8) -> f64 {
+        self.class_bytes[class as usize & 7]
+    }
+
+    /// Cumulative bytes transferred across all classes.
+    pub fn total_bytes(&self) -> f64 {
+        self.class_bytes.iter().sum()
+    }
+
+    /// Sum of current flow rates (bytes/sec); never exceeds capacity.
+    pub fn allocated_rate(&self) -> f64 {
+        self.flows
+            .iter()
+            .filter(|f| f.live)
+            .map(|f| f.rate)
+            .sum()
+    }
+
+    /// Current rate of one flow in bytes/sec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow has already completed or been ended.
+    pub fn flow_rate(&self, id: FlowId) -> f64 {
+        let f = &self.flows[id.0 as usize];
+        assert!(f.live, "{}: flow {id:?} is not live", self.name);
+        f.rate
+    }
+
+    /// Advances fluid state to `now`, moving bytes and retiring finished
+    /// flows into the completed buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is before the previous sync point.
+    pub fn sync(&mut self, now: Time) {
+        assert!(
+            now >= self.last_sync,
+            "{}: sync moving backwards: {now:?} < {:?}",
+            self.name,
+            self.last_sync
+        );
+        let dt = (now - self.last_sync).as_ps() as f64 / PS_PER_SEC as f64;
+        self.last_sync = now;
+        if dt == 0.0 || self.active == 0 {
+            return;
+        }
+        let mut retired = false;
+        for (i, f) in self.flows.iter_mut().enumerate() {
+            if !f.live || f.rate == 0.0 {
+                continue;
+            }
+            let moved = (f.rate * dt).min(f.remaining);
+            self.class_bytes[f.spec.class as usize & 7] += moved;
+            if f.remaining.is_finite() {
+                f.remaining -= moved;
+                if f.remaining <= EPS_BYTES {
+                    f.live = false;
+                    retired = true;
+                    self.completed.push(FlowEnd { token: f.token });
+                    self.free.push(i as u32);
+                }
+            }
+        }
+        if retired {
+            self.active = self.flows.iter().filter(|f| f.live).count();
+            self.recompute();
+        }
+    }
+
+    /// Starts a flow of `bytes` (may be `f64::INFINITY` for a persistent
+    /// background flow). The caller must have synced to `now` beforehand or
+    /// rely on this call doing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is negative or NaN.
+    pub fn start_flow(&mut self, now: Time, bytes: f64, spec: FlowSpec, token: u64) -> FlowId {
+        assert!(bytes >= 0.0 && !bytes.is_nan(), "invalid flow size: {bytes}");
+        self.sync(now);
+        let flow = Flow {
+            remaining: bytes,
+            spec,
+            rate: 0.0,
+            token,
+            live: true,
+        };
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.flows[slot as usize] = flow;
+                FlowId(slot)
+            }
+            None => {
+                self.flows.push(flow);
+                FlowId((self.flows.len() - 1) as u32)
+            }
+        };
+        // A zero-byte flow completes immediately without affecting rates.
+        if bytes <= EPS_BYTES {
+            let f = &mut self.flows[id.0 as usize];
+            f.live = false;
+            self.completed.push(FlowEnd { token });
+            self.free.push(id.0);
+            return id;
+        }
+        self.active += 1;
+        self.recompute();
+        id
+    }
+
+    /// Ends a flow early (used for persistent background flows). Any
+    /// remaining bytes are abandoned; no completion is reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is not live.
+    pub fn end_flow(&mut self, now: Time, id: FlowId) {
+        self.sync(now);
+        let f = &mut self.flows[id.0 as usize];
+        assert!(f.live, "{}: ending non-live flow {id:?}", self.name);
+        f.live = false;
+        self.active -= 1;
+        self.free.push(id.0);
+        self.recompute();
+    }
+
+    /// Changes a live flow's rate cap (e.g. the downstream stage sped up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is not live.
+    pub fn set_rate_cap(&mut self, now: Time, id: FlowId, cap: f64) {
+        self.sync(now);
+        let f = &mut self.flows[id.0 as usize];
+        assert!(f.live, "{}: capping non-live flow {id:?}", self.name);
+        f.spec.rate_cap = cap;
+        self.recompute();
+    }
+
+    /// Drains the buffer of flows that finished at or before the last sync.
+    pub fn take_completed(&mut self) -> Vec<FlowEnd> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// The instant of the next flow completion under current rates, if any.
+    pub fn next_wake(&self) -> Option<Time> {
+        let mut best: Option<Time> = None;
+        for f in &self.flows {
+            if !f.live || f.rate <= 0.0 || !f.remaining.is_finite() {
+                continue;
+            }
+            let secs = f.remaining / f.rate;
+            let ps = (secs * PS_PER_SEC as f64).ceil() as u64 + 1;
+            let at = self.last_sync.saturating_add(Time::from_ps(ps));
+            best = Some(match best {
+                Some(b) => b.min(at),
+                None => at,
+            });
+        }
+        best
+    }
+
+    /// Weighted max-min fair (water-filling) rate allocation.
+    fn recompute(&mut self) {
+        self.epoch += 1;
+        if self.active == 0 {
+            return;
+        }
+        // Collect live flow indices sorted by cap/weight ascending, so that
+        // flows capped below the fair share are satisfied (and their leftover
+        // capacity released) in one pass.
+        let mut order: Vec<u32> = (0..self.flows.len() as u32)
+            .filter(|&i| self.flows[i as usize].live)
+            .collect();
+        order.sort_by(|&a, &b| {
+            let fa = &self.flows[a as usize];
+            let fb = &self.flows[b as usize];
+            let ka = fa.spec.rate_cap / fa.spec.weight;
+            let kb = fb.spec.rate_cap / fb.spec.weight;
+            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut remaining_cap = self.capacity;
+        let mut remaining_weight: f64 = order
+            .iter()
+            .map(|&i| self.flows[i as usize].spec.weight)
+            .sum();
+        for &i in &order {
+            let f = &mut self.flows[i as usize];
+            let share = if remaining_weight > 0.0 {
+                remaining_cap * f.spec.weight / remaining_weight
+            } else {
+                0.0
+            };
+            let rate = share.min(f.spec.rate_cap);
+            f.rate = rate;
+            remaining_cap = (remaining_cap - rate).max(0.0);
+            remaining_weight -= f.spec.weight;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::gbps;
+
+    fn drain_tokens(r: &mut FluidResource) -> Vec<u64> {
+        r.take_completed().into_iter().map(|e| e.token).collect()
+    }
+
+    #[test]
+    fn single_flow_runs_at_capacity() {
+        let mut r = FluidResource::new("link", 1e9);
+        let id = r.start_flow(Time::ZERO, 1e9, FlowSpec::new(), 7);
+        assert_eq!(r.flow_rate(id), 1e9);
+        let wake = r.next_wake().unwrap();
+        // 1 GB at 1 GB/s = 1 s (+1 ps rounding guard).
+        assert!(wake >= Time::from_secs(1.0));
+        assert!(wake <= Time::from_secs(1.0) + Time::from_ps(2));
+        r.sync(wake);
+        assert_eq!(drain_tokens(&mut r), vec![7]);
+        assert_eq!(r.active_flows(), 0);
+    }
+
+    #[test]
+    fn equal_flows_split_equally() {
+        let mut r = FluidResource::new("link", 2e9);
+        let a = r.start_flow(Time::ZERO, 1e9, FlowSpec::new(), 1);
+        let b = r.start_flow(Time::ZERO, 1e9, FlowSpec::new(), 2);
+        assert_eq!(r.flow_rate(a), 1e9);
+        assert_eq!(r.flow_rate(b), 1e9);
+    }
+
+    #[test]
+    fn weights_bias_allocation() {
+        let mut r = FluidResource::new("mem", 3e9);
+        let a = r.start_flow(Time::ZERO, f64::INFINITY, FlowSpec::new().weight(2.0), 1);
+        let b = r.start_flow(Time::ZERO, f64::INFINITY, FlowSpec::new().weight(1.0), 2);
+        assert!((r.flow_rate(a) - 2e9).abs() < 1.0);
+        assert!((r.flow_rate(b) - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn rate_cap_releases_capacity_to_others() {
+        let mut r = FluidResource::new("pcie", 10e9);
+        let slow = r.start_flow(Time::ZERO, f64::INFINITY, FlowSpec::new().rate_cap(1e9), 1);
+        let fast = r.start_flow(Time::ZERO, f64::INFINITY, FlowSpec::new(), 2);
+        assert_eq!(r.flow_rate(slow), 1e9);
+        // The uncapped flow gets everything the capped one cannot use.
+        assert!((r.flow_rate(fast) - 9e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn completion_frees_bandwidth_for_remaining_flow() {
+        let mut r = FluidResource::new("link", 2e9);
+        r.start_flow(Time::ZERO, 1e9, FlowSpec::new(), 1); // done at 1 s
+        let b = r.start_flow(Time::ZERO, 3e9, FlowSpec::new(), 2);
+        let w1 = r.next_wake().unwrap();
+        r.sync(w1);
+        assert_eq!(drain_tokens(&mut r), vec![1]);
+        // Flow b moved 1 GB in the first second, 2 GB left at full 2 GB/s.
+        assert!((r.flow_rate(b) - 2e9).abs() < 1.0);
+        let w2 = r.next_wake().unwrap();
+        assert!(w2 >= Time::from_secs(2.0) && w2 <= Time::from_secs(2.0) + Time::from_ps(4));
+        r.sync(w2);
+        assert_eq!(drain_tokens(&mut r), vec![2]);
+    }
+
+    #[test]
+    fn persistent_flow_never_completes_but_meters_bytes() {
+        let mut r = FluidResource::new("mem", 1e9);
+        r.start_flow(Time::ZERO, f64::INFINITY, FlowSpec::new().class(3), 1);
+        assert_eq!(r.next_wake(), None);
+        r.sync(Time::from_secs(2.0));
+        assert!(drain_tokens(&mut r).is_empty());
+        assert!((r.bytes_for_class(3) - 2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn end_flow_redistributes() {
+        let mut r = FluidResource::new("link", 2e9);
+        let bg = r.start_flow(Time::ZERO, f64::INFINITY, FlowSpec::new(), 1);
+        let fg = r.start_flow(Time::ZERO, 4e9, FlowSpec::new(), 2);
+        assert_eq!(r.flow_rate(fg), 1e9);
+        r.end_flow(Time::from_secs(1.0), bg);
+        assert_eq!(r.flow_rate(fg), 2e9);
+        // fg moved 1 GB already; 3 GB at 2 GB/s → finishes at 2.5 s.
+        let w = r.next_wake().unwrap();
+        assert!(w >= Time::from_secs(2.5) && w <= Time::from_secs(2.5) + Time::from_ps(4));
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut r = FluidResource::new("link", 1e9);
+        r.start_flow(Time::ZERO, 0.0, FlowSpec::new(), 9);
+        assert_eq!(drain_tokens(&mut r), vec![9]);
+        assert_eq!(r.active_flows(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_stalls() {
+        let mut r = FluidResource::new("dead", 0.0);
+        let id = r.start_flow(Time::ZERO, 100.0, FlowSpec::new(), 1);
+        assert_eq!(r.flow_rate(id), 0.0);
+        assert_eq!(r.next_wake(), None);
+    }
+
+    #[test]
+    fn conservation_under_many_flows() {
+        let mut r = FluidResource::new("mem", gbps(960.0));
+        for i in 0..17 {
+            let spec = FlowSpec::new()
+                .weight(1.0 + (i % 3) as f64)
+                .rate_cap(if i % 4 == 0 { gbps(10.0) } else { f64::INFINITY });
+            r.start_flow(Time::ZERO, f64::INFINITY, spec, i);
+        }
+        let total = r.allocated_rate();
+        assert!(total <= r.capacity() * (1.0 + 1e-9), "over-allocated: {total}");
+        // Work conservation: with at least one uncapped flow, everything is used.
+        assert!(total >= r.capacity() * (1.0 - 1e-9), "under-allocated: {total}");
+    }
+
+    #[test]
+    fn set_rate_cap_changes_rate() {
+        let mut r = FluidResource::new("link", 10e9);
+        let id = r.start_flow(Time::ZERO, f64::INFINITY, FlowSpec::new(), 1);
+        assert_eq!(r.flow_rate(id), 10e9);
+        r.set_rate_cap(Time::from_secs(1.0), id, 1e9);
+        assert_eq!(r.flow_rate(id), 1e9);
+        assert!((r.total_bytes() - 10e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn epoch_bumps_on_rate_changes() {
+        let mut r = FluidResource::new("link", 1e9);
+        let e0 = r.epoch();
+        let id = r.start_flow(Time::ZERO, f64::INFINITY, FlowSpec::new(), 1);
+        assert!(r.epoch() > e0);
+        let e1 = r.epoch();
+        r.end_flow(Time::from_ps(10), id);
+        assert!(r.epoch() > e1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sync moving backwards")]
+    fn sync_backwards_panics() {
+        let mut r = FluidResource::new("link", 1e9);
+        r.sync(Time::from_secs(1.0));
+        r.sync(Time::from_ms(1.0));
+    }
+}

@@ -1,0 +1,155 @@
+//! A small deterministic PRNG for simulation use.
+//!
+//! `simkit` stays dependency-free, so it ships its own
+//! [SplitMix64](https://prng.di.unimi.it/splitmix64.c)-based generator.
+//! SplitMix64 passes BigCrush, is seedable from a single `u64`, and every
+//! stream is exactly reproducible — which is what a simulator needs (the
+//! workload crates use the `rand` crate for richer distributions).
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::Rng;
+//!
+//! let mut a = Rng::new(42);
+//! let mut b = Rng::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+/// A seedable SplitMix64 pseudo-random generator.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Derives an independent child generator (for per-node streams).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64() ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_range(0)");
+        // Lemire's multiply-shift rejection method for unbiased range.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= (n.wrapping_neg() % n) {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean (for Poisson
+    /// inter-arrival times in open-loop load generators).
+    pub fn gen_exp(&mut self, mean: f64) -> f64 {
+        // Inverse CDF; guard against ln(0).
+        let u = self.gen_f64().max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = Rng::new(99);
+        for _ in 0..10_000 {
+            let v = r.gen_range(13);
+            assert!(v < 13);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = Rng::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.gen_range(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(5);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let mut r = Rng::new(11);
+        let mean_target = 250.0;
+        let mut sum = 0.0;
+        for _ in 0..50_000 {
+            let v = r.gen_exp(mean_target);
+            assert!(v >= 0.0);
+            sum += v;
+        }
+        let mean = sum / 50_000.0;
+        assert!((mean - mean_target).abs() / mean_target < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng::new(42);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the fluid-resource invariants: conservation, work
+//! conservation, and completion exactness under arbitrary operation
+//! sequences.
+
+use proptest::prelude::*;
+use simkit::{FlowSpec, FluidResource, Time};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Start { bytes: u32, weight: u8, cap: u8 },
+    Advance { ps: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..50_000_000, 1u8..5, 0u8..4).prop_map(|(bytes, weight, cap)| Op::Start {
+            bytes,
+            weight,
+            cap
+        }),
+        (1u32..50_000_000).prop_map(|ps| Op::Advance { ps }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Total bytes credited to flows never exceed capacity × elapsed time,
+    /// and every started byte is eventually delivered exactly once.
+    #[test]
+    fn conservation_and_exact_delivery(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let capacity = 1e9; // 1 GB/s
+        let mut r = FluidResource::new("prop", capacity);
+        let mut now = Time::ZERO;
+        let mut started: f64 = 0.0;
+        let mut token = 0u64;
+        let mut completed = 0usize;
+        let mut flows_started = 0usize;
+
+        for op in &ops {
+            match *op {
+                Op::Start { bytes, weight, cap } => {
+                    let mut spec = FlowSpec::new().weight(weight as f64);
+                    if cap > 0 {
+                        spec = spec.rate_cap(cap as f64 * 2e8);
+                    }
+                    r.start_flow(now, bytes as f64, spec, token);
+                    started += bytes as f64;
+                    token += 1;
+                    flows_started += 1;
+                }
+                Op::Advance { ps } => {
+                    now += Time::from_ps(ps as u64);
+                    r.sync(now);
+                }
+            }
+            completed += r.take_completed().len();
+            // Allocated rate never exceeds capacity.
+            let alloc = r.allocated_rate();
+            prop_assert!(alloc <= capacity * (1.0 + 1e-9), "over-allocated {alloc}");
+            // Work conservation: if any uncapped backlog exists, the full
+            // capacity is in use. (All caps here are ≥ 0.2 GB/s, so with ≥5
+            // active flows the sum of caps exceeds capacity.)
+            if r.active_flows() >= 5 {
+                prop_assert!(alloc >= capacity * (1.0 - 1e-9), "under-allocated {alloc}");
+            }
+            // Bytes moved so far cannot exceed capacity × time.
+            let moved = r.total_bytes();
+            let budget = capacity * now.as_secs() + 1.0;
+            prop_assert!(moved <= budget, "moved {moved} > budget {budget}");
+            prop_assert!(moved <= started + 1.0, "moved more than started");
+        }
+
+        // Drain: run the resource dry and check every flow completed.
+        let mut guard = 0;
+        while let Some(at) = r.next_wake() {
+            r.sync(at);
+            completed += r.take_completed().len();
+            guard += 1;
+            prop_assert!(guard < 10_000, "resource failed to drain");
+        }
+        prop_assert_eq!(completed, flows_started, "every flow completes exactly once");
+        // And all started bytes were delivered (within rounding slack).
+        prop_assert!((r.total_bytes() - started).abs() < flows_started as f64 + 1.0);
+    }
+
+    /// Weighted shares: two persistent flows with weights w1:w2 receive
+    /// rates in exactly that proportion.
+    #[test]
+    fn weighted_shares_exact(w1 in 1u8..10, w2 in 1u8..10) {
+        let mut r = FluidResource::new("w", 10e9);
+        let a = r.start_flow(Time::ZERO, f64::INFINITY, FlowSpec::new().weight(w1 as f64), 1);
+        let b = r.start_flow(Time::ZERO, f64::INFINITY, FlowSpec::new().weight(w2 as f64), 2);
+        let ra = r.flow_rate(a);
+        let rb = r.flow_rate(b);
+        let expect = w1 as f64 / w2 as f64;
+        prop_assert!((ra / rb - expect).abs() < 1e-9, "{ra} {rb}");
+        prop_assert!((ra + rb - 10e9).abs() < 1.0);
+    }
+}

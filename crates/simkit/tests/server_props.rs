@@ -1,0 +1,64 @@
+//! Property tests for the k-server FIFO pool.
+
+use proptest::prelude::*;
+use simkit::{ServerPool, Time};
+use std::collections::BinaryHeap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under any arrival pattern: at most `k` jobs in service, FIFO start
+    /// order, every job completes exactly once, and busy time equals the
+    /// sum of service times.
+    #[test]
+    fn pool_invariants(
+        servers in 1usize..6,
+        jobs in proptest::collection::vec((1u64..10_000, 0u64..5_000), 1..60),
+    ) {
+        let mut pool = ServerPool::new("prop", servers);
+        // (finish_at_ps, token) of jobs currently in service.
+        let mut in_service: BinaryHeap<std::cmp::Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut now = Time::ZERO;
+        let mut started = Vec::new();
+        let mut total_service = Time::ZERO;
+
+        let drain_until = |t: Time,
+                               pool: &mut ServerPool,
+                               in_service: &mut BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+                               started: &mut Vec<u64>| {
+            while let Some(&std::cmp::Reverse((at, _))) = in_service.peek() {
+                if Time::from_ps(at) > t {
+                    break;
+                }
+                in_service.pop();
+                if let Some(next) = pool.complete(Time::from_ps(at)) {
+                    started.push(next.token);
+                    in_service.push(std::cmp::Reverse((next.finish_at.as_ps(), next.token)));
+                }
+            }
+        };
+
+        for (i, (service_ns, gap_ns)) in jobs.iter().enumerate() {
+            now += Time::from_ps(gap_ns * 1000);
+            drain_until(now, &mut pool, &mut in_service, &mut started);
+            let service = Time::from_ps(service_ns * 1000);
+            total_service += service;
+            if let Some(js) = pool.submit(now, service, i as u64) {
+                started.push(js.token);
+                in_service.push(std::cmp::Reverse((js.finish_at.as_ps(), js.token)));
+            }
+            prop_assert!(pool.busy() <= servers);
+            prop_assert_eq!(in_service.len(), pool.busy());
+        }
+        // Drain everything.
+        drain_until(Time::MAX, &mut pool, &mut in_service, &mut started);
+        prop_assert_eq!(pool.jobs_done() as usize, jobs.len(), "exactly once");
+        prop_assert_eq!(pool.busy(), 0);
+        prop_assert_eq!(pool.queued(), 0);
+        // FIFO: tokens start in submission order.
+        let mut sorted = started.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&started, &sorted, "FIFO start order");
+        prop_assert_eq!(pool.busy_time(), total_service);
+    }
+}

@@ -1,0 +1,56 @@
+//! Scenario: performance isolation under maintenance-service pressure.
+//!
+//! The paper's §5.3 insight: a CPU-based middle tier cannot isolate its
+//! real-time I/O serving from maintenance services that hammer host memory,
+//! while SmartDS — whose payloads never touch host memory — is immune. This
+//! example sweeps the pressure knob and prints each design's throughput
+//! retention, the essence of Figure 9.
+//!
+//! ```text
+//! cargo run --release -p smartds-examples --bin interference
+//! ```
+
+use simkit::Time;
+use smartds::{cluster, Design, RunConfig};
+
+fn config(design: Design, delay: Option<u32>) -> RunConfig {
+    let mut cfg = RunConfig::saturating(design);
+    cfg.warmup = Time::from_ms(3.0);
+    cfg.measure = Time::from_ms(9.0);
+    if design == Design::CpuOnly {
+        // 16 cores go to the pressure generator, as in §5.3.
+        cfg = cfg.with_cores(32);
+    }
+    if let Some(d) = delay {
+        cfg = cfg.with_mlc(16, d);
+    }
+    cfg
+}
+
+fn main() {
+    let designs = [
+        Design::CpuOnly,
+        Design::Acc { ddio: true },
+        Design::SmartDs { ports: 1 },
+    ];
+    println!("Throughput under memory pressure from 16 maintenance cores\n");
+    println!(
+        "{:<14} {:>12} {:>14} {:>10}",
+        "design", "idle (Gbps)", "pressed (Gbps)", "retained"
+    );
+    for d in designs {
+        let idle = cluster::run(&config(d, None));
+        let pressed = cluster::run(&config(d, Some(0)));
+        println!(
+            "{:<14} {:>12.1} {:>14.1} {:>9.0}%",
+            d.label(),
+            idle.throughput_gbps,
+            pressed.throughput_gbps,
+            pressed.throughput_gbps / idle.throughput_gbps * 100.0
+        );
+    }
+    println!(
+        "\nSmartDS retains its throughput without partitioning memory \
+         bandwidth or caches — the paper's performance-isolation claim."
+    );
+}

@@ -1,0 +1,17 @@
+//! Runnable SmartDS example applications.
+//!
+//! * `quickstart` — the paper's Listing 1 write-serving loop on the Table 2
+//!   API, with end-to-end byte verification.
+//! * `cpu_baseline` — the same application on a conventional "RDMA NIC +
+//!   LZ4 library" middle tier (§4.3's LoC comparison point).
+//! * `read_path` — §2.2.2's read flow: split reply, device decompression,
+//!   assembled return.
+//! * `provision` — sizing a middle-tier fleet for a target Tbps with each
+//!   design (the TCO motivation).
+//! * `interference` — Figure 9 in miniature: throughput retention under
+//!   memory pressure.
+//! * `virtual_disk` — a VM's byte-addressed virtual disk over the full
+//!   split-compress-replicate path, with fail-over and verification.
+//! * `cold_archive` — tiering compacted chunks into checksummed `.lz4`
+//!   frames and restoring them byte-perfectly.
+//! * `tenants` — per-VM token-bucket rate limiting on a shared middle tier.

@@ -1,0 +1,137 @@
+//! Quickstart: the paper's Listing 1 — serving write requests with SmartDS.
+//!
+//! A VM issues 4 KiB write requests; the middle-tier software receives each
+//! one with `dev_mixed_recv` (header to host memory, payload to device HBM),
+//! parses the header on the host CPU, compresses latency-tolerant blocks on
+//! the device engine with `dev_func`, and forwards three replicas to storage
+//! servers with `dev_mixed_send`. Run with:
+//!
+//! ```text
+//! cargo run -p smartds-examples --bin quickstart
+//! ```
+
+use blockstore::{Header, Op, ServerId, StorageServer, StoredBlock, HEADER_LEN};
+use corpus::BlockPool;
+use rocenet::Message;
+use smartds::api::{ApiError, EngineKind, RemotePeer, SmartDs};
+
+const MAX_SIZE: usize = 8192;
+const REQUESTS: u64 = 64;
+const REPLICAS: usize = 3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Allocating host and device memory buffers.
+    let mut ds = SmartDs::new(1);
+    let h_buf_recv = ds.host_alloc(MAX_SIZE)?;
+    let h_buf_send = ds.host_alloc(MAX_SIZE)?;
+    let d_buf_recv = ds.dev_alloc(MAX_SIZE)?;
+    let d_buf_send = ds.dev_alloc(MAX_SIZE)?;
+
+    // Open RoCE instance 0.
+    let ctx = ds.open_roce_instance(0);
+    // Connect queue pairs with the remote client and storage servers.
+    let vm = RemotePeer::new();
+    let qp_recv = ds.connect_qp(ctx, &vm);
+    let storage_peers: Vec<RemotePeer> = (0..REPLICAS).map(|_| RemotePeer::new()).collect();
+    let qp_send: Vec<_> = storage_peers.iter().map(|p| ds.connect_qp(ctx, p)).collect();
+    let mut storage_nodes: Vec<StorageServer> = (0..REPLICAS as u32)
+        .map(|i| StorageServer::new(ServerId(i), 1 << 20))
+        .collect();
+
+    // The VM side: issue write requests from the Silesia corpus.
+    let pool = BlockPool::build(4096, 32, 7);
+    for req in 0..REQUESTS {
+        let block = pool.get(req as usize).to_vec();
+        let mut header = Header::write(1, req, 0, req, block.len() as u32);
+        header.latency_sensitive = req % 8 == 0; // some writes skip compression
+        vm.send(Message::header_payload(header.encode().to_vec(), block));
+    }
+
+    let mut compressed_total = 0usize;
+    let mut raw_total = 0usize;
+    for _ in 0..REQUESTS {
+        // Recv a write request from a client: forward its header to host
+        // memory, keep the payload in the SmartNIC's memory.
+        let e = ds.dev_mixed_recv(qp_recv, h_buf_recv, HEADER_LEN, d_buf_recv, MAX_SIZE);
+        let done = ds.poll(e)?;
+        let payload_size = done.size - HEADER_LEN;
+
+        // User's logic flexibly parses the content in h_buf_recv and
+        // prepares the necessary send header.
+        let parsed = Header::decode(&ds.host_read(h_buf_recv, HEADER_LEN)?)?;
+        let mut fwd = parsed.reply(Op::Append, payload_size as u32);
+
+        let (src_buf, send_size) = if parsed.latency_sensitive {
+            // Directly send a latency-sensitive block to the storage servers.
+            raw_total += payload_size;
+            (d_buf_recv, payload_size)
+        } else {
+            // Compress a data block via hardware engine 0.
+            let e = ds.dev_func(
+                d_buf_recv,
+                payload_size,
+                d_buf_send,
+                MAX_SIZE,
+                EngineKind::Compress,
+            );
+            let compressed_size = ds.poll(e)?.size;
+            compressed_total += compressed_size;
+            fwd.compressed = true;
+            fwd.payload_len = compressed_size as u32;
+            (d_buf_send, compressed_size)
+        };
+        ds.host_write(h_buf_send, &fwd.encode())?;
+
+        // Send the (possibly compressed) block to the remote storage servers.
+        for qp in &qp_send {
+            let e = ds.dev_mixed_send(*qp, h_buf_send, HEADER_LEN, src_buf, send_size);
+            ds.poll(e)?;
+        }
+
+        // Storage-server side: append each replica.
+        for (peer, node) in storage_peers.iter().zip(&mut storage_nodes) {
+            let msg = peer.recv().expect("replica delivered").to_bytes();
+            let h = Header::decode(&msg)?;
+            let payload = msg.slice(HEADER_LEN..);
+            let stored = if h.compressed {
+                StoredBlock::lz4(payload, h.orig_len)
+            } else {
+                StoredBlock::raw(payload)
+            };
+            node.append((h.segment_id, 0), h.block_index, stored);
+        }
+
+        // Ack the VM (header-only message through the Assemble module).
+        let ack = parsed.reply(Op::WriteAck, 0);
+        ds.host_write(h_buf_send, &ack.encode())?;
+        let e = ds.dev_mixed_send(qp_recv, h_buf_send, HEADER_LEN, d_buf_send, 0);
+        ds.poll(e)?;
+        let _ = vm.recv().expect("VM sees the ack");
+    }
+
+    // Verify end to end: every stored block decompresses to the original.
+    let mut verified = 0;
+    for (i, node) in storage_nodes.iter().enumerate() {
+        for req in 0..REQUESTS {
+            let stored = node
+                .fetch((0, 0), req)
+                .unwrap_or_else(|| panic!("replica {i} lost block {req}"));
+            assert_eq!(stored.expand()?, pool.get(req as usize), "block {req}");
+            verified += 1;
+        }
+    }
+    println!("served {REQUESTS} write requests, verified {verified} stored replicas");
+    println!("compressed payload bytes: {compressed_total} (+{raw_total} raw latency-sensitive)");
+    println!(
+        "effective compression ratio: {:.2}x",
+        (REQUESTS as usize * 4096 - raw_total) as f64 / compressed_total as f64
+    );
+    // Surface the typed error path too: polling a consumed event fails.
+    let stale = ds.dev_func(d_buf_recv, 16, d_buf_send, MAX_SIZE, EngineKind::Compress);
+    ds.poll(stale)?;
+    match ds.poll(stale) {
+        Err(ApiError::UnknownEvent) => {}
+        other => panic!("expected UnknownEvent, got {other:?}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Scenario: the read path (§2.2.2) on the SmartDS API.
+//!
+//! Serving a read is the mirror image of a write: the middle tier fetches
+//! the compressed block from a storage server, the reply *splits* (header to
+//! host, compressed payload to HBM), the device engine decompresses, and the
+//! Assemble module returns header + full block to the VM. This example runs
+//! a write-then-read cycle for every Silesia member and verifies bytes.
+//!
+//! ```text
+//! cargo run -p smartds-examples --bin read_path
+//! ```
+
+use blockstore::{Header, Op, ServerId, StorageServer, StoredBlock, HEADER_LEN};
+use rocenet::Message;
+use smartds::api::{EngineKind, RemotePeer, SmartDs};
+
+const MAX_SIZE: usize = 8192;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut ds = SmartDs::new(1);
+    let h_buf = ds.host_alloc(MAX_SIZE)?;
+    let h_out = ds.host_alloc(MAX_SIZE)?;
+    let d_comp = ds.dev_alloc(MAX_SIZE)?;
+    let d_block = ds.dev_alloc(MAX_SIZE)?;
+
+    let ctx = ds.open_roce_instance(0);
+    let vm = RemotePeer::new();
+    let storage_peer = RemotePeer::new();
+    let qp_vm = ds.connect_qp(ctx, &vm);
+    let qp_storage = ds.connect_qp(ctx, &storage_peer);
+    let mut storage = StorageServer::new(ServerId(0), 1 << 20);
+
+    // Preload: one block per Silesia member, compressed, in the chunk store.
+    for (i, f) in corpus::SILESIA.iter().enumerate() {
+        let block = f.synthesize(4096, 99);
+        let packed = lz4kit::compress(&block);
+        storage.append((0, 0), i as u64, StoredBlock::lz4(packed, 4096));
+    }
+
+    for (i, f) in corpus::SILESIA.iter().enumerate() {
+        // ① The VM issues a read request (header only).
+        let req = Header {
+            op: Op::Read,
+            ..Header::write(1, i as u64, 0, i as u64, 0)
+        };
+        vm.send(Message::from_bytes(req.encode().to_vec()));
+        let e = ds.dev_mixed_recv(qp_vm, h_buf, HEADER_LEN, d_comp, MAX_SIZE);
+        ds.poll(e)?;
+        let parsed = Header::decode(&ds.host_read(h_buf, HEADER_LEN)?)?;
+
+        // ② Fetch from the storage server (played by this loop).
+        let stored = storage
+            .fetch((0, 0), parsed.block_index)
+            .expect("block exists")
+            .clone();
+        let mut reply = parsed.reply(Op::FetchReply, stored.data.len() as u32);
+        reply.compressed = true;
+        reply.orig_len = stored.orig_len;
+        storage_peer.send(Message::header_payload(
+            reply.encode().to_vec(),
+            stored.data.clone(),
+        ));
+
+        // ③ The reply splits: header to host, compressed payload to HBM.
+        let e = ds.dev_mixed_recv(qp_storage, h_buf, HEADER_LEN, d_comp, MAX_SIZE);
+        let got = ds.poll(e)?;
+        let comp_len = got.size - HEADER_LEN;
+
+        // ④ Decompress on the device engine.
+        let e = ds.dev_func(d_comp, comp_len, d_block, MAX_SIZE, EngineKind::Decompress);
+        let block_len = ds.poll(e)?.size;
+        assert_eq!(block_len, 4096);
+
+        // ⑤ Assemble header + decompressed block back to the VM.
+        let out = parsed.reply(Op::ReadReply, block_len as u32);
+        ds.host_write(h_out, &out.encode())?;
+        let e = ds.dev_mixed_send(qp_vm, h_out, HEADER_LEN, d_block, block_len);
+        ds.poll(e)?;
+
+        // The VM verifies the bytes.
+        let msg = vm.recv().expect("read reply").to_bytes();
+        let original = f.synthesize(4096, 99);
+        assert_eq!(&msg[HEADER_LEN..], &original[..], "member {}", f.name);
+        println!(
+            "read {:>8}: {:>4} B compressed → 4096 B verified (ratio {:.2}x)",
+            f.name,
+            comp_len,
+            4096.0 / comp_len as f64
+        );
+    }
+    println!("\nall 12 Silesia members round-tripped through the split read path");
+    Ok(())
+}

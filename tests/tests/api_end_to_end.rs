@@ -1,0 +1,96 @@
+//! The Table 2 API driven end to end with real corpus data, plus property
+//! tests over the split boundary.
+
+use blockstore::{Header, Op, HEADER_LEN};
+use proptest::prelude::*;
+use rocenet::Message;
+use smartds::api::{EngineKind, RemotePeer, SmartDs};
+
+#[test]
+fn listing1_loop_roundtrips_every_silesia_member() {
+    let mut ds = SmartDs::new(1);
+    let h_in = ds.host_alloc(HEADER_LEN).unwrap();
+    let h_out = ds.host_alloc(HEADER_LEN).unwrap();
+    let d_in = ds.dev_alloc(8192).unwrap();
+    let d_out = ds.dev_alloc(8192).unwrap();
+    let vm = RemotePeer::new();
+    let storage = RemotePeer::new();
+    let qp_vm = ds.connect_qp(0, &vm);
+    let qp_st = ds.connect_qp(0, &storage);
+
+    for (i, member) in corpus::SILESIA.iter().enumerate() {
+        let block = member.synthesize(4096, 31);
+        let header = Header::write(9, i as u64, 0, i as u64, 4096);
+        vm.send(Message::header_payload(header.encode().to_vec(), block.clone()));
+
+        let e = ds.dev_mixed_recv(qp_vm, h_in, HEADER_LEN, d_in, 8192);
+        let got = ds.poll(e).unwrap();
+        let payload = got.size - HEADER_LEN;
+        let parsed = Header::decode(&ds.host_read(h_in, HEADER_LEN).unwrap()).unwrap();
+        assert_eq!(parsed.request_id, i as u64);
+
+        let e = ds.dev_func(d_in, payload, d_out, 8192, EngineKind::Compress);
+        let c = ds.poll(e).unwrap().size;
+        let mut fwd = parsed.reply(Op::Append, c as u32);
+        fwd.compressed = true;
+        ds.host_write(h_out, &fwd.encode()).unwrap();
+        let e = ds.dev_mixed_send(qp_st, h_out, HEADER_LEN, d_out, c);
+        ds.poll(e).unwrap();
+
+        // The storage peer decodes what actually went over the wire.
+        let wire = storage.recv().unwrap().to_bytes();
+        let h = Header::decode(&wire).unwrap();
+        assert!(h.compressed);
+        let restored = lz4kit::decompress_exact(&wire[HEADER_LEN..], 4096).unwrap();
+        assert_eq!(restored, block, "member {}", member.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any message, any split point: the API's recv+send pair is lossless.
+    #[test]
+    fn api_split_send_identity(
+        payload in proptest::collection::vec(any::<u8>(), 1..4096),
+        h_size in 0usize..128,
+    ) {
+        let mut ds = SmartDs::new(1);
+        let h = ds.host_alloc(128).unwrap();
+        let d = ds.dev_alloc(4096).unwrap();
+        let a = RemotePeer::new();
+        let b = RemotePeer::new();
+        let qp_in = ds.connect_qp(0, &a);
+        let qp_out = ds.connect_qp(0, &b);
+        a.send(Message::from_bytes(payload.clone()));
+        let e = ds.dev_mixed_recv(qp_in, h, h_size, d, 4096);
+        let got = ds.poll(e).unwrap();
+        prop_assert_eq!(got.size, payload.len());
+        let host_part = h_size.min(payload.len());
+        let e = ds.dev_mixed_send(qp_out, h, host_part, d, payload.len() - host_part);
+        ds.poll(e).unwrap();
+        let wire = b.recv().unwrap().to_bytes();
+        prop_assert_eq!(&wire[..], &payload[..]);
+    }
+
+    /// Compress→decompress through `dev_func` is the identity for any data.
+    #[test]
+    fn dev_func_roundtrip(data in proptest::collection::vec(any::<u8>(), 1..4096)) {
+        let mut ds = SmartDs::new(1);
+        let h = ds.host_alloc(64).unwrap();
+        let src = ds.dev_alloc(4096).unwrap();
+        let packed = ds.dev_alloc(8192).unwrap();
+        let back = ds.dev_alloc(4096).unwrap();
+        let peer = RemotePeer::new();
+        let qp = ds.connect_qp(0, &peer);
+        peer.send(Message::from_bytes(data.clone()));
+        let e = ds.dev_mixed_recv(qp, h, 0, src, 4096);
+        ds.poll(e).unwrap();
+        let e = ds.dev_func(src, data.len(), packed, 8192, EngineKind::Compress);
+        let c = ds.poll(e).unwrap().size;
+        let e = ds.dev_func(packed, c, back, 4096, EngineKind::Decompress);
+        let n = ds.poll(e).unwrap().size;
+        prop_assert_eq!(n, data.len());
+        prop_assert_eq!(ds.dev_read(back, n).unwrap(), data);
+    }
+}

@@ -1,0 +1,54 @@
+//! Multi-tenant QoS through the cluster: token-bucket rate limits shape
+//! per-tenant throughput while the fabric stays shared.
+
+use simkit::{gbps, Time};
+use smartds::{cluster, Design, RunConfig};
+
+fn quick(design: Design) -> RunConfig {
+    let mut cfg = RunConfig::saturating(design);
+    cfg.warmup = Time::from_ms(2.0);
+    cfg.measure = Time::from_ms(8.0);
+    cfg.pool_blocks = 64;
+    cfg
+}
+
+#[test]
+fn tenant_rate_limits_shape_throughput_2_to_1() {
+    let cfg = quick(Design::SmartDs { ports: 1 });
+    let mut counts = Vec::new();
+    let report = {
+        use smartds::cluster::{Cluster, Ev};
+        let mut c = Cluster::new(cfg.clone());
+        // Tenant 0: 20 Gbps, tenant 1: 10 Gbps of payload admission.
+        c.set_tenant_limits(vec![gbps(20.0), gbps(10.0)]);
+        let end = cfg.warmup + cfg.measure;
+        let mut sim = simkit::Simulation::new(c);
+        for slot in 0..cfg.outstanding as u32 {
+            sim.schedule_at(Time::from_ps(200_000 * slot as u64 + 1), Ev::Issue(slot));
+        }
+        sim.schedule_at(cfg.warmup, Ev::WarmupEnd);
+        sim.schedule_at(end, Ev::RunEnd);
+        sim.run();
+        let c = sim.into_world();
+        counts.extend_from_slice(&c.tenant_done);
+        c.metrics.ingest.rate_gbps(end)
+    };
+    assert_eq!(counts.len(), 2);
+    let ratio = counts[0] as f64 / counts[1] as f64;
+    assert!(
+        (1.7..2.3).contains(&ratio),
+        "tenant throughput ratio {ratio:.2} ({counts:?})"
+    );
+    // Total admission ≈ 30 Gbps, far below the port's capacity.
+    assert!(
+        (24.0..32.0).contains(&report),
+        "rate-limited total {report:.1} Gbps"
+    );
+}
+
+#[test]
+fn unlimited_cluster_is_unaffected_by_qos_module_presence() {
+    // Baseline sanity: no buckets installed → full throughput.
+    let r = cluster::run(&quick(Design::SmartDs { ports: 1 }));
+    assert!(r.throughput_gbps > 45.0, "{}", r.throughput_gbps);
+}

@@ -1,0 +1,102 @@
+//! End-to-end write path across all four middle-tier designs: every stored
+//! replica must decode back to real corpus bytes, and the performance
+//! ordering of the paper must hold.
+
+use simkit::Time;
+use smartds::{cluster, Design, RunConfig};
+
+fn quick(design: Design) -> RunConfig {
+    let mut cfg = RunConfig::saturating(design);
+    cfg.warmup = Time::from_ms(2.0);
+    cfg.measure = Time::from_ms(6.0);
+    cfg.pool_blocks = 64;
+    cfg
+}
+
+#[test]
+fn all_designs_serve_writes_and_store_decodable_replicas() {
+    for design in [
+        Design::CpuOnly,
+        Design::Acc { ddio: true },
+        Design::Acc { ddio: false },
+        Design::Bf2,
+        Design::SmartDs { ports: 2 },
+    ] {
+        let report = cluster::run(&quick(design));
+        assert!(
+            report.writes_done > 2_000,
+            "{design}: only {} writes completed",
+            report.writes_done
+        );
+        // Measured corpus ratio emerges from real bytes (~2.2× Silesia mix).
+        assert!(
+            (1.9..2.6).contains(&report.compression_ratio),
+            "{design}: compression ratio {:.2}",
+            report.compression_ratio
+        );
+    }
+}
+
+#[test]
+fn throughput_ordering_matches_figure7() {
+    let cpu = cluster::run(&quick(Design::CpuOnly));
+    let acc = cluster::run(&quick(Design::Acc { ddio: true }));
+    let bf2 = cluster::run(&quick(Design::Bf2));
+    let sds1 = cluster::run(&quick(Design::SmartDs { ports: 1 }));
+    let sds4 = cluster::run(&quick(Design::SmartDs { ports: 4 }));
+    // BF2 is engine-bound at ~40 Gbps, below every host design's peak.
+    assert!(bf2.throughput_gbps < cpu.throughput_gbps);
+    assert!(bf2.throughput_gbps < sds1.throughput_gbps);
+    assert!((30.0..42.0).contains(&bf2.throughput_gbps), "{}", bf2.throughput_gbps);
+    // SmartDS-1 with 2 cores ≈ CPU-only with 48 (±15 %).
+    let parity = sds1.throughput_gbps / cpu.throughput_gbps;
+    assert!((0.85..1.25).contains(&parity), "parity {parity:.2}");
+    // Acc reaches at least CPU-only's peak with 4 host threads.
+    assert!(acc.throughput_gbps >= 0.95 * cpu.throughput_gbps);
+    // SmartDS-4 ≈ 4× SmartDS-1 ≈ 4.3× CPU-only.
+    assert!(sds4.throughput_gbps > 3.5 * sds1.throughput_gbps);
+    assert!(sds4.throughput_gbps > 3.4 * cpu.throughput_gbps);
+}
+
+#[test]
+fn smartds_keeps_host_resources_idle_while_baselines_saturate_them() {
+    let cpu = cluster::run(&quick(Design::CpuOnly));
+    let sds = cluster::run(&quick(Design::SmartDs { ports: 1 }));
+    let cpu_mem = cpu.mem_read_gbps + cpu.mem_write_gbps;
+    let sds_mem = sds.mem_read_gbps + sds.mem_write_gbps;
+    assert!(
+        sds_mem < 0.05 * cpu_mem,
+        "SmartDS host memory {sds_mem:.1} vs CPU-only {cpu_mem:.1} Gbps"
+    );
+    let cpu_pcie = cpu.nic_pcie_h2d_gbps + cpu.nic_pcie_d2h_gbps;
+    let sds_pcie = sds.dev_pcie_h2d_gbps + sds.dev_pcie_d2h_gbps;
+    assert!(
+        sds_pcie < 0.08 * cpu_pcie,
+        "SmartDS PCIe {sds_pcie:.1} vs CPU-only {cpu_pcie:.1} Gbps"
+    );
+    // The payload rides HBM instead: ≥ 2 B of HBM per ingested byte.
+    assert!(sds.hbm_gbps > 2.0 * sds.throughput_gbps);
+}
+
+#[test]
+fn reports_are_bitwise_deterministic() {
+    let cfg = quick(Design::Acc { ddio: true });
+    let a = cluster::run(&cfg);
+    let b = cluster::run(&cfg);
+    assert_eq!(a.writes_done, b.writes_done);
+    assert_eq!(a.throughput_gbps.to_bits(), b.throughput_gbps.to_bits());
+    assert_eq!(a.p999_us.to_bits(), b.p999_us.to_bits());
+    assert_eq!(a.mem_write_gbps.to_bits(), b.mem_write_gbps.to_bits());
+}
+
+#[test]
+fn compaction_service_runs_under_sustained_writes() {
+    // Narrow the write spread so chunks hit the 512-write threshold fast.
+    let mut cfg = quick(Design::SmartDs { ports: 1 });
+    cfg.measure = Time::from_ms(10.0);
+    let report = cluster::run(&cfg);
+    assert!(
+        report.compactions > 0,
+        "sustained writes should trigger LSM compaction"
+    );
+}
