@@ -1,0 +1,12 @@
+#!/bin/sh
+# Tier-1 verification, fully offline.
+#
+# --offline makes any attempt to reach crates.io a hard error, enforcing the
+# zero-dependency policy (see README): the workspace must build and test from
+# the repository alone, with an empty registry cache and no network.
+set -eu
+
+cd "$(dirname "$0")"
+
+cargo build --release --offline
+cargo test -q --offline

@@ -5,7 +5,8 @@
 //! (3×~B instead of 3×B/2.1) and shift every design's bottleneck. This
 //! ablation runs the cluster with single-member pools at the extremes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 use simkit::Time;
 use smartds::{cluster, Design, RunConfig};
 use std::hint::black_box;

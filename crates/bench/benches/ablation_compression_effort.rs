@@ -4,7 +4,8 @@
 //! Sweeps the lz4kit search depth on the Silesia block mix and prints the
 //! time/ratio frontier behind that policy knob.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use testkit::bench::{BenchmarkId, Criterion, Throughput};
+use testkit::{criterion_group, criterion_main};
 use corpus::BlockPool;
 use lz4kit::Level;
 use std::hint::black_box;

@@ -6,7 +6,8 @@
 //! the Silesia mix — the ratio the stateless-engine design leaves on the
 //! table — and what it costs in compression time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use testkit::bench::{BenchmarkId, Criterion, Throughput};
+use testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn ratios(region: &[u8]) -> (f64, f64) {

@@ -6,7 +6,8 @@
 //! it and shows CPU-only throughput under full pressure recover as the
 //! window widens (while SmartDS never cares).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 use simkit::Time;
 use smartds::{cluster, Design, RunConfig};
 use std::hint::black_box;

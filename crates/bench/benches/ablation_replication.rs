@@ -6,7 +6,8 @@
 //! lifts the egress bound; raising to 4-way tightens it — while CPU-only
 //! stays compression-bound until the amplification overtakes LZ4.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 use simkit::Time;
 use smartds::{cluster, Design, RunConfig};
 use std::hint::black_box;

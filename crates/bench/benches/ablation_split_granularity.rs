@@ -8,7 +8,8 @@
 //! instead of 1, and for a 64 KiB message 17. This bench counts the
 //! functional split work both ways.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use testkit::bench::{BenchmarkId, Criterion, Throughput};
+use testkit::{criterion_group, criterion_main};
 use rocenet::{split_into, MemPool, Message, RecvDesc};
 use std::hint::black_box;
 

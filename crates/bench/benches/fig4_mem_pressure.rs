@@ -1,6 +1,7 @@
 //! Figure 4 bench: RDMA forwarding with and without memory pressure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 use smartds_bench::fig4;
 use std::hint::black_box;
 

@@ -4,7 +4,8 @@
 //! output is the throughput each design sustains, printed once per design.
 //! `cargo bench -- --test` smoke-runs this in CI fashion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 use simkit::Time;
 use smartds::{cluster, Design, RunConfig};
 use std::hint::black_box;

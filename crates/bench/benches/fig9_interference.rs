@@ -1,6 +1,7 @@
 //! Figure 9 bench: write path under maximum memory pressure per design.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 use simkit::Time;
 use smartds::{cluster, Design, RunConfig};
 use std::hint::black_box;

@@ -1,7 +1,8 @@
 //! Codec bench: lz4kit compression/decompression throughput on the
 //! synthetic Silesia members (the real work the engines model).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use testkit::bench::{BenchmarkId, Criterion, Throughput};
+use testkit::{criterion_group, criterion_main};
 use lz4kit::Level;
 use std::hint::black_box;
 

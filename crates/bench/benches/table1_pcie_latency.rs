@@ -1,6 +1,7 @@
 //! Table 1 bench: PCIe probe-DMA latency under background load.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 use hwmodel::consts::{PCIE_HEAVY_D2H_STREAMS, PCIE_HEAVY_H2D_STREAMS};
 use hwmodel::PcieDir;
 use smartds_bench::table1;

@@ -7,7 +7,7 @@
 //! ```
 
 use smartds_bench::{
-    csv, curve, fig4, loc, reads, sec55, soc, stages, sweeps, table1, table3, tco, Profile,
+    csv, curve, fig4, json, loc, reads, sec55, soc, stages, sweeps, table1, table3, tco, Profile,
 };
 use std::path::PathBuf;
 
@@ -46,6 +46,9 @@ fn main() {
         if let Some(dir) = &csv_dir {
             if let Err(e) = csv::write_reports(dir, name, reports) {
                 eprintln!("csv export failed: {e}");
+            }
+            if let Err(e) = json::write_reports(dir, name, reports) {
+                eprintln!("json export failed: {e}");
             }
         }
     };

@@ -1,0 +1,49 @@
+//! JSON export of experiment results (machine-readable counterpart of the
+//! CSV emitter, built on the in-repo `simkit::json` writer).
+
+use simkit::json::array_raw;
+use smartds::RunReport;
+use std::io::Write;
+use std::path::Path;
+
+/// Renders reports as a JSON array of objects (one per run).
+pub fn render_reports(reports: &[RunReport]) -> String {
+    let rows: Vec<String> = reports.iter().map(RunReport::to_json).collect();
+    array_raw(&rows)
+}
+
+/// Writes reports to `<dir>/<name>.json`, creating the directory.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_reports(dir: &Path, name: &str, reports: &[RunReport]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(render_reports(reports).as_bytes())?;
+    f.write_all(b"\n")?;
+    println!("  wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Time;
+    use smartds::{cluster, Design, RunConfig};
+
+    #[test]
+    fn json_array_matches_report_count() {
+        let mut cfg = RunConfig::saturating(Design::Bf2);
+        cfg.warmup = Time::from_ms(1.0);
+        cfg.measure = Time::from_ms(2.0);
+        cfg.outstanding = 16;
+        cfg.pool_blocks = 16;
+        let r = cluster::run(&cfg);
+        let json = render_reports(&[r.clone(), r]);
+        assert!(json.starts_with("[{\"label\":\"BF2\""), "{json}");
+        assert_eq!(json.matches("{\"label\"").count(), 2);
+        assert!(json.ends_with("}]"), "{json}");
+    }
+}

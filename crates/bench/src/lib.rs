@@ -2,7 +2,7 @@
 //!
 //! One function per table/figure of the paper's evaluation section, each
 //! returning the data series the paper plots and printing paper-style rows.
-//! The `experiments` binary dispatches on the experiment id; the Criterion
+//! The `experiments` binary dispatches on the experiment id; the testkit-runner
 //! benches under `benches/` wrap the same functions.
 //!
 //! | id | paper content | function |
@@ -28,6 +28,7 @@
 pub mod csv;
 pub mod curve;
 pub mod fig4;
+pub mod json;
 pub mod loc;
 pub mod pool;
 pub mod reads;

@@ -1,7 +1,8 @@
 //! A small worker pool for running independent, deterministic simulations
 //! in parallel (the figure sweeps are embarrassingly parallel).
 
-use crossbeam::channel;
+use std::sync::mpsc;
+use std::sync::Mutex;
 use std::thread;
 
 /// Runs `job` over every item of `inputs` on up to `available_parallelism`
@@ -23,21 +24,29 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n);
-    let (in_tx, in_rx) = channel::unbounded::<(usize, I)>();
-    let (out_tx, out_rx) = channel::unbounded::<(usize, O)>();
+    // std::sync::mpsc receivers are single-consumer; a Mutex turns the work
+    // queue into the multi-consumer channel crossbeam used to provide.
+    let (in_tx, in_rx) = mpsc::channel::<(usize, I)>();
+    let in_rx = Mutex::new(in_rx);
+    let (out_tx, out_rx) = mpsc::channel::<(usize, O)>();
     for (i, item) in inputs.into_iter().enumerate() {
         in_tx.send((i, item)).expect("queue open");
     }
     drop(in_tx);
     let job = &job;
+    let in_rx = &in_rx;
     thread::scope(|s| {
         for _ in 0..workers {
-            let in_rx = in_rx.clone();
             let out_tx = out_tx.clone();
-            s.spawn(move || {
-                while let Ok((i, item)) = in_rx.recv() {
-                    let out = job(&item);
-                    out_tx.send((i, out)).expect("collector open");
+            s.spawn(move || loop {
+                // Hold the lock only for the dequeue, not the job.
+                let next = in_rx.lock().expect("queue lock").recv();
+                match next {
+                    Ok((i, item)) => {
+                        let out = job(&item);
+                        out_tx.send((i, out)).expect("collector open");
+                    }
+                    Err(_) => break,
                 }
             });
         }
@@ -65,5 +74,13 @@ mod tests {
     fn empty_input_is_fine() {
         let outputs: Vec<u32> = run_parallel(Vec::<u32>::new(), |&x| x);
         assert!(outputs.is_empty());
+    }
+
+    #[test]
+    fn more_inputs_than_workers() {
+        let inputs: Vec<u64> = (0..500).collect();
+        let outputs = run_parallel(inputs, |&x| x + 1);
+        assert_eq!(outputs.len(), 500);
+        assert_eq!(outputs[499], 500);
     }
 }

@@ -9,9 +9,9 @@
 //! [`ChunkStore::compact`] rewrites the log, and [`ChunkStore::snapshot`]
 //! freezes a point-in-time view.
 
-use bytes::Bytes;
+use simkit::Bytes;
 use lz4kit::DecompressError;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A stored (possibly compressed) block version.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -79,7 +79,7 @@ pub struct CompactionStats {
 /// A frozen point-in-time view of a chunk.
 #[derive(Clone, Debug)]
 pub struct Snapshot {
-    blocks: HashMap<u64, StoredBlock>,
+    blocks: BTreeMap<u64, StoredBlock>,
     /// Log length when the snapshot was taken.
     pub at_writes: u64,
 }

@@ -11,7 +11,7 @@
 use crate::chunk::StoredBlock;
 use crate::header::crc32;
 use crate::server::{ChunkKey, StorageServer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A corruption found by a scrub pass.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,7 +50,7 @@ pub struct ScrubStats {
 #[derive(Debug, Default)]
 pub struct Scrubber {
     /// (chunk, block) → CRC-32 of the stored (compressed) bytes.
-    expected: HashMap<(ChunkKey, u64), u32>,
+    expected: BTreeMap<(ChunkKey, u64), u32>,
 }
 
 impl Scrubber {
@@ -104,8 +104,11 @@ impl Scrubber {
                 });
                 if let Some(peer) = repair_from {
                     if let Some(good) = peer.fetch(chunk, block) {
-                        if crc32(&good.data) == want_crc {
-                            server.append(chunk, block, good.clone());
+                        // The append can be refused (server down mid-scrub);
+                        // only count repairs that actually landed.
+                        if crc32(&good.data) == want_crc
+                            && server.append(chunk, block, good.clone()).is_some()
+                        {
                             stats.repaired += 1;
                         }
                     }
@@ -120,7 +123,7 @@ impl Scrubber {
 mod tests {
     use super::*;
     use crate::server::ServerId;
-    use bytes::Bytes;
+    use simkit::Bytes;
 
     fn block(tag: u8) -> StoredBlock {
         let data = vec![tag; 4096];

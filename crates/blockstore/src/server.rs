@@ -7,7 +7,7 @@
 
 use crate::chunk::{ChunkStore, StoredBlock};
 use simkit::{transfer_time, JobStart, ServerPool, Time};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a storage server in the cluster.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -76,7 +76,10 @@ pub type ChunkKey = (u64, u64); // (segment, chunk)
 #[derive(Clone, Debug)]
 pub struct StorageServer {
     id: ServerId,
-    chunks: HashMap<ChunkKey, ChunkStore>,
+    // BTreeMap, not HashMap: `chunks()` iteration order is observable
+    // (snapshot rotation, scrub walks), and simulation runs must be
+    // reproducible across processes.
+    chunks: BTreeMap<ChunkKey, ChunkStore>,
     /// Failed servers stop acknowledging (fail-over experiments).
     alive: bool,
     compaction_threshold: u64,
@@ -88,7 +91,7 @@ impl StorageServer {
     pub fn new(id: ServerId, compaction_threshold: u64) -> Self {
         StorageServer {
             id,
-            chunks: HashMap::new(),
+            chunks: BTreeMap::new(),
             alive: true,
             compaction_threshold,
             appends: 0,

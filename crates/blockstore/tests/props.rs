@@ -1,32 +1,30 @@
 //! Property tests for the block-storage substrate.
 
 use blockstore::{BlockAddr, ChunkStore, Header, Op, StoredBlock, VdLayout, HEADER_LEN};
-use proptest::prelude::*;
+use testkit::gen;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+testkit::prop! {
+    cases = 256;
 
     /// Decoding arbitrary bytes never panics; every decoded header
     /// re-encodes to the identical bytes (checksummed canonical form).
-    #[test]
-    fn header_decode_is_total_and_canonical(raw in proptest::collection::vec(any::<u8>(), 0..128)) {
+    fn header_decode_is_total_and_canonical(raw in gen::bytes(0..128)) {
         if let Ok(h) = Header::decode(&raw) {
             let reenc = h.encode();
-            prop_assert_eq!(&reenc[..], &raw[..HEADER_LEN]);
+            assert_eq!(&reenc[..], &raw[..HEADER_LEN]);
         }
     }
 
     /// Header field roundtrip for arbitrary field values.
-    #[test]
     fn header_roundtrips_arbitrary_fields(
-        vm_id in any::<u32>(),
-        request_id in any::<u64>(),
-        segment_id in any::<u64>(),
-        block_index in any::<u64>(),
-        payload_len in any::<u32>(),
-        orig_len in any::<u32>(),
-        latency in any::<bool>(),
-        compressed in any::<bool>(),
+        vm_id in gen::u32s(..),
+        request_id in gen::u64s(..),
+        segment_id in gen::u64s(..),
+        block_index in gen::u64s(..),
+        payload_len in gen::u32s(..),
+        orig_len in gen::u32s(..),
+        latency in gen::bools(),
+        compressed in gen::bools(),
     ) {
         let h = Header {
             op: Op::Append,
@@ -39,15 +37,14 @@ proptest! {
             latency_sensitive: latency,
             compressed,
         };
-        prop_assert_eq!(Header::decode(&h.encode()).unwrap(), h);
+        assert_eq!(Header::decode(&h.encode()).unwrap(), h);
     }
 
     /// Any single-bit corruption of a valid header is detected.
-    #[test]
     fn header_single_bit_flips_detected(
-        request_id in any::<u64>(),
-        byte in 0usize..HEADER_LEN,
-        bit in 0u8..8,
+        request_id in gen::u64s(..),
+        byte in gen::usizes(0..HEADER_LEN),
+        bit in gen::u8s(0..8),
     ) {
         let h = Header::write(1, request_id, 2, 3, 4096);
         let mut enc = h.encode();
@@ -57,17 +54,16 @@ proptest! {
             Err(_) => {}
             // ...or the flip hit a reserved byte that is not covered by any
             // field; the decode must then still equal the original.
-            Ok(d) => prop_assert_eq!(d, h),
+            Ok(d) => assert_eq!(d, h),
         }
     }
 
     /// LBA → (segment, chunk, block) → LBA is the identity for the paper
     /// geometry and for arbitrary valid geometries.
-    #[test]
     fn vd_layout_bijective(
-        lba in any::<u32>(),
-        chunk_blocks_log in 4u32..12,
-        chunks_per_seg_log in 2u32..8,
+        lba in gen::u32s(..),
+        chunk_blocks_log in gen::u32s(4..12),
+        chunks_per_seg_log in gen::u32s(2..8),
     ) {
         let layout = VdLayout {
             block_bytes: 4096,
@@ -77,30 +73,28 @@ proptest! {
         layout.validate();
         let lba = lba as u64;
         let addr = layout.locate(lba);
-        prop_assert_eq!(layout.lba_of(addr), lba);
-        prop_assert!(addr.block < layout.blocks_per_chunk());
-        prop_assert!(addr.chunk < layout.chunks_per_segment());
+        assert_eq!(layout.lba_of(addr), lba);
+        assert!(addr.block < layout.blocks_per_chunk());
+        assert!(addr.chunk < layout.chunks_per_segment());
     }
 
     /// Inverse direction: every in-range address maps to an LBA that maps
     /// back to it.
-    #[test]
     fn vd_layout_inverse(
-        segment in 0u64..100,
-        chunk in 0u64..512,
-        block in 0u64..16384,
+        segment in gen::u64s(0..100),
+        chunk in gen::u64s(0..512),
+        block in gen::u64s(0..16384),
     ) {
         let layout = VdLayout::paper();
         let addr = BlockAddr { segment, chunk, block };
-        prop_assert_eq!(layout.locate(layout.lba_of(addr)), addr);
+        assert_eq!(layout.locate(layout.lba_of(addr)), addr);
     }
 
     /// Chunk-store invariants under arbitrary append/compact sequences:
     /// stored ≥ live, reads always return the latest version, compaction
     /// zeroes garbage without changing reads.
-    #[test]
     fn chunk_store_invariants(
-        ops in proptest::collection::vec((0u64..16, 1usize..64, any::<bool>()), 1..80)
+        ops in gen::vecs((gen::u64s(0..16), gen::usizes(1..64), gen::bools()), 1..80)
     ) {
         let mut chunk = ChunkStore::new(u64::MAX);
         let mut model: std::collections::HashMap<u64, Vec<u8>> = Default::default();
@@ -110,13 +104,13 @@ proptest! {
             model.insert(block, data);
             if compact {
                 chunk.compact();
-                prop_assert_eq!(chunk.garbage_ratio(), 0.0);
+                assert_eq!(chunk.garbage_ratio(), 0.0);
             }
-            prop_assert!(chunk.stored_bytes() >= chunk.live_bytes());
-            prop_assert_eq!(chunk.live_blocks(), model.len());
+            assert!(chunk.stored_bytes() >= chunk.live_bytes());
+            assert_eq!(chunk.live_blocks(), model.len());
             for (b, want) in &model {
                 let got = chunk.read(*b).expect("live block").expand().unwrap();
-                prop_assert_eq!(&got, want);
+                assert_eq!(&got, want);
             }
         }
     }

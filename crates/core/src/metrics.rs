@@ -1,7 +1,7 @@
 //! Run metrics and the experiment report.
 
 use crate::fabric::Traffic;
-use serde::Serialize;
+use simkit::json::Object;
 use simkit::{to_gbps, Histogram, Meter, Time};
 
 /// Live metric collectors inside a running cluster.
@@ -43,7 +43,7 @@ impl Metrics {
 
 /// Everything one simulation run reports — the rows the experiment harness
 /// prints for each table/figure.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RunReport {
     /// Design label (paper naming: "CPU-only", "Acc", "BF2", "SmartDS-N").
     pub label: String,
@@ -157,6 +157,38 @@ impl RunReport {
         }
     }
 
+    /// Renders the report as one JSON object (field order matches the CSV
+    /// column order in the bench crate).
+    pub fn to_json(&self) -> String {
+        Object::new()
+            .field("label", self.label.as_str())
+            .field("cores", self.cores)
+            .field("outstanding", self.outstanding)
+            .field("window_secs", self.window_secs)
+            .field("writes_done", self.writes_done)
+            .field("throughput_gbps", self.throughput_gbps)
+            .field("iops", self.iops)
+            .field("avg_us", self.avg_us)
+            .field("p99_us", self.p99_us)
+            .field("p999_us", self.p999_us)
+            .field("mem_read_gbps", self.mem_read_gbps)
+            .field("mem_write_gbps", self.mem_write_gbps)
+            .field("mlc_gbps", self.mlc_gbps)
+            .field("nic_pcie_h2d_gbps", self.nic_pcie_h2d_gbps)
+            .field("nic_pcie_d2h_gbps", self.nic_pcie_d2h_gbps)
+            .field("dev_pcie_h2d_gbps", self.dev_pcie_h2d_gbps)
+            .field("dev_pcie_d2h_gbps", self.dev_pcie_d2h_gbps)
+            .field("hbm_gbps", self.hbm_gbps)
+            .field("devmem_gbps", self.devmem_gbps)
+            .field("port_tx_gbps", self.port_tx_gbps)
+            .field("port_rx_gbps", self.port_rx_gbps)
+            .field("compression_ratio", self.compression_ratio)
+            .field("compactions", self.compactions)
+            .field("failovers", self.failovers)
+            .field("stage_means_us", self.stage_means_us)
+            .finish()
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -197,5 +229,9 @@ mod tests {
         assert_eq!(r.writes_done, 1);
         assert!((r.avg_us - 50.0).abs() / 50.0 < 0.02);
         assert!(r.summary().contains("test"));
+        let json = r.to_json();
+        assert!(json.starts_with("{\"label\":\"test\""), "{json}");
+        assert!(json.contains("\"writes_done\":1"), "{json}");
+        assert!(json.contains("\"stage_means_us\":["), "{json}");
     }
 }

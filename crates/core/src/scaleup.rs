@@ -7,10 +7,10 @@
 //! module reproduces that arithmetic from a per-card profile (either the
 //! paper's numbers or a measured [`RunReport`](crate::RunReport)).
 
-use serde::Serialize;
+use simkit::json::Object;
 
 /// Per-card resource profile (one SmartDS-6).
-#[derive(Copy, Clone, Debug, Serialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct CardProfile {
     /// Storage traffic the card serves, Gbps.
     pub throughput_gbps: f64,
@@ -46,7 +46,7 @@ impl CardProfile {
 }
 
 /// Server capacities relevant to the scale-up feasibility check.
-#[derive(Copy, Clone, Debug, Serialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct ServerLimits {
     /// PCIe switches in the server.
     pub pcie_switches: usize,
@@ -80,7 +80,7 @@ impl ServerLimits {
 }
 
 /// Result of the scale-up analysis.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ScaleupReport {
     /// Cards installed.
     pub cards: usize,
@@ -100,6 +100,23 @@ pub struct ScaleupReport {
     pub cores_sufficient: bool,
     /// Speed-up over a CPU-only middle-tier server.
     pub speedup_vs_cpu_only: f64,
+}
+
+impl ScaleupReport {
+    /// Renders the analysis as one JSON object.
+    pub fn to_json(&self) -> String {
+        Object::new()
+            .field("cards", self.cards)
+            .field("total_gbps", self.total_gbps)
+            .field("host_mem_gbps", self.host_mem_gbps)
+            .field("host_mem_headroom", self.host_mem_headroom)
+            .field("per_switch_root_gbps", self.per_switch_root_gbps)
+            .field("feasible", self.feasible)
+            .field("cores_needed", self.cores_needed)
+            .field("cores_sufficient", self.cores_sufficient)
+            .field("speedup_vs_cpu_only", self.speedup_vs_cpu_only)
+            .finish()
+    }
 }
 
 /// Scales `card` across `cards` slots of `server`, comparing against a
@@ -176,6 +193,20 @@ mod tests {
         assert!(r.feasible);
         assert!(r.cores_sufficient);
         assert!(r.host_mem_headroom > 0.9);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let r = scale(
+            CardProfile::paper_smartds6(),
+            8,
+            ServerLimits::paper_4u(),
+            54.0,
+        );
+        let json = r.to_json();
+        assert!(json.starts_with("{\"cards\":8"), "{json}");
+        assert!(json.contains("\"feasible\":true"), "{json}");
+        assert!(json.contains("\"cores_sufficient\":false"), "{json}");
     }
 
     #[test]

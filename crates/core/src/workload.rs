@@ -7,7 +7,7 @@
 //! as the corpus mix dictates, which is what spreads the latency tails.
 
 use blockstore::VdLayout;
-use bytes::Bytes;
+use simkit::Bytes;
 use corpus::BlockPool;
 use lz4kit::Level;
 use simkit::Rng;

@@ -1,19 +1,18 @@
 //! Property tests for the QoS building blocks.
 
-use proptest::prelude::*;
 use simkit::Time;
 use smartds::qos::{TokenBucket, WeightedScheduler};
+use testkit::gen;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+testkit::prop! {
+    cases = 128;
 
     /// A token bucket never admits more than burst + rate × elapsed over
     /// any arbitrary admit/advance sequence.
-    #[test]
     fn bucket_never_over_admits(
-        ops in proptest::collection::vec((1u64..20_000, 0u64..2_000_000), 1..100),
-        rate_mbps in 1u64..10_000,
-        burst_kib in 1u64..512,
+        ops in gen::vecs((gen::u64s(1..20_000), gen::u64s(0..2_000_000)), 1..100),
+        rate_mbps in gen::u64s(1..10_000),
+        burst_kib in gen::u64s(1..512),
     ) {
         let rate = rate_mbps as f64 * 1e6;
         let burst = (burst_kib * 1024) as f64;
@@ -28,7 +27,7 @@ proptest! {
             // Oversize requests may leave the bucket in debt by up to one
             // request beyond the burst, hence the max-request slack.
             let budget = burst + rate * now.as_secs() + 20_000.0;
-            prop_assert!(
+            assert!(
                 (admitted as f64) <= budget,
                 "admitted {admitted} > budget {budget} at {now}"
             );
@@ -37,29 +36,67 @@ proptest! {
 
     /// The `Err(ready_at)` returned on refusal is tight: admission succeeds
     /// at that instant (for the same request).
-    #[test]
     fn refusal_ready_time_is_sufficient(
-        bytes in 1u64..100_000,
-        rate_mbps in 1u64..1_000,
+        bytes in gen::u64s(1..100_000),
+        rate_mbps in gen::u64s(1..1_000),
     ) {
         let rate = rate_mbps as f64 * 1e6;
         let mut bucket = TokenBucket::new(rate, 1024.0);
         // Drain the burst.
         let _ = bucket.admit(Time::ZERO, 1024);
         match bucket.admit(Time::ZERO, bytes) {
-            Ok(()) => prop_assert!(bytes <= 1024),
-            Err(ready) => prop_assert!(bucket.admit(ready, bytes).is_ok()),
+            Ok(()) => assert!(bytes <= 1024),
+            Err(ready) => assert!(bucket.admit(ready, bytes).is_ok()),
         }
+    }
+
+    /// `available` is consistent with `admit`: a request no larger than the
+    /// reported balance is admitted, one strictly larger is refused.
+    fn available_predicts_admit(
+        ops in gen::vecs((gen::u64s(1..10_000), gen::u64s(0..1_000_000)), 1..40),
+        rate_mbps in gen::u64s(1..5_000),
+    ) {
+        let mut bucket = TokenBucket::new(rate_mbps as f64 * 1e6, 64.0 * 1024.0);
+        let mut now = Time::ZERO;
+        for (bytes, advance_ns) in ops {
+            now += Time::from_ps(advance_ns * 1000);
+            let avail = bucket.available(now);
+            let fits = (bytes as f64) <= avail;
+            assert_eq!(
+                bucket.admit(now, bytes).is_ok(),
+                fits,
+                "available={avail} bytes={bytes}"
+            );
+        }
+    }
+
+    /// Within a single tenant the scheduler is FIFO: items pop in push
+    /// order regardless of costs and quantum.
+    fn dwrr_is_fifo_within_tenant(
+        costs in gen::vecs(gen::u64s(1..10_000), 1..50),
+        quantum in gen::u64s(512..16_384),
+    ) {
+        let mut s = WeightedScheduler::new(vec![1.0], quantum as f64);
+        for (i, c) in costs.iter().enumerate() {
+            s.push(0, *c, i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, item)) = s.pop() {
+            assert_eq!(t, 0);
+            popped.push(item);
+        }
+        assert_eq!(popped, (0..costs.len()).collect::<Vec<_>>());
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
     }
 
     /// DWRR serves backlogged tenants within ±35 % of their weight share
     /// (byte-weighted), for arbitrary weights.
-    #[test]
     fn dwrr_weight_shares_hold(
-        w0 in 1u32..8,
-        w1 in 1u32..8,
-        cost0 in prop_oneof![Just(1024u64), Just(4096)],
-        cost1 in prop_oneof![Just(1024u64), Just(4096)],
+        w0 in gen::u32s(1..8),
+        w1 in gen::u32s(1..8),
+        cost0 in gen::choice(vec![1024u64, 4096]),
+        cost1 in gen::choice(vec![1024u64, 4096]),
     ) {
         let mut s = WeightedScheduler::new(vec![w0 as f64, w1 as f64], 4096.0);
         for i in 0..600u32 {
@@ -73,7 +110,7 @@ proptest! {
         }
         let got = served[0] / served[1];
         let want = w0 as f64 / w1 as f64;
-        prop_assert!(
+        assert!(
             (got / want - 1.0).abs() < 0.35,
             "byte ratio {got:.2} vs weight ratio {want:.2}"
         );

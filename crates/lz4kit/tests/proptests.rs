@@ -1,78 +1,74 @@
-//! Property-based tests for the LZ4 block codec.
+//! Property-based tests for the LZ4 block codec (on the in-repo `testkit`
+//! harness; replay failures with `TESTKIT_SEED=<seed from the report>`).
 
 use lz4kit::{
     compress_bound, compress_into, compress_with, decompress, decompress_exact, Level,
 };
-use proptest::prelude::*;
+use testkit::gen::{self, Gen};
+use testkit::one_of;
 
-/// Byte-vector strategies with different compressibility characters.
-fn arbitrary_bytes() -> impl Strategy<Value = Vec<u8>> {
-    prop_oneof![
+/// Byte-vector generators with different compressibility characters.
+fn arbitrary_bytes() -> impl Gen<Value = Vec<u8>> {
+    one_of![
         // Fully random (incompressible).
-        proptest::collection::vec(any::<u8>(), 0..8192),
+        gen::bytes(0..8192),
         // Low-alphabet (very compressible).
-        proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..8192),
+        gen::vecs(gen::choice(vec![b'a', b'b', b'c']), 0..8192),
         // Repeated chunk structure.
-        (proptest::collection::vec(any::<u8>(), 1..64), 1usize..256).prop_map(
-            |(chunk, reps)| chunk
+        (gen::bytes(1..64), gen::usizes(1..256)).map(|(chunk, reps)| {
+            chunk
                 .iter()
                 .cycle()
                 .take(chunk.len() * reps)
                 .copied()
-                .collect()
-        ),
+                .collect::<Vec<u8>>()
+        }),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+testkit::prop! {
+    cases = 256;
 
     /// compress ∘ decompress = identity, at every level.
-    #[test]
     fn roundtrip_fast(data in arbitrary_bytes()) {
         let packed = compress_with(&data, Level::Fast);
         let back = decompress_exact(&packed, data.len()).unwrap();
-        prop_assert_eq!(back, data);
+        assert_eq!(back, data);
     }
 
-    #[test]
-    fn roundtrip_high(data in arbitrary_bytes(), depth in 1u8..64) {
+    fn roundtrip_high(data in arbitrary_bytes(), depth in gen::u8s(1..64)) {
         let packed = compress_with(&data, Level::High(depth));
         let back = decompress_exact(&packed, data.len()).unwrap();
-        prop_assert_eq!(back, data);
+        assert_eq!(back, data);
     }
 
     /// Compressed output never exceeds the advertised bound.
-    #[test]
     fn bound_holds(data in arbitrary_bytes()) {
         let packed = compress_with(&data, Level::Fast);
-        prop_assert!(packed.len() <= compress_bound(data.len()));
+        assert!(packed.len() <= compress_bound(data.len()));
     }
 
     /// compress_into with an exact-bound buffer always succeeds and agrees
     /// with the allocating API.
-    #[test]
     fn into_matches_alloc(data in arbitrary_bytes()) {
         let mut dst = vec![0u8; compress_bound(data.len())];
         let n = compress_into(&data, &mut dst, Level::Fast).unwrap();
         let alloc = compress_with(&data, Level::Fast);
-        prop_assert_eq!(&dst[..n], alloc.as_slice());
+        assert_eq!(&dst[..n], alloc.as_slice());
     }
 
     /// Decoding arbitrary garbage never panics and never produces more than
     /// the limit.
-    #[test]
-    fn decoder_is_total(garbage in proptest::collection::vec(any::<u8>(), 0..4096)) {
+    fn decoder_is_total(garbage in gen::bytes(0..4096)) {
         // Any typed error is acceptable; success must respect the limit.
         if let Ok(out) = decompress(&garbage, 1 << 16) {
-            prop_assert!(out.len() <= 1 << 16);
+            assert!(out.len() <= 1 << 16);
         }
     }
 
     /// Truncating a valid stream is always detected (or decodes to a prefix
     /// via an early literals-only end — never panics, never over-reads).
-    #[test]
-    fn truncation_detected(data in proptest::collection::vec(any::<u8>(), 32..2048), cut in 0.0f64..1.0) {
+    fn truncation_detected(data in gen::bytes(32..2048), cut in gen::f64s(0.0..1.0)) {
         let packed = compress_with(&data, Level::Fast);
         let cut_at = ((packed.len() as f64) * cut) as usize;
         let _ = decompress(&packed[..cut_at], data.len());
@@ -82,34 +78,31 @@ proptest! {
     /// depth 1 on the same data. (Greedy parsing is not *strictly* monotone
     /// in theory — a longer match can occasionally force a worse parse
     /// downstream — so a tiny slack is allowed.)
-    #[test]
     fn depth_monotone(data in arbitrary_bytes()) {
         let shallow = compress_with(&data, Level::High(1)).len();
         let deep = compress_with(&data, Level::High(32)).len();
-        prop_assert!(
+        assert!(
             deep as f64 <= shallow as f64 * 1.02 + 8.0,
             "deep={deep} shallow={shallow}"
         );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+testkit::prop! {
+    cases = 128;
 
     /// Dictionary-mode roundtrip for arbitrary (dict, data) pairs.
-    #[test]
     fn dict_roundtrip(
-        dict in proptest::collection::vec(any::<u8>(), 0..4096),
+        dict in gen::bytes(0..4096),
         data in arbitrary_bytes(),
     ) {
         let packed = lz4kit::compress_with_dict(&dict, &data);
         let back = lz4kit::decompress_with_dict(&dict, &packed, data.len()).unwrap();
-        prop_assert_eq!(back, data);
+        assert_eq!(back, data);
     }
 
     /// A dictionary can only help: compressed size with history is never
     /// more than a few bytes above the standalone size.
-    #[test]
     fn dict_never_hurts_much(data in arbitrary_bytes()) {
         let standalone = compress_with(&data, Level::Fast).len();
         let with_self_dict = lz4kit::compress_with_dict(&data, &data).len();
@@ -118,7 +111,7 @@ proptest! {
         // like any greedy parser — extra candidates can even divert it to a
         // slightly worse parse. The invariant is a tight slack bound, with
         // correctness guaranteed by `dict_roundtrip`.
-        prop_assert!(
+        assert!(
             with_self_dict as f64 <= standalone as f64 * 1.02 + 16.0,
             "{with_self_dict} vs {standalone}"
         );
@@ -127,9 +120,8 @@ proptest! {
     /// Wrong dictionary must not silently "succeed" with the right size
     /// AND the right bytes (it may decode garbage, but never the original
     /// unless the stream ignores the dictionary).
-    #[test]
     fn dict_mismatch_never_fabricates_original(
-        data in proptest::collection::vec(any::<u8>(), 128..1024),
+        data in gen::bytes(128..1024),
     ) {
         // A dictionary that guarantees dict references in the stream.
         let dict: Vec<u8> = data.iter().rev().copied().collect();
@@ -139,7 +131,7 @@ proptest! {
         // stream simply contains no history references.
         if let Ok(back) = lz4kit::decompress_with_dict(&dict, &packed, data.len()) {
             if back != data {
-                prop_assert_ne!(back, data);
+                assert_ne!(back, data);
             }
         }
     }

@@ -5,7 +5,7 @@
 //! real bytes, bounds-checked reads/writes, and a simple free-list allocator
 //! behind the paper's `host_alloc` / `dev_alloc` API.
 
-use bytes::Bytes;
+use simkit::Bytes;
 use std::error::Error;
 use std::fmt;
 

@@ -6,7 +6,7 @@
 //! [`Bytes`] segments: prefix splits and concatenation are O(segments)
 //! without copying payload bytes.
 
-use bytes::Bytes;
+use simkit::Bytes;
 
 /// An RDMA message: an ordered sequence of byte segments.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]

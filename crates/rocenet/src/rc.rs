@@ -15,7 +15,7 @@
 //! with fluid flows, while this layer pins down protocol *correctness*.
 
 use crate::message::Message;
-use bytes::Bytes;
+use simkit::Bytes;
 use std::collections::VecDeque;
 
 /// 24-bit packet sequence number with wrapping comparison (RoCE BTH PSN).

@@ -8,7 +8,7 @@
 //! (RoCE's remote-access-error class).
 
 use crate::mem::{MemPool, Region};
-use bytes::Bytes;
+use simkit::Bytes;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;

@@ -1,17 +1,16 @@
 //! Property tests for the AAMS split/assemble invariants.
 
-use proptest::prelude::*;
-use rocenet::{assemble_from, split_into, Message, MemPool, RecvDesc, SendDesc};
+use rocenet::{assemble_from, split_into, MemPool, Message, RecvDesc, SendDesc};
+use testkit::gen;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+testkit::prop! {
+    cases = 256;
 
     /// For every message and every split point, splitting into host+device
     /// buffers and assembling back yields the original bytes.
-    #[test]
     fn split_assemble_identity(
-        data in proptest::collection::vec(any::<u8>(), 0..8192),
-        h_size in 0usize..256,
+        data in gen::bytes(0..8192),
+        h_size in gen::usizes(0..256),
     ) {
         let mut host = MemPool::new("host", 1 << 10);
         let mut dev = MemPool::new("dev", 1 << 14);
@@ -20,8 +19,8 @@ proptest! {
         let msg = Message::from_bytes(data.clone());
         let desc = RecvDesc::split(1, h_buf, h_size, d_buf);
         let placed = split_into(&msg, &desc, &mut host, &mut dev).unwrap();
-        prop_assert_eq!(placed.host_bytes + placed.dev_bytes, data.len());
-        prop_assert_eq!(placed.host_bytes, h_size.min(data.len()));
+        assert_eq!(placed.host_bytes + placed.dev_bytes, data.len());
+        assert_eq!(placed.host_bytes, h_size.min(data.len()));
         let sdesc = SendDesc {
             wr_id: 2,
             h_buf,
@@ -30,27 +29,25 @@ proptest! {
             d_size: placed.dev_bytes,
         };
         let rebuilt = assemble_from(&sdesc, &host, &dev).unwrap();
-        prop_assert_eq!(&rebuilt.to_bytes()[..], &data[..]);
+        assert_eq!(&rebuilt.to_bytes()[..], &data[..]);
     }
 
     /// Messages larger than the descriptor capacity are always rejected and
     /// never partially placed beyond buffer bounds.
-    #[test]
-    fn oversize_always_rejected(extra in 1usize..4096) {
+    fn oversize_always_rejected(extra in gen::usizes(1..4096)) {
         let mut host = MemPool::new("host", 1 << 10);
         let mut dev = MemPool::new("dev", 1 << 13);
         let h_buf = host.alloc(64).unwrap();
         let d_buf = dev.alloc(1024).unwrap();
         let msg = Message::from_bytes(vec![0u8; 64 + 1024 + extra]);
         let desc = RecvDesc::split(1, h_buf, 64, d_buf);
-        prop_assert!(split_into(&msg, &desc, &mut host, &mut dev).is_err());
+        assert!(split_into(&msg, &desc, &mut host, &mut dev).is_err());
     }
 
     /// Message rope splitting at any sequence of points preserves content.
-    #[test]
     fn rope_split_preserves_bytes(
-        data in proptest::collection::vec(any::<u8>(), 1..4096),
-        cuts in proptest::collection::vec(0usize..4096, 0..6),
+        data in gen::bytes(1..4096),
+        cuts in gen::vecs(gen::usizes(0..4096), 0..6),
     ) {
         let mut m = Message::from_bytes(data.clone());
         let mut parts = Vec::new();
@@ -64,6 +61,6 @@ proptest! {
                 whole.append(seg.clone());
             }
         }
-        prop_assert_eq!(&whole.to_bytes()[..], &data[..]);
+        assert_eq!(&whole.to_bytes()[..], &data[..]);
     }
 }

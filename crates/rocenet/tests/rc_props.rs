@@ -2,10 +2,10 @@
 //! order, byte-identical, across arbitrarily lossy channels — the guarantee
 //! the middle tier assumes of its transport (§2.2.1).
 
-use proptest::prelude::*;
 use rocenet::rc::{Control, Psn, RcReceiver, RcSender, RxAction};
 use rocenet::Message;
 use std::collections::VecDeque;
+use testkit::gen::{self, Gen};
 
 /// A channel that drops and duplicates deterministically from a seed.
 struct LossyChannel {
@@ -112,48 +112,44 @@ fn run_lossy(
     (delivered, tx.retransmissions())
 }
 
-fn messages_strategy() -> impl Strategy<Value = Vec<(u64, Vec<u8>)>> {
-    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..3000), 1..12).prop_map(
-        |datas| {
-            datas
-                .into_iter()
-                .enumerate()
-                .map(|(i, d)| (i as u64, d))
-                .collect()
-        },
-    )
+fn messages_gen() -> impl Gen<Value = Vec<(u64, Vec<u8>)>> {
+    gen::vecs(gen::bytes(1..3000), 1..12).map(|datas| {
+        datas
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| (i as u64, d))
+            .collect::<Vec<_>>()
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+testkit::prop! {
+    cases = 48;
 
     /// Exactly-once, in-order, byte-identical delivery under loss and
     /// duplication on both the data and control channels.
-    #[test]
     fn reliable_delivery_under_loss(
-        msgs in messages_strategy(),
-        seed in any::<u64>(),
-        drop_pct in 0u8..35,
-        dup_pct in 0u8..15,
-        mtu in prop_oneof![Just(256usize), Just(700), Just(4096)],
-        window in 1usize..10,
+        msgs in messages_gen(),
+        seed in gen::u64s(..),
+        drop_pct in gen::u8s(0..35),
+        dup_pct in gen::u8s(0..15),
+        mtu in gen::choice(vec![256usize, 700, 4096]),
+        window in gen::usizes(1..10),
     ) {
         let (delivered, _) = run_lossy(&msgs, mtu, window, seed, drop_pct, dup_pct);
-        prop_assert_eq!(delivered.len(), msgs.len(), "exactly once");
+        assert_eq!(delivered.len(), msgs.len(), "exactly once");
         for (got, want) in delivered.iter().zip(msgs.iter()) {
-            prop_assert_eq!(got.0, want.0, "in order");
-            prop_assert_eq!(&got.1, &want.1, "byte identical");
+            assert_eq!(got.0, want.0, "in order");
+            assert_eq!(&got.1, &want.1, "byte identical");
         }
     }
 
     /// A clean channel never retransmits.
-    #[test]
     fn clean_channel_is_retransmission_free(
-        msgs in messages_strategy(),
-        window in 1usize..10,
+        msgs in messages_gen(),
+        window in gen::usizes(1..10),
     ) {
         let (delivered, retx) = run_lossy(&msgs, 1024, window, 7, 0, 0);
-        prop_assert_eq!(delivered.len(), msgs.len());
-        prop_assert_eq!(retx, 0, "no loss, no retransmissions");
+        assert_eq!(delivered.len(), msgs.len());
+        assert_eq!(retx, 0, "no loss, no retransmissions");
     }
 }

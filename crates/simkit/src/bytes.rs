@@ -1,0 +1,215 @@
+//! A cheaply-cloneable, sliceable byte buffer.
+//!
+//! The workspace builds with zero external dependencies, so this module
+//! replaces the `bytes` crate's `Bytes` with the minimal surface the
+//! message rope, memory pools, and chunk stores need: an immutable
+//! `Arc<[u8]>` plus a `[start, end)` window. `clone` bumps a refcount and
+//! [`Bytes::slice`] narrows the window — neither copies payload bytes, which
+//! is what makes AAMS split/reassemble zero-copy in the simulation.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte slice.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// A buffer that copies `data` (one allocation).
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the visible window.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-window of this buffer, sharing the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the current window.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v + 1,
+            Bound::Excluded(&v) => v,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of bounds of {} bytes",
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// The visible window as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copies the window into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = v.into();
+        Bytes {
+            start: 0,
+            end: data.len(),
+            data,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(v: [u8; N]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(v: Box<[u8]>) -> Self {
+        Bytes::from(v.into_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+// Render like the `bytes` crate: a byte-string literal, not a number list.
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_slice_share_no_copies() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let c = b.clone();
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(c, b);
+        assert!(Arc::ptr_eq(&b.data, &s.data));
+    }
+
+    #[test]
+    fn slice_of_slice_composes() {
+        let b = Bytes::from((0u8..10).collect::<Vec<_>>());
+        let s = b.slice(2..8).slice(1..=3);
+        assert_eq!(&s[..], &[3, 4, 5]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn open_ranges() {
+        let b = Bytes::from(vec![9u8; 6]);
+        assert_eq!(b.slice(..).len(), 6);
+        assert_eq!(b.slice(2..).len(), 4);
+        assert_eq!(b.slice(..2).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oversize_slice_panics() {
+        Bytes::from(vec![0u8; 4]).slice(2..6);
+    }
+
+    #[test]
+    fn equality_ignores_backing_layout() {
+        let a = Bytes::from(vec![7u8, 8, 9]);
+        let b = Bytes::from(vec![0u8, 7, 8, 9, 0]).slice(1..4);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![7u8, 8, 9]);
+        assert_eq!(&a[..], [7u8, 8, 9]);
+    }
+
+    #[test]
+    fn empty_is_cheap_and_debuggable() {
+        let e = Bytes::new();
+        assert!(e.is_empty());
+        assert_eq!(format!("{:?}", Bytes::from(vec![b'a', 0, b'\n'])), "b\"a\\x00\\n\"");
+    }
+}

@@ -1,0 +1,217 @@
+//! A minimal JSON writer (serializer only).
+//!
+//! Replaces `serde` for the workspace's report emitters. Reports are flat
+//! records of strings, numbers, and small arrays, so a hand-rolled builder
+//! with correct string escaping and finite-float handling covers everything
+//! the repo serializes — with zero dependencies and no derive machinery.
+//!
+//! ```
+//! use simkit::json::Object;
+//!
+//! let s = Object::new()
+//!     .field("label", "SmartDS-6")
+//!     .field("gbps", 347.5)
+//!     .field("feasible", true)
+//!     .finish();
+//! assert_eq!(s, r#"{"label":"SmartDS-6","gbps":347.5,"feasible":true}"#);
+//! ```
+
+use std::fmt::Write as _;
+
+/// Escapes and quotes one JSON string.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A value that can be rendered as a JSON token.
+pub trait ToJson {
+    /// Renders `self` as one JSON value.
+    fn to_json(&self) -> String;
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> String {
+        escape(self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> String {
+        escape(self)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> String {
+        if *self { "true" } else { "false" }.to_string()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> String {
+        // JSON has no NaN/Infinity; reports treat them as null.
+        if self.is_finite() {
+            let mut s = format!("{self}");
+            // `{}` prints integral floats without a point; keep them valid
+            // but unambiguous as floats is unnecessary — JSON allows both.
+            if s == "-0" {
+                s = "0".to_string();
+            }
+            s
+        } else {
+            "null".to_string()
+        }
+    }
+}
+
+macro_rules! int_to_json {
+    ($($ty:ty),+) => {
+        $(impl ToJson for $ty {
+            fn to_json(&self) -> String {
+                self.to_string()
+            }
+        })+
+    };
+}
+
+int_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> String {
+        (*self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> String {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_json());
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> String {
+        self.as_slice().to_json()
+    }
+}
+
+/// Builder for one JSON object, preserving field order.
+#[derive(Default)]
+pub struct Object {
+    body: String,
+}
+
+impl Object {
+    /// An empty object.
+    pub fn new() -> Self {
+        Object::default()
+    }
+
+    /// Appends one field.
+    pub fn field(mut self, name: &str, value: impl ToJson) -> Self {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push_str(&escape(name));
+        self.body.push(':');
+        self.body.push_str(&value.to_json());
+        self
+    }
+
+    /// Appends one field whose value is already-rendered JSON (for nested
+    /// objects and arrays of objects).
+    pub fn field_raw(mut self, name: &str, json: &str) -> Self {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push_str(&escape(name));
+        self.body.push(':');
+        self.body.push_str(json);
+        self
+    }
+
+    /// Renders the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Renders a slice of already-rendered JSON values as a JSON array.
+pub fn array_raw<S: AsRef<str>>(items: &[S]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(v.as_ref());
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn object_builder_round() {
+        let s = Object::new()
+            .field("n", 3u64)
+            .field("ok", false)
+            .field("xs", [1.5f64, 2.0])
+            .field_raw("nested", &Object::new().field("a", 1u8).finish())
+            .finish();
+        assert_eq!(s, r#"{"n":3,"ok":false,"xs":[1.5,2],"nested":{"a":1}}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(f64::INFINITY.to_json(), "null");
+        assert_eq!((-0.0f64).to_json(), "0");
+    }
+
+    #[test]
+    fn arrays_of_rendered_objects() {
+        let rows = [
+            Object::new().field("i", 0u8).finish(),
+            Object::new().field("i", 1u8).finish(),
+        ];
+        assert_eq!(array_raw(&rows), r#"[{"i":0},{"i":1}]"#);
+    }
+}

@@ -69,14 +69,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytes;
 mod engine;
 mod fluid;
 mod hist;
+pub mod json;
 mod meter;
 mod rng;
 mod server;
 mod time;
 
+pub use bytes::Bytes;
 pub use engine::{Scheduler, Simulation, World};
 pub use fluid::{FlowEnd, FlowId, FlowSpec, FluidResource};
 pub use hist::Histogram;

@@ -2,8 +2,9 @@
 //! conservation, and completion exactness under arbitrary operation
 //! sequences.
 
-use proptest::prelude::*;
 use simkit::{FlowSpec, FluidResource, Time};
+use testkit::gen::{self, Gen};
+use testkit::one_of;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -11,24 +12,20 @@ enum Op {
     Advance { ps: u32 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u32..50_000_000, 1u8..5, 0u8..4).prop_map(|(bytes, weight, cap)| Op::Start {
-            bytes,
-            weight,
-            cap
-        }),
-        (1u32..50_000_000).prop_map(|ps| Op::Advance { ps }),
+fn op_gen() -> impl Gen<Value = Op> {
+    one_of![
+        (gen::u32s(1..50_000_000), gen::u8s(1..5), gen::u8s(0..4))
+            .map(|(bytes, weight, cap)| Op::Start { bytes, weight, cap }),
+        gen::u32s(1..50_000_000).map(|ps| Op::Advance { ps }),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+testkit::prop! {
+    cases = 128;
 
     /// Total bytes credited to flows never exceed capacity × elapsed time,
     /// and every started byte is eventually delivered exactly once.
-    #[test]
-    fn conservation_and_exact_delivery(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+    fn conservation_and_exact_delivery(ops in gen::vecs(op_gen(), 1..60)) {
         let capacity = 1e9; // 1 GB/s
         let mut r = FluidResource::new("prop", capacity);
         let mut now = Time::ZERO;
@@ -57,18 +54,18 @@ proptest! {
             completed += r.take_completed().len();
             // Allocated rate never exceeds capacity.
             let alloc = r.allocated_rate();
-            prop_assert!(alloc <= capacity * (1.0 + 1e-9), "over-allocated {alloc}");
+            assert!(alloc <= capacity * (1.0 + 1e-9), "over-allocated {alloc}");
             // Work conservation: if any uncapped backlog exists, the full
             // capacity is in use. (All caps here are ≥ 0.2 GB/s, so with ≥5
             // active flows the sum of caps exceeds capacity.)
             if r.active_flows() >= 5 {
-                prop_assert!(alloc >= capacity * (1.0 - 1e-9), "under-allocated {alloc}");
+                assert!(alloc >= capacity * (1.0 - 1e-9), "under-allocated {alloc}");
             }
             // Bytes moved so far cannot exceed capacity × time.
             let moved = r.total_bytes();
             let budget = capacity * now.as_secs() + 1.0;
-            prop_assert!(moved <= budget, "moved {moved} > budget {budget}");
-            prop_assert!(moved <= started + 1.0, "moved more than started");
+            assert!(moved <= budget, "moved {moved} > budget {budget}");
+            assert!(moved <= started + 1.0, "moved more than started");
         }
 
         // Drain: run the resource dry and check every flow completed.
@@ -77,24 +74,23 @@ proptest! {
             r.sync(at);
             completed += r.take_completed().len();
             guard += 1;
-            prop_assert!(guard < 10_000, "resource failed to drain");
+            assert!(guard < 10_000, "resource failed to drain");
         }
-        prop_assert_eq!(completed, flows_started, "every flow completes exactly once");
+        assert_eq!(completed, flows_started, "every flow completes exactly once");
         // And all started bytes were delivered (within rounding slack).
-        prop_assert!((r.total_bytes() - started).abs() < flows_started as f64 + 1.0);
+        assert!((r.total_bytes() - started).abs() < flows_started as f64 + 1.0);
     }
 
     /// Weighted shares: two persistent flows with weights w1:w2 receive
     /// rates in exactly that proportion.
-    #[test]
-    fn weighted_shares_exact(w1 in 1u8..10, w2 in 1u8..10) {
+    fn weighted_shares_exact(w1 in gen::u8s(1..10), w2 in gen::u8s(1..10)) {
         let mut r = FluidResource::new("w", 10e9);
         let a = r.start_flow(Time::ZERO, f64::INFINITY, FlowSpec::new().weight(w1 as f64), 1);
         let b = r.start_flow(Time::ZERO, f64::INFINITY, FlowSpec::new().weight(w2 as f64), 2);
         let ra = r.flow_rate(a);
         let rb = r.flow_rate(b);
         let expect = w1 as f64 / w2 as f64;
-        prop_assert!((ra / rb - expect).abs() < 1e-9, "{ra} {rb}");
-        prop_assert!((ra + rb - 10e9).abs() < 1.0);
+        assert!((ra / rb - expect).abs() < 1e-9, "{ra} {rb}");
+        assert!((ra + rb - 10e9).abs() < 1.0);
     }
 }

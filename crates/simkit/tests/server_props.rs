@@ -1,19 +1,18 @@
 //! Property tests for the k-server FIFO pool.
 
-use proptest::prelude::*;
 use simkit::{ServerPool, Time};
 use std::collections::BinaryHeap;
+use testkit::gen;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+testkit::prop! {
+    cases = 128;
 
     /// Under any arrival pattern: at most `k` jobs in service, FIFO start
     /// order, every job completes exactly once, and busy time equals the
     /// sum of service times.
-    #[test]
     fn pool_invariants(
-        servers in 1usize..6,
-        jobs in proptest::collection::vec((1u64..10_000, 0u64..5_000), 1..60),
+        servers in gen::usizes(1..6),
+        jobs in gen::vecs((gen::u64s(1..10_000), gen::u64s(0..5_000)), 1..60),
     ) {
         let mut pool = ServerPool::new("prop", servers);
         // (finish_at_ps, token) of jobs currently in service.
@@ -47,18 +46,18 @@ proptest! {
                 started.push(js.token);
                 in_service.push(std::cmp::Reverse((js.finish_at.as_ps(), js.token)));
             }
-            prop_assert!(pool.busy() <= servers);
-            prop_assert_eq!(in_service.len(), pool.busy());
+            assert!(pool.busy() <= servers);
+            assert_eq!(in_service.len(), pool.busy());
         }
         // Drain everything.
         drain_until(Time::MAX, &mut pool, &mut in_service, &mut started);
-        prop_assert_eq!(pool.jobs_done() as usize, jobs.len(), "exactly once");
-        prop_assert_eq!(pool.busy(), 0);
-        prop_assert_eq!(pool.queued(), 0);
+        assert_eq!(pool.jobs_done() as usize, jobs.len(), "exactly once");
+        assert_eq!(pool.busy(), 0);
+        assert_eq!(pool.queued(), 0);
         // FIFO: tokens start in submission order.
         let mut sorted = started.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(&started, &sorted, "FIFO start order");
-        prop_assert_eq!(pool.busy_time(), total_service);
+        assert_eq!(&started, &sorted, "FIFO start order");
+        assert_eq!(pool.busy_time(), total_service);
     }
 }

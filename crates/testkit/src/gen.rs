@@ -1,0 +1,367 @@
+//! Generator combinators over the choice stream.
+//!
+//! A [`Gen`] deterministically maps a [`Source`] to a value. Generators are
+//! stateless (`sample(&self, ..)`), so one generator can produce every case
+//! of a run and be replayed during shrinking.
+
+use crate::source::Source;
+use std::fmt::Debug;
+use std::ops::{Bound, RangeBounds};
+
+/// A value generator driven by the choice stream.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, src: &mut Source<'_>) -> Self::Value;
+
+    /// Maps generated values through `f` (shrinking still happens on the
+    /// underlying choices, so constraints survive the mapping).
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the generator (for [`one_of!`](crate::one_of) and other
+    /// heterogeneous collections).
+    fn boxed(self) -> BoxGen<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxGen(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased generator.
+pub struct BoxGen<T>(Box<dyn Gen<Value = T>>);
+
+impl<T: Debug> Gen for BoxGen<T> {
+    type Value = T;
+    fn sample(&self, src: &mut Source<'_>) -> T {
+        self.0.sample(src)
+    }
+}
+
+/// Picks one of several same-typed generators, uniformly.
+///
+/// Prefer the [`one_of!`](crate::one_of) macro; a zero draw selects the
+/// *first* alternative, so list the simplest generator first.
+pub struct OneOf<T> {
+    gens: Vec<BoxGen<T>>,
+}
+
+impl<T: Debug> OneOf<T> {
+    /// A uniform choice over `gens`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gens` is empty.
+    pub fn new(gens: Vec<BoxGen<T>>) -> Self {
+        assert!(!gens.is_empty(), "one_of over no generators");
+        OneOf { gens }
+    }
+}
+
+impl<T: Debug> Gen for OneOf<T> {
+    type Value = T;
+    fn sample(&self, src: &mut Source<'_>) -> T {
+        let idx = src.int_in(0, self.gens.len() as u64 - 1) as usize;
+        self.gens[idx].sample(src)
+    }
+}
+
+/// Uniform choice over same-typed generators; shrinks toward the first.
+///
+/// ```
+/// use testkit::gen::{self, Gen};
+/// let g = testkit::one_of![gen::just(0u64), gen::u64s(10..20)];
+/// ```
+#[macro_export]
+macro_rules! one_of {
+    ($($g:expr),+ $(,)?) => {
+        $crate::gen::OneOf::new(vec![$($crate::gen::Gen::boxed($g)),+])
+    };
+}
+
+/// See [`Gen::map`].
+pub struct Map<G, F> {
+    inner: G,
+    f: F,
+}
+
+impl<G, U, F> Gen for Map<G, F>
+where
+    G: Gen,
+    U: Debug,
+    F: Fn(G::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, src: &mut Source<'_>) -> U {
+        (self.f)(self.inner.sample(src))
+    }
+}
+
+/// Always produces a clone of one value (consumes no choices).
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Gen for Just<T> {
+    type Value = T;
+    fn sample(&self, _src: &mut Source<'_>) -> T {
+        self.0.clone()
+    }
+}
+
+/// A constant generator.
+pub fn just<T: Clone + Debug>(v: T) -> Just<T> {
+    Just(v)
+}
+
+/// Uniformly picks one of the given values; shrinks toward the first.
+pub struct Choice<T: Clone + Debug> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Debug> Gen for Choice<T> {
+    type Value = T;
+    fn sample(&self, src: &mut Source<'_>) -> T {
+        let idx = src.int_in(0, self.items.len() as u64 - 1) as usize;
+        self.items[idx].clone()
+    }
+}
+
+/// A uniform choice over explicit values (shrinks toward the first).
+///
+/// # Panics
+///
+/// Panics if `items` is empty.
+pub fn choice<T: Clone + Debug>(items: impl Into<Vec<T>>) -> Choice<T> {
+    let items = items.into();
+    assert!(!items.is_empty(), "choice over no values");
+    Choice { items }
+}
+
+fn u64_bounds(r: impl RangeBounds<u64>) -> (u64, u64) {
+    let lo = match r.start_bound() {
+        Bound::Included(&v) => v,
+        Bound::Excluded(&v) => v + 1,
+        Bound::Unbounded => 0,
+    };
+    let hi = match r.end_bound() {
+        Bound::Included(&v) => v,
+        Bound::Excluded(&v) => v.checked_sub(1).expect("empty range"),
+        Bound::Unbounded => u64::MAX,
+    };
+    assert!(lo <= hi, "empty range {lo}..={hi}");
+    (lo, hi)
+}
+
+macro_rules! int_gen {
+    ($(#[$doc:meta])* $name:ident, $ty:ty, $struct_name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug)]
+        pub struct $struct_name {
+            lo: u64,
+            hi: u64,
+        }
+
+        impl Gen for $struct_name {
+            type Value = $ty;
+            fn sample(&self, src: &mut Source<'_>) -> $ty {
+                src.int_in(self.lo, self.hi) as $ty
+            }
+        }
+
+        $(#[$doc])*
+        pub fn $name(r: impl RangeBounds<$ty>) -> $struct_name {
+            let lo = match r.start_bound() {
+                Bound::Included(&v) => v as u64,
+                Bound::Excluded(&v) => v as u64 + 1,
+                Bound::Unbounded => 0,
+            };
+            let hi = match r.end_bound() {
+                Bound::Included(&v) => v as u64,
+                Bound::Excluded(&v) => (v as u64).checked_sub(1).expect("empty range"),
+                Bound::Unbounded => <$ty>::MAX as u64,
+            };
+            assert!(lo <= hi, "empty range {lo}..={hi}");
+            $struct_name { lo, hi }
+        }
+    };
+}
+
+int_gen!(
+    /// Uniform `u64` in the range; shrinks toward the lower bound.
+    u64s, u64, U64s
+);
+int_gen!(
+    /// Uniform `u32` in the range; shrinks toward the lower bound.
+    u32s, u32, U32s
+);
+int_gen!(
+    /// Uniform `u16` in the range; shrinks toward the lower bound.
+    u16s, u16, U16s
+);
+int_gen!(
+    /// Uniform `u8` in the range; shrinks toward the lower bound.
+    u8s, u8, U8s
+);
+int_gen!(
+    /// Uniform `usize` in the range; shrinks toward the lower bound.
+    usizes, usize, Usizes
+);
+
+/// Uniform `f64` in `[lo, hi)`; shrinks toward `lo`.
+#[derive(Clone, Copy, Debug)]
+pub struct F64s {
+    lo: f64,
+    hi: f64,
+}
+
+impl Gen for F64s {
+    type Value = f64;
+    fn sample(&self, src: &mut Source<'_>) -> f64 {
+        self.lo + src.unit_f64() * (self.hi - self.lo)
+    }
+}
+
+/// Uniform `f64` in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics unless `lo < hi` and both are finite.
+pub fn f64s(r: std::ops::Range<f64>) -> F64s {
+    assert!(
+        r.start < r.end && r.start.is_finite() && r.end.is_finite(),
+        "bad f64 range {}..{}",
+        r.start,
+        r.end
+    );
+    F64s {
+        lo: r.start,
+        hi: r.end,
+    }
+}
+
+/// Booleans; shrinks toward `false`.
+#[derive(Clone, Copy, Debug)]
+pub struct Bools;
+
+impl Gen for Bools {
+    type Value = bool;
+    fn sample(&self, src: &mut Source<'_>) -> bool {
+        src.weighted_bool(0.5)
+    }
+}
+
+/// A fair boolean (shrinks toward `false`).
+pub fn bools() -> Bools {
+    Bools
+}
+
+/// Vectors of generated elements; shrinks toward the minimum length and
+/// element-wise toward simpler elements.
+pub struct VecGen<G> {
+    elem: G,
+    min: u64,
+    max: u64,
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+    fn sample(&self, src: &mut Source<'_>) -> Vec<G::Value> {
+        let len = src.int_in(self.min, self.max) as usize;
+        (0..len).map(|_| self.elem.sample(src)).collect()
+    }
+}
+
+/// A vector whose length is uniform in `len` and whose elements come from
+/// `elem`.
+pub fn vecs<G: Gen>(elem: G, len: impl RangeBounds<u64>) -> VecGen<G> {
+    let (min, max) = u64_bounds(len);
+    VecGen { elem, min, max }
+}
+
+/// Arbitrary byte vectors with length in `len` (shorthand for
+/// `vecs(u8s(..), len)`).
+pub fn bytes(len: impl RangeBounds<u64>) -> VecGen<U8s> {
+    vecs(u8s(..), len)
+}
+
+macro_rules! tuple_gen {
+    ($($g:ident => $v:ident),+) => {
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+            fn sample(&self, src: &mut Source<'_>) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.sample(src),)+)
+            }
+        }
+    };
+}
+
+tuple_gen!(A => a);
+tuple_gen!(A => a, B => b);
+tuple_gen!(A => a, B => b, C => c);
+tuple_gen!(A => a, B => b, C => c, D => d);
+tuple_gen!(A => a, B => b, C => c, D => d, E => e);
+tuple_gen!(A => a, B => b, C => c, D => d, E => e, F => f);
+tuple_gen!(A => a, B => b, C => c, D => d, E => e, F => f, G => g);
+tuple_gen!(A => a, B => b, C => c, D => d, E => e, F => f, G => g, H => h);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn take<G: Gen>(g: &G, seed: u64) -> G::Value {
+        let mut log = Vec::new();
+        let mut src = Source::record(seed, &mut log);
+        g.sample(&mut src)
+    }
+
+    #[test]
+    fn ranges_respected() {
+        for seed in 0..200 {
+            let v = take(&u64s(10..20), seed);
+            assert!((10..20).contains(&v));
+            let b = take(&bytes(3..=5), seed);
+            assert!((3..=5).contains(&b.len()));
+            let f = take(&f64s(-1.0..1.0), seed);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn replay_of_empty_stream_is_minimal() {
+        let mut src = Source::replay(&[]);
+        let g = (u64s(5..100), vecs(u8s(1..=255), 2..9), bools());
+        let (n, v, b) = g.sample(&mut src);
+        assert_eq!(n, 5);
+        assert_eq!(v, vec![1, 1]);
+        assert!(!b);
+    }
+
+    #[test]
+    fn map_and_one_of_compose() {
+        let g = crate::one_of![
+            just(Vec::new()),
+            vecs(u8s(..), 1..4).map(|v| v.iter().map(|x| x ^ 0xFF).collect::<Vec<u8>>()),
+        ];
+        for seed in 0..50 {
+            let v = take(&g, seed);
+            assert!(v.len() < 4);
+        }
+    }
+
+    #[test]
+    fn choice_picks_listed_values() {
+        let g = choice(vec![256usize, 700, 4096]);
+        for seed in 0..50 {
+            assert!([256, 700, 4096].contains(&take(&g, seed)));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Deterministic, dependency-free property testing for the SmartDS
+//! workspace.
+//!
+//! The workspace builds offline, so `testkit` replaces `proptest` (and the
+//! `criterion` bench harness) with a small in-repo substrate:
+//!
+//! - **Generators** ([`Gen`]) are combinators over a *choice stream*: every
+//!   random decision is one `u64` drawn from a [`Source`], which in record
+//!   mode is backed by [`simkit::Rng`] (SplitMix64) and logs each draw.
+//! - **Shrinking** edits the recorded choice stream — deleting
+//!   exponentially-sized chunks and halving individual draws — and replays
+//!   it through the *same* generator. A shrunk counterexample therefore
+//!   always satisfies the generator's constraints (ranges, lengths,
+//!   weights), even through [`Gen::map`] and [`one_of!`].
+//! - **Replay**: every failure report names the case seed; re-running with
+//!   `TESTKIT_SEED=<seed>` regenerates exactly that case (and re-shrinks
+//!   it), independent of how many cases the suite normally runs.
+//!
+//! # Writing properties
+//!
+//! ```
+//! use testkit::gen::{self, Gen};
+//!
+//! testkit::prop! {
+//!     cases = 64;
+//!
+//!     /// Reversing twice is the identity.
+//!     fn double_reverse(data in gen::vecs(gen::u8s(..), 0..128)) {
+//!         let mut twice = data.clone();
+//!         twice.reverse();
+//!         twice.reverse();
+//!         assert_eq!(twice, data);
+//!     }
+//! }
+//! ```
+//!
+//! Properties fail by panicking (`assert!`, `assert_eq!`, indexing, …); the
+//! harness catches the panic, shrinks the input, and re-panics with the
+//! minimal counterexample plus the `TESTKIT_SEED` needed to replay it.
+
+pub mod bench;
+pub mod gen;
+mod runner;
+mod shrink;
+mod source;
+
+pub use gen::Gen;
+pub use runner::{forall, Config, DEFAULT_SEED};
+pub use source::Source;

@@ -1,0 +1,131 @@
+//! Bounded exponential shrinking over recorded choice streams.
+//!
+//! Candidates are produced by two passes repeated to a fixpoint (or until
+//! the attempt budget runs out):
+//!
+//! 1. **Chunk deletion** — remove windows of the stream, with window sizes
+//!    halving from `len/2` down to 1. Deleting choices shortens generated
+//!    collections and drops whole operations from op-sequence generators.
+//! 2. **Draw reduction** — for each position, try zero, then exponentially
+//!    smaller right-shifts of the draw (`v >> 32`, `v >> 16`, …, `v - 1`).
+//!    Since every derived distribution is monotone in the raw draw, this
+//!    moves generated values toward their range minimum.
+//!
+//! A candidate is adopted only if the property still fails on it, so the
+//! final stream is a locally minimal failing input.
+
+/// Shrinks `choices` while `fails` keeps returning `true`, spending at most
+/// `budget` property evaluations. Returns the smallest failing stream found.
+pub fn shrink(choices: Vec<u64>, mut fails: impl FnMut(&[u64]) -> bool, budget: u32) -> Vec<u64> {
+    let mut best = choices;
+    let mut spent = 0u32;
+    let mut try_candidate = |cand: &[u64], spent: &mut u32| -> bool {
+        if *spent >= budget {
+            return false;
+        }
+        *spent += 1;
+        fails(cand)
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: delete windows, exponentially shrinking the window size.
+        let mut window = (best.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i + window <= best.len() && spent < budget {
+                let mut cand = Vec::with_capacity(best.len() - window);
+                cand.extend_from_slice(&best[..i]);
+                cand.extend_from_slice(&best[i + window..]);
+                if try_candidate(&cand, &mut spent) {
+                    best = cand;
+                    progressed = true;
+                    // Same position now holds fresh content; retry it.
+                } else {
+                    i += 1;
+                }
+            }
+            if window == 1 {
+                break;
+            }
+            window /= 2;
+        }
+
+        // Pass 2: reduce individual draws toward zero.
+        for i in 0..best.len() {
+            if spent >= budget {
+                break;
+            }
+            let orig = best[i];
+            if orig == 0 {
+                continue;
+            }
+            for cand_val in reduction_ladder(orig) {
+                let mut cand = best.clone();
+                cand[i] = cand_val;
+                if try_candidate(&cand, &mut spent) {
+                    best = cand;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+
+        if !progressed || spent >= budget {
+            return best;
+        }
+    }
+}
+
+/// Candidate replacements for one draw, simplest first.
+fn reduction_ladder(v: u64) -> impl Iterator<Item = u64> {
+    let mut ladder = vec![0u64];
+    for shift in [32u32, 16, 8, 4, 2, 1] {
+        let cand = v >> shift;
+        if cand != 0 && !ladder.contains(&cand) {
+            ladder.push(cand);
+        }
+    }
+    if v > 0 && !ladder.contains(&(v - 1)) {
+        ladder.push(v - 1);
+    }
+    ladder.into_iter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_empty_when_everything_fails() {
+        let out = shrink(vec![9, 8, 7, 6], |_| true, 1000);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn keeps_failure_invariant() {
+        // Property fails whenever the stream sums to >= 100.
+        let out = shrink(vec![90, 90, 90, 90], |c| c.iter().sum::<u64>() >= 100, 10_000);
+        assert!(out.iter().sum::<u64>() >= 100);
+        // Locally minimal-ish: far below the original 360.
+        assert!(out.iter().sum::<u64>() <= 200, "{out:?}");
+    }
+
+    #[test]
+    fn respects_budget() {
+        let mut calls = 0;
+        let _ = shrink(vec![5; 64], |_| {
+            calls += 1;
+            true
+        }, 10);
+        assert!(calls <= 10);
+    }
+
+    #[test]
+    fn ladder_is_descending_ish_and_starts_at_zero() {
+        let l: Vec<u64> = reduction_ladder(u64::MAX).collect();
+        assert_eq!(l[0], 0);
+        assert!(l.contains(&(u64::MAX - 1)));
+    }
+}

@@ -1,0 +1,128 @@
+//! The choice stream: the single entropy interface generators draw from.
+//!
+//! In **record** mode a [`Source`] pulls fresh values from
+//! [`simkit::Rng`] and logs every draw. In **replay** mode it feeds back a
+//! previously recorded (possibly shrunk) stream; draws past the end return
+//! zero, which every derived distribution maps to its minimum — so a
+//! truncated stream yields the *simplest* value the generator can produce.
+//!
+//! All derived draws are monotone in the raw `u64`: a smaller draw never
+//! produces a larger value. That is what makes stream-level shrinking
+//! (halving draws toward zero) shrink the *generated* values too.
+
+use simkit::Rng;
+
+enum Mode<'a> {
+    Record { rng: Rng, log: &'a mut Vec<u64> },
+    Replay { data: &'a [u64], pos: usize },
+}
+
+/// A recording or replaying stream of random choices.
+pub struct Source<'a> {
+    mode: Mode<'a>,
+}
+
+impl<'a> Source<'a> {
+    /// A recording source seeded from `seed`; every draw is appended to
+    /// `log`.
+    pub fn record(seed: u64, log: &'a mut Vec<u64>) -> Self {
+        Source {
+            mode: Mode::Record {
+                rng: Rng::new(seed),
+                log,
+            },
+        }
+    }
+
+    /// A replaying source over a recorded stream. Draws past the end of
+    /// `data` return `0`.
+    pub fn replay(data: &'a [u64]) -> Self {
+        Source {
+            mode: Mode::Replay { data, pos: 0 },
+        }
+    }
+
+    /// Next raw choice.
+    pub fn next_u64(&mut self) -> u64 {
+        match &mut self.mode {
+            Mode::Record { rng, log } => {
+                let v = rng.next_u64();
+                log.push(v);
+                v
+            }
+            Mode::Replay { data, pos } => {
+                let v = data.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                v
+            }
+        }
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive), monotone in the raw draw.
+    ///
+    /// Uses a single multiply-shift (no rejection): replaying an edited
+    /// stream must consume exactly one draw per call, and the ≤ `span`/2⁶⁴
+    /// bias is irrelevant for test generation.
+    pub fn int_in(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi, "int_in({lo}, {hi})");
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        let x = self.next_u64();
+        if span == 0 {
+            // Full u64 range.
+            return x;
+        }
+        lo + ((x as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`, monotone in the raw draw.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial; a zero draw yields `false` (the "simple" outcome).
+    pub fn weighted_bool(&mut self, p: f64) -> bool {
+        1.0 - self.unit_f64() <= p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_then_replay_is_identical() {
+        let mut log = Vec::new();
+        let a: Vec<u64> = {
+            let mut s = Source::record(42, &mut log);
+            (0..10).map(|_| s.int_in(0, 999)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = Source::replay(&log);
+            (0..10).map(|_| s.int_in(0, 999)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhausted_replay_yields_minimum() {
+        let mut s = Source::replay(&[]);
+        assert_eq!(s.int_in(7, 1000), 7);
+        assert_eq!(s.unit_f64(), 0.0);
+        assert!(!s.weighted_bool(0.99));
+    }
+
+    #[test]
+    fn int_in_full_range_is_raw() {
+        let mut s = Source::replay(&[u64::MAX]);
+        assert_eq!(s.int_in(0, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn int_in_monotone_in_draw() {
+        for span in [2u64, 13, 4096, u64::MAX / 2] {
+            let mut lo = Source::replay(&[1]);
+            let mut hi = Source::replay(&[u64::MAX]);
+            assert!(lo.int_in(0, span) <= hi.int_in(0, span));
+        }
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aams_props-4536befd70165146.d: crates/rocenet/tests/aams_props.rs
+
+/root/repo/target/debug/deps/aams_props-4536befd70165146: crates/rocenet/tests/aams_props.rs
+
+crates/rocenet/tests/aams_props.rs:

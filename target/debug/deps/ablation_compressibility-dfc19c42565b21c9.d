@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_compressibility-dfc19c42565b21c9.d: crates/bench/benches/ablation_compressibility.rs
+
+/root/repo/target/debug/deps/ablation_compressibility-dfc19c42565b21c9: crates/bench/benches/ablation_compressibility.rs
+
+crates/bench/benches/ablation_compressibility.rs:

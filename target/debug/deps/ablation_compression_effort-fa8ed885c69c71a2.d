@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_compression_effort-fa8ed885c69c71a2.d: crates/bench/benches/ablation_compression_effort.rs
+
+/root/repo/target/debug/deps/ablation_compression_effort-fa8ed885c69c71a2: crates/bench/benches/ablation_compression_effort.rs
+
+crates/bench/benches/ablation_compression_effort.rs:

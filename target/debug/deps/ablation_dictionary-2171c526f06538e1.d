@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dictionary-2171c526f06538e1.d: crates/bench/benches/ablation_dictionary.rs
+
+/root/repo/target/debug/deps/ablation_dictionary-2171c526f06538e1: crates/bench/benches/ablation_dictionary.rs
+
+crates/bench/benches/ablation_dictionary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_mem_agent-dca7f0c1f7242b77.d: crates/bench/benches/ablation_mem_agent.rs
+
+/root/repo/target/debug/deps/ablation_mem_agent-dca7f0c1f7242b77: crates/bench/benches/ablation_mem_agent.rs
+
+crates/bench/benches/ablation_mem_agent.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_replication-2a831338ba43e453.d: crates/bench/benches/ablation_replication.rs
+
+/root/repo/target/debug/deps/ablation_replication-2a831338ba43e453: crates/bench/benches/ablation_replication.rs
+
+crates/bench/benches/ablation_replication.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_split_granularity-d3841bbd8e1fdc33.d: crates/bench/benches/ablation_split_granularity.rs
+
+/root/repo/target/debug/deps/ablation_split_granularity-d3841bbd8e1fdc33: crates/bench/benches/ablation_split_granularity.rs
+
+crates/bench/benches/ablation_split_granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_end_to_end-a16773ef1038c8b2.d: tests/tests/api_end_to_end.rs
+
+/root/repo/target/debug/deps/api_end_to_end-a16773ef1038c8b2: tests/tests/api_end_to_end.rs
+
+tests/tests/api_end_to_end.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/blockstore-13dd48d7f0bec07a.d: crates/blockstore/src/lib.rs crates/blockstore/src/chunk.rs crates/blockstore/src/header.rs crates/blockstore/src/mapping.rs crates/blockstore/src/replica.rs crates/blockstore/src/scrub.rs crates/blockstore/src/server.rs
+
+/root/repo/target/debug/deps/blockstore-13dd48d7f0bec07a: crates/blockstore/src/lib.rs crates/blockstore/src/chunk.rs crates/blockstore/src/header.rs crates/blockstore/src/mapping.rs crates/blockstore/src/replica.rs crates/blockstore/src/scrub.rs crates/blockstore/src/server.rs
+
+crates/blockstore/src/lib.rs:
+crates/blockstore/src/chunk.rs:
+crates/blockstore/src/header.rs:
+crates/blockstore/src/mapping.rs:
+crates/blockstore/src/replica.rs:
+crates/blockstore/src/scrub.rs:
+crates/blockstore/src/server.rs:

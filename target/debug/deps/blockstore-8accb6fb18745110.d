@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/blockstore-8accb6fb18745110.d: crates/blockstore/src/lib.rs crates/blockstore/src/chunk.rs crates/blockstore/src/header.rs crates/blockstore/src/mapping.rs crates/blockstore/src/replica.rs crates/blockstore/src/scrub.rs crates/blockstore/src/server.rs
+
+/root/repo/target/debug/deps/libblockstore-8accb6fb18745110.rlib: crates/blockstore/src/lib.rs crates/blockstore/src/chunk.rs crates/blockstore/src/header.rs crates/blockstore/src/mapping.rs crates/blockstore/src/replica.rs crates/blockstore/src/scrub.rs crates/blockstore/src/server.rs
+
+/root/repo/target/debug/deps/libblockstore-8accb6fb18745110.rmeta: crates/blockstore/src/lib.rs crates/blockstore/src/chunk.rs crates/blockstore/src/header.rs crates/blockstore/src/mapping.rs crates/blockstore/src/replica.rs crates/blockstore/src/scrub.rs crates/blockstore/src/server.rs
+
+crates/blockstore/src/lib.rs:
+crates/blockstore/src/chunk.rs:
+crates/blockstore/src/header.rs:
+crates/blockstore/src/mapping.rs:
+crates/blockstore/src/replica.rs:
+crates/blockstore/src/scrub.rs:
+crates/blockstore/src/server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cold_archive-1ccdadd9a819f7a9.d: examples/cold_archive.rs
+
+/root/repo/target/debug/deps/cold_archive-1ccdadd9a819f7a9: examples/cold_archive.rs
+
+examples/cold_archive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cold_archive-e0a047f09405508f.d: examples/cold_archive.rs
+
+/root/repo/target/debug/deps/cold_archive-e0a047f09405508f: examples/cold_archive.rs
+
+examples/cold_archive.rs:

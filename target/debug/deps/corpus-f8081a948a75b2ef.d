@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/corpus-f8081a948a75b2ef.d: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/profile.rs crates/corpus/src/silesia.rs
+
+/root/repo/target/debug/deps/libcorpus-f8081a948a75b2ef.rlib: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/profile.rs crates/corpus/src/silesia.rs
+
+/root/repo/target/debug/deps/libcorpus-f8081a948a75b2ef.rmeta: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/profile.rs crates/corpus/src/silesia.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/gen.rs:
+crates/corpus/src/profile.rs:
+crates/corpus/src/silesia.rs:

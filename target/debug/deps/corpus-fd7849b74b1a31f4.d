@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/corpus-fd7849b74b1a31f4.d: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/profile.rs crates/corpus/src/silesia.rs
+
+/root/repo/target/debug/deps/corpus-fd7849b74b1a31f4: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/profile.rs crates/corpus/src/silesia.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/gen.rs:
+crates/corpus/src/profile.rs:
+crates/corpus/src/silesia.rs:

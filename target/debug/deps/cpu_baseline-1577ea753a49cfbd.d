@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpu_baseline-1577ea753a49cfbd.d: examples/cpu_baseline.rs
+
+/root/repo/target/debug/deps/cpu_baseline-1577ea753a49cfbd: examples/cpu_baseline.rs
+
+examples/cpu_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpu_baseline-3bfbccfc729e49b4.d: examples/cpu_baseline.rs
+
+/root/repo/target/debug/deps/cpu_baseline-3bfbccfc729e49b4: examples/cpu_baseline.rs
+
+examples/cpu_baseline.rs:

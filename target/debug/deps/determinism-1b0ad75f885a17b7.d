@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-1b0ad75f885a17b7.d: tests/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-1b0ad75f885a17b7: tests/tests/determinism.rs
+
+tests/tests/determinism.rs:

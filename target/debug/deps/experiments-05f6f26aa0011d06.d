@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-05f6f26aa0011d06.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-05f6f26aa0011d06: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

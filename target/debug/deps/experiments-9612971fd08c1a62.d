@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-9612971fd08c1a62.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-9612971fd08c1a62: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

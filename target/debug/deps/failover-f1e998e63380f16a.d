@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover-f1e998e63380f16a.d: tests/tests/failover.rs
+
+/root/repo/target/debug/deps/failover-f1e998e63380f16a: tests/tests/failover.rs
+
+tests/tests/failover.rs:

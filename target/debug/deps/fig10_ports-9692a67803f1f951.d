@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_ports-9692a67803f1f951.d: crates/bench/benches/fig10_ports.rs
+
+/root/repo/target/debug/deps/fig10_ports-9692a67803f1f951: crates/bench/benches/fig10_ports.rs
+
+crates/bench/benches/fig10_ports.rs:

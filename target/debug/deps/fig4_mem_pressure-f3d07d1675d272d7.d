@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_mem_pressure-f3d07d1675d272d7.d: crates/bench/benches/fig4_mem_pressure.rs
+
+/root/repo/target/debug/deps/fig4_mem_pressure-f3d07d1675d272d7: crates/bench/benches/fig4_mem_pressure.rs
+
+crates/bench/benches/fig4_mem_pressure.rs:

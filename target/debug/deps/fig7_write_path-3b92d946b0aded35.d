@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_write_path-3b92d946b0aded35.d: crates/bench/benches/fig7_write_path.rs
+
+/root/repo/target/debug/deps/fig7_write_path-3b92d946b0aded35: crates/bench/benches/fig7_write_path.rs
+
+crates/bench/benches/fig7_write_path.rs:

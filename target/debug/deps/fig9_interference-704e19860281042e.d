@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_interference-704e19860281042e.d: crates/bench/benches/fig9_interference.rs
+
+/root/repo/target/debug/deps/fig9_interference-704e19860281042e: crates/bench/benches/fig9_interference.rs
+
+crates/bench/benches/fig9_interference.rs:

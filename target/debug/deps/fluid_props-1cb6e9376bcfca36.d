@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fluid_props-1cb6e9376bcfca36.d: crates/simkit/tests/fluid_props.rs
+
+/root/repo/target/debug/deps/fluid_props-1cb6e9376bcfca36: crates/simkit/tests/fluid_props.rs
+
+crates/simkit/tests/fluid_props.rs:

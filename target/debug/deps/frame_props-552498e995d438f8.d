@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frame_props-552498e995d438f8.d: crates/lz4kit/tests/frame_props.rs
+
+/root/repo/target/debug/deps/frame_props-552498e995d438f8: crates/lz4kit/tests/frame_props.rs
+
+crates/lz4kit/tests/frame_props.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hwmodel-b071b4b5d156e78c.d: crates/hwmodel/src/lib.rs crates/hwmodel/src/consts.rs crates/hwmodel/src/engine.rs crates/hwmodel/src/fpga.rs crates/hwmodel/src/mem.rs crates/hwmodel/src/mlc.rs crates/hwmodel/src/nic.rs crates/hwmodel/src/pcie.rs crates/hwmodel/src/soc.rs crates/hwmodel/src/tco.rs
+
+/root/repo/target/debug/deps/hwmodel-b071b4b5d156e78c: crates/hwmodel/src/lib.rs crates/hwmodel/src/consts.rs crates/hwmodel/src/engine.rs crates/hwmodel/src/fpga.rs crates/hwmodel/src/mem.rs crates/hwmodel/src/mlc.rs crates/hwmodel/src/nic.rs crates/hwmodel/src/pcie.rs crates/hwmodel/src/soc.rs crates/hwmodel/src/tco.rs
+
+crates/hwmodel/src/lib.rs:
+crates/hwmodel/src/consts.rs:
+crates/hwmodel/src/engine.rs:
+crates/hwmodel/src/fpga.rs:
+crates/hwmodel/src/mem.rs:
+crates/hwmodel/src/mlc.rs:
+crates/hwmodel/src/nic.rs:
+crates/hwmodel/src/pcie.rs:
+crates/hwmodel/src/soc.rs:
+crates/hwmodel/src/tco.rs:

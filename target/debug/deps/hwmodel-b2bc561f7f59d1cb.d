@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hwmodel-b2bc561f7f59d1cb.d: crates/hwmodel/src/lib.rs crates/hwmodel/src/consts.rs crates/hwmodel/src/engine.rs crates/hwmodel/src/fpga.rs crates/hwmodel/src/mem.rs crates/hwmodel/src/mlc.rs crates/hwmodel/src/nic.rs crates/hwmodel/src/pcie.rs crates/hwmodel/src/soc.rs crates/hwmodel/src/tco.rs
+
+/root/repo/target/debug/deps/libhwmodel-b2bc561f7f59d1cb.rlib: crates/hwmodel/src/lib.rs crates/hwmodel/src/consts.rs crates/hwmodel/src/engine.rs crates/hwmodel/src/fpga.rs crates/hwmodel/src/mem.rs crates/hwmodel/src/mlc.rs crates/hwmodel/src/nic.rs crates/hwmodel/src/pcie.rs crates/hwmodel/src/soc.rs crates/hwmodel/src/tco.rs
+
+/root/repo/target/debug/deps/libhwmodel-b2bc561f7f59d1cb.rmeta: crates/hwmodel/src/lib.rs crates/hwmodel/src/consts.rs crates/hwmodel/src/engine.rs crates/hwmodel/src/fpga.rs crates/hwmodel/src/mem.rs crates/hwmodel/src/mlc.rs crates/hwmodel/src/nic.rs crates/hwmodel/src/pcie.rs crates/hwmodel/src/soc.rs crates/hwmodel/src/tco.rs
+
+crates/hwmodel/src/lib.rs:
+crates/hwmodel/src/consts.rs:
+crates/hwmodel/src/engine.rs:
+crates/hwmodel/src/fpga.rs:
+crates/hwmodel/src/mem.rs:
+crates/hwmodel/src/mlc.rs:
+crates/hwmodel/src/nic.rs:
+crates/hwmodel/src/pcie.rs:
+crates/hwmodel/src/soc.rs:
+crates/hwmodel/src/tco.rs:

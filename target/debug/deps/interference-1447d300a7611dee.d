@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interference-1447d300a7611dee.d: examples/interference.rs
+
+/root/repo/target/debug/deps/interference-1447d300a7611dee: examples/interference.rs
+
+examples/interference.rs:

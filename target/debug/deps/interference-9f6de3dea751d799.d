@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interference-9f6de3dea751d799.d: examples/interference.rs
+
+/root/repo/target/debug/deps/interference-9f6de3dea751d799: examples/interference.rs
+
+examples/interference.rs:

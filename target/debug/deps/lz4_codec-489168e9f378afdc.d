@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lz4_codec-489168e9f378afdc.d: crates/bench/benches/lz4_codec.rs
+
+/root/repo/target/debug/deps/lz4_codec-489168e9f378afdc: crates/bench/benches/lz4_codec.rs
+
+crates/bench/benches/lz4_codec.rs:

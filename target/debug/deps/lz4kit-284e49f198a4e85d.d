@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lz4kit-284e49f198a4e85d.d: crates/lz4kit/src/lib.rs crates/lz4kit/src/compress.rs crates/lz4kit/src/decompress.rs crates/lz4kit/src/error.rs crates/lz4kit/src/frame.rs crates/lz4kit/src/xxhash.rs
+
+/root/repo/target/debug/deps/liblz4kit-284e49f198a4e85d.rlib: crates/lz4kit/src/lib.rs crates/lz4kit/src/compress.rs crates/lz4kit/src/decompress.rs crates/lz4kit/src/error.rs crates/lz4kit/src/frame.rs crates/lz4kit/src/xxhash.rs
+
+/root/repo/target/debug/deps/liblz4kit-284e49f198a4e85d.rmeta: crates/lz4kit/src/lib.rs crates/lz4kit/src/compress.rs crates/lz4kit/src/decompress.rs crates/lz4kit/src/error.rs crates/lz4kit/src/frame.rs crates/lz4kit/src/xxhash.rs
+
+crates/lz4kit/src/lib.rs:
+crates/lz4kit/src/compress.rs:
+crates/lz4kit/src/decompress.rs:
+crates/lz4kit/src/error.rs:
+crates/lz4kit/src/frame.rs:
+crates/lz4kit/src/xxhash.rs:

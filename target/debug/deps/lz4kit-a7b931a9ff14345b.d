@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lz4kit-a7b931a9ff14345b.d: crates/lz4kit/src/lib.rs crates/lz4kit/src/compress.rs crates/lz4kit/src/decompress.rs crates/lz4kit/src/error.rs crates/lz4kit/src/frame.rs crates/lz4kit/src/xxhash.rs
+
+/root/repo/target/debug/deps/lz4kit-a7b931a9ff14345b: crates/lz4kit/src/lib.rs crates/lz4kit/src/compress.rs crates/lz4kit/src/decompress.rs crates/lz4kit/src/error.rs crates/lz4kit/src/frame.rs crates/lz4kit/src/xxhash.rs
+
+crates/lz4kit/src/lib.rs:
+crates/lz4kit/src/compress.rs:
+crates/lz4kit/src/decompress.rs:
+crates/lz4kit/src/error.rs:
+crates/lz4kit/src/frame.rs:
+crates/lz4kit/src/xxhash.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maintenance-b89ef1128a603a7f.d: tests/tests/maintenance.rs
+
+/root/repo/target/debug/deps/maintenance-b89ef1128a603a7f: tests/tests/maintenance.rs
+
+tests/tests/maintenance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-281cfed45cf09379.d: crates/blockstore/tests/props.rs
+
+/root/repo/target/debug/deps/props-281cfed45cf09379: crates/blockstore/tests/props.rs
+
+crates/blockstore/tests/props.rs:

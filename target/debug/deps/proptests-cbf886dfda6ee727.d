@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cbf886dfda6ee727.d: crates/lz4kit/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cbf886dfda6ee727: crates/lz4kit/tests/proptests.rs
+
+crates/lz4kit/tests/proptests.rs:

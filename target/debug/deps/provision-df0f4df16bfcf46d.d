@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/provision-df0f4df16bfcf46d.d: examples/provision.rs
+
+/root/repo/target/debug/deps/provision-df0f4df16bfcf46d: examples/provision.rs
+
+examples/provision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/provision-fc4174680294c4fe.d: examples/provision.rs
+
+/root/repo/target/debug/deps/provision-fc4174680294c4fe: examples/provision.rs
+
+examples/provision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qos-1dbf366349b7db6b.d: tests/tests/qos.rs
+
+/root/repo/target/debug/deps/qos-1dbf366349b7db6b: tests/tests/qos.rs
+
+tests/tests/qos.rs:

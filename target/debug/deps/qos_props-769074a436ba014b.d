@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qos_props-769074a436ba014b.d: crates/core/tests/qos_props.rs
+
+/root/repo/target/debug/deps/qos_props-769074a436ba014b: crates/core/tests/qos_props.rs
+
+crates/core/tests/qos_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-3b1761084be8586a.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-3b1761084be8586a: examples/quickstart.rs
+
+examples/quickstart.rs:

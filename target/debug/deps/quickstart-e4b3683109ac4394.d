@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-e4b3683109ac4394.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-e4b3683109ac4394: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rc_props-cb5e303b662dfa51.d: crates/rocenet/tests/rc_props.rs
+
+/root/repo/target/debug/deps/rc_props-cb5e303b662dfa51: crates/rocenet/tests/rc_props.rs
+
+crates/rocenet/tests/rc_props.rs:

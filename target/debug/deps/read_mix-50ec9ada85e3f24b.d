@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/read_mix-50ec9ada85e3f24b.d: tests/tests/read_mix.rs
+
+/root/repo/target/debug/deps/read_mix-50ec9ada85e3f24b: tests/tests/read_mix.rs
+
+tests/tests/read_mix.rs:

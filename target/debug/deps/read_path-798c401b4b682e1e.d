@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/read_path-798c401b4b682e1e.d: examples/read_path.rs
+
+/root/repo/target/debug/deps/read_path-798c401b4b682e1e: examples/read_path.rs
+
+examples/read_path.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/read_path-8e15599589777e35.d: examples/read_path.rs
+
+/root/repo/target/debug/deps/read_path-8e15599589777e35: examples/read_path.rs
+
+examples/read_path.rs:

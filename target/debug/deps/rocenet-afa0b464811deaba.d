@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rocenet-afa0b464811deaba.d: crates/rocenet/src/lib.rs crates/rocenet/src/aams.rs crates/rocenet/src/endpoint.rs crates/rocenet/src/mem.rs crates/rocenet/src/message.rs crates/rocenet/src/qp.rs crates/rocenet/src/rc.rs crates/rocenet/src/verbs.rs
+
+/root/repo/target/debug/deps/rocenet-afa0b464811deaba: crates/rocenet/src/lib.rs crates/rocenet/src/aams.rs crates/rocenet/src/endpoint.rs crates/rocenet/src/mem.rs crates/rocenet/src/message.rs crates/rocenet/src/qp.rs crates/rocenet/src/rc.rs crates/rocenet/src/verbs.rs
+
+crates/rocenet/src/lib.rs:
+crates/rocenet/src/aams.rs:
+crates/rocenet/src/endpoint.rs:
+crates/rocenet/src/mem.rs:
+crates/rocenet/src/message.rs:
+crates/rocenet/src/qp.rs:
+crates/rocenet/src/rc.rs:
+crates/rocenet/src/verbs.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rocenet-e58b8bf3656832bc.d: crates/rocenet/src/lib.rs crates/rocenet/src/aams.rs crates/rocenet/src/endpoint.rs crates/rocenet/src/mem.rs crates/rocenet/src/message.rs crates/rocenet/src/qp.rs crates/rocenet/src/rc.rs crates/rocenet/src/verbs.rs
+
+/root/repo/target/debug/deps/librocenet-e58b8bf3656832bc.rlib: crates/rocenet/src/lib.rs crates/rocenet/src/aams.rs crates/rocenet/src/endpoint.rs crates/rocenet/src/mem.rs crates/rocenet/src/message.rs crates/rocenet/src/qp.rs crates/rocenet/src/rc.rs crates/rocenet/src/verbs.rs
+
+/root/repo/target/debug/deps/librocenet-e58b8bf3656832bc.rmeta: crates/rocenet/src/lib.rs crates/rocenet/src/aams.rs crates/rocenet/src/endpoint.rs crates/rocenet/src/mem.rs crates/rocenet/src/message.rs crates/rocenet/src/qp.rs crates/rocenet/src/rc.rs crates/rocenet/src/verbs.rs
+
+crates/rocenet/src/lib.rs:
+crates/rocenet/src/aams.rs:
+crates/rocenet/src/endpoint.rs:
+crates/rocenet/src/mem.rs:
+crates/rocenet/src/message.rs:
+crates/rocenet/src/qp.rs:
+crates/rocenet/src/rc.rs:
+crates/rocenet/src/verbs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_verify-56ab665d54b6bc00.d: crates/testkit/tests/scratch_verify.rs
+
+/root/repo/target/debug/deps/scratch_verify-56ab665d54b6bc00: crates/testkit/tests/scratch_verify.rs
+
+crates/testkit/tests/scratch_verify.rs:

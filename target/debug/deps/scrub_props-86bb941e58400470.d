@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scrub_props-86bb941e58400470.d: crates/blockstore/tests/scrub_props.rs
+
+/root/repo/target/debug/deps/scrub_props-86bb941e58400470: crates/blockstore/tests/scrub_props.rs
+
+crates/blockstore/tests/scrub_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/server_props-12aa54bc6f84b941.d: crates/simkit/tests/server_props.rs
+
+/root/repo/target/debug/deps/server_props-12aa54bc6f84b941: crates/simkit/tests/server_props.rs
+
+crates/simkit/tests/server_props.rs:

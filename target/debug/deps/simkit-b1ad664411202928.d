@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/simkit-b1ad664411202928.d: crates/simkit/src/lib.rs crates/simkit/src/bytes.rs crates/simkit/src/engine.rs crates/simkit/src/fluid.rs crates/simkit/src/hist.rs crates/simkit/src/json.rs crates/simkit/src/meter.rs crates/simkit/src/rng.rs crates/simkit/src/server.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/libsimkit-b1ad664411202928.rlib: crates/simkit/src/lib.rs crates/simkit/src/bytes.rs crates/simkit/src/engine.rs crates/simkit/src/fluid.rs crates/simkit/src/hist.rs crates/simkit/src/json.rs crates/simkit/src/meter.rs crates/simkit/src/rng.rs crates/simkit/src/server.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/libsimkit-b1ad664411202928.rmeta: crates/simkit/src/lib.rs crates/simkit/src/bytes.rs crates/simkit/src/engine.rs crates/simkit/src/fluid.rs crates/simkit/src/hist.rs crates/simkit/src/json.rs crates/simkit/src/meter.rs crates/simkit/src/rng.rs crates/simkit/src/server.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/bytes.rs:
+crates/simkit/src/engine.rs:
+crates/simkit/src/fluid.rs:
+crates/simkit/src/hist.rs:
+crates/simkit/src/json.rs:
+crates/simkit/src/meter.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/server.rs:
+crates/simkit/src/time.rs:

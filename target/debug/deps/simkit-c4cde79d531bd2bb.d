@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/simkit-c4cde79d531bd2bb.d: crates/simkit/src/lib.rs crates/simkit/src/bytes.rs crates/simkit/src/engine.rs crates/simkit/src/fluid.rs crates/simkit/src/hist.rs crates/simkit/src/json.rs crates/simkit/src/meter.rs crates/simkit/src/rng.rs crates/simkit/src/server.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/simkit-c4cde79d531bd2bb: crates/simkit/src/lib.rs crates/simkit/src/bytes.rs crates/simkit/src/engine.rs crates/simkit/src/fluid.rs crates/simkit/src/hist.rs crates/simkit/src/json.rs crates/simkit/src/meter.rs crates/simkit/src/rng.rs crates/simkit/src/server.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/bytes.rs:
+crates/simkit/src/engine.rs:
+crates/simkit/src/fluid.rs:
+crates/simkit/src/hist.rs:
+crates/simkit/src/json.rs:
+crates/simkit/src/meter.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/server.rs:
+crates/simkit/src/time.rs:

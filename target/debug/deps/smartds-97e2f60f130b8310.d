@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/smartds-97e2f60f130b8310.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/api.rs crates/core/src/cluster.rs crates/core/src/design.rs crates/core/src/fabric.rs crates/core/src/metrics.rs crates/core/src/plan.rs crates/core/src/policy.rs crates/core/src/qos.rs crates/core/src/scaleup.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/smartds-97e2f60f130b8310: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/api.rs crates/core/src/cluster.rs crates/core/src/design.rs crates/core/src/fabric.rs crates/core/src/metrics.rs crates/core/src/plan.rs crates/core/src/policy.rs crates/core/src/qos.rs crates/core/src/scaleup.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/agent.rs:
+crates/core/src/api.rs:
+crates/core/src/cluster.rs:
+crates/core/src/design.rs:
+crates/core/src/fabric.rs:
+crates/core/src/metrics.rs:
+crates/core/src/plan.rs:
+crates/core/src/policy.rs:
+crates/core/src/qos.rs:
+crates/core/src/scaleup.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/smartds_bench-11db760540977d01.d: crates/bench/src/lib.rs crates/bench/src/csv.rs crates/bench/src/curve.rs crates/bench/src/fig4.rs crates/bench/src/json.rs crates/bench/src/loc.rs crates/bench/src/pool.rs crates/bench/src/reads.rs crates/bench/src/sec55.rs crates/bench/src/soc.rs crates/bench/src/stages.rs crates/bench/src/sweeps.rs crates/bench/src/table1.rs crates/bench/src/table3.rs crates/bench/src/tco.rs
+
+/root/repo/target/debug/deps/libsmartds_bench-11db760540977d01.rlib: crates/bench/src/lib.rs crates/bench/src/csv.rs crates/bench/src/curve.rs crates/bench/src/fig4.rs crates/bench/src/json.rs crates/bench/src/loc.rs crates/bench/src/pool.rs crates/bench/src/reads.rs crates/bench/src/sec55.rs crates/bench/src/soc.rs crates/bench/src/stages.rs crates/bench/src/sweeps.rs crates/bench/src/table1.rs crates/bench/src/table3.rs crates/bench/src/tco.rs
+
+/root/repo/target/debug/deps/libsmartds_bench-11db760540977d01.rmeta: crates/bench/src/lib.rs crates/bench/src/csv.rs crates/bench/src/curve.rs crates/bench/src/fig4.rs crates/bench/src/json.rs crates/bench/src/loc.rs crates/bench/src/pool.rs crates/bench/src/reads.rs crates/bench/src/sec55.rs crates/bench/src/soc.rs crates/bench/src/stages.rs crates/bench/src/sweeps.rs crates/bench/src/table1.rs crates/bench/src/table3.rs crates/bench/src/tco.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/csv.rs:
+crates/bench/src/curve.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/json.rs:
+crates/bench/src/loc.rs:
+crates/bench/src/pool.rs:
+crates/bench/src/reads.rs:
+crates/bench/src/sec55.rs:
+crates/bench/src/soc.rs:
+crates/bench/src/stages.rs:
+crates/bench/src/sweeps.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/table3.rs:
+crates/bench/src/tco.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smartds_examples-82e092406f221191.d: examples/lib.rs
+
+/root/repo/target/debug/deps/smartds_examples-82e092406f221191: examples/lib.rs
+
+examples/lib.rs:

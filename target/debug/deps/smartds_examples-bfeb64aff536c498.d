@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smartds_examples-bfeb64aff536c498.d: examples/lib.rs
+
+/root/repo/target/debug/deps/libsmartds_examples-bfeb64aff536c498.rlib: examples/lib.rs
+
+/root/repo/target/debug/deps/libsmartds_examples-bfeb64aff536c498.rmeta: examples/lib.rs
+
+examples/lib.rs:

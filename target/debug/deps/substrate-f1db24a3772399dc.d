@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate-f1db24a3772399dc.d: tests/tests/substrate.rs
+
+/root/repo/target/debug/deps/substrate-f1db24a3772399dc: tests/tests/substrate.rs
+
+tests/tests/substrate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/system_tests-6d7a7a642135bb49.d: tests/lib.rs
+
+/root/repo/target/debug/deps/libsystem_tests-6d7a7a642135bb49.rlib: tests/lib.rs
+
+/root/repo/target/debug/deps/libsystem_tests-6d7a7a642135bb49.rmeta: tests/lib.rs
+
+tests/lib.rs:

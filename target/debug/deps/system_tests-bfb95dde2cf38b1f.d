@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_tests-bfb95dde2cf38b1f.d: tests/lib.rs
+
+/root/repo/target/debug/deps/system_tests-bfb95dde2cf38b1f: tests/lib.rs
+
+tests/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_pcie_latency-a2f5a000ae432e63.d: crates/bench/benches/table1_pcie_latency.rs
+
+/root/repo/target/debug/deps/table1_pcie_latency-a2f5a000ae432e63: crates/bench/benches/table1_pcie_latency.rs
+
+crates/bench/benches/table1_pcie_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tenants-3b5d416da8748e67.d: examples/tenants.rs
+
+/root/repo/target/debug/deps/tenants-3b5d416da8748e67: examples/tenants.rs
+
+examples/tenants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tenants-ea5905e33b1de93c.d: examples/tenants.rs
+
+/root/repo/target/debug/deps/tenants-ea5905e33b1de93c: examples/tenants.rs
+
+examples/tenants.rs:

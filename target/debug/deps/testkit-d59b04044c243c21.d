@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/testkit-d59b04044c243c21.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs crates/testkit/src/source.rs
+
+/root/repo/target/debug/deps/testkit-d59b04044c243c21: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs crates/testkit/src/source.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/runner.rs:
+crates/testkit/src/shrink.rs:
+crates/testkit/src/source.rs:

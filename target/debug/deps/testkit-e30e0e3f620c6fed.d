@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/testkit-e30e0e3f620c6fed.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs crates/testkit/src/source.rs
+
+/root/repo/target/debug/deps/libtestkit-e30e0e3f620c6fed.rlib: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs crates/testkit/src/source.rs
+
+/root/repo/target/debug/deps/libtestkit-e30e0e3f620c6fed.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs crates/testkit/src/source.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/runner.rs:
+crates/testkit/src/shrink.rs:
+crates/testkit/src/source.rs:

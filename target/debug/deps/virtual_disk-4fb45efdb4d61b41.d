@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/virtual_disk-4fb45efdb4d61b41.d: examples/virtual_disk.rs
+
+/root/repo/target/debug/deps/virtual_disk-4fb45efdb4d61b41: examples/virtual_disk.rs
+
+examples/virtual_disk.rs:

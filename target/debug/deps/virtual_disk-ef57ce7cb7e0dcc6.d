@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/virtual_disk-ef57ce7cb7e0dcc6.d: examples/virtual_disk.rs
+
+/root/repo/target/debug/deps/virtual_disk-ef57ce7cb7e0dcc6: examples/virtual_disk.rs
+
+examples/virtual_disk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_to_store-0164a5b100c9497e.d: tests/tests/wire_to_store.rs
+
+/root/repo/target/debug/deps/wire_to_store-0164a5b100c9497e: tests/tests/wire_to_store.rs
+
+tests/tests/wire_to_store.rs:

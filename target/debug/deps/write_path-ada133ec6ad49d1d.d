@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/write_path-ada133ec6ad49d1d.d: tests/tests/write_path.rs
+
+/root/repo/target/debug/deps/write_path-ada133ec6ad49d1d: tests/tests/write_path.rs
+
+tests/tests/write_path.rs:

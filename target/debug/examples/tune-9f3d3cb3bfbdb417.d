@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tune-9f3d3cb3bfbdb417.d: crates/corpus/examples/tune.rs
+
+/root/repo/target/debug/examples/tune-9f3d3cb3bfbdb417: crates/corpus/examples/tune.rs
+
+crates/corpus/examples/tune.rs:

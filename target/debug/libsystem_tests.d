@@ -1,0 +1,1 @@
+/root/repo/target/debug/libsystem_tests.rlib: /root/repo/tests/lib.rs

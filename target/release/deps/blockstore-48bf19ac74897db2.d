@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/blockstore-48bf19ac74897db2.d: crates/blockstore/src/lib.rs crates/blockstore/src/chunk.rs crates/blockstore/src/header.rs crates/blockstore/src/mapping.rs crates/blockstore/src/replica.rs crates/blockstore/src/scrub.rs crates/blockstore/src/server.rs
+
+/root/repo/target/release/deps/libblockstore-48bf19ac74897db2.rlib: crates/blockstore/src/lib.rs crates/blockstore/src/chunk.rs crates/blockstore/src/header.rs crates/blockstore/src/mapping.rs crates/blockstore/src/replica.rs crates/blockstore/src/scrub.rs crates/blockstore/src/server.rs
+
+/root/repo/target/release/deps/libblockstore-48bf19ac74897db2.rmeta: crates/blockstore/src/lib.rs crates/blockstore/src/chunk.rs crates/blockstore/src/header.rs crates/blockstore/src/mapping.rs crates/blockstore/src/replica.rs crates/blockstore/src/scrub.rs crates/blockstore/src/server.rs
+
+crates/blockstore/src/lib.rs:
+crates/blockstore/src/chunk.rs:
+crates/blockstore/src/header.rs:
+crates/blockstore/src/mapping.rs:
+crates/blockstore/src/replica.rs:
+crates/blockstore/src/scrub.rs:
+crates/blockstore/src/server.rs:

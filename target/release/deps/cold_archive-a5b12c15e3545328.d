@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cold_archive-a5b12c15e3545328.d: examples/cold_archive.rs
+
+/root/repo/target/release/deps/cold_archive-a5b12c15e3545328: examples/cold_archive.rs
+
+examples/cold_archive.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/corpus-326086f0a44519de.d: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/profile.rs crates/corpus/src/silesia.rs
+
+/root/repo/target/release/deps/libcorpus-326086f0a44519de.rlib: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/profile.rs crates/corpus/src/silesia.rs
+
+/root/repo/target/release/deps/libcorpus-326086f0a44519de.rmeta: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/profile.rs crates/corpus/src/silesia.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/gen.rs:
+crates/corpus/src/profile.rs:
+crates/corpus/src/silesia.rs:

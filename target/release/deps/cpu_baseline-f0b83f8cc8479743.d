@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cpu_baseline-f0b83f8cc8479743.d: examples/cpu_baseline.rs
+
+/root/repo/target/release/deps/cpu_baseline-f0b83f8cc8479743: examples/cpu_baseline.rs
+
+examples/cpu_baseline.rs:

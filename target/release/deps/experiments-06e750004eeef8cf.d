@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-06e750004eeef8cf.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-06e750004eeef8cf: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/hwmodel-263c1774669f8e41.d: crates/hwmodel/src/lib.rs crates/hwmodel/src/consts.rs crates/hwmodel/src/engine.rs crates/hwmodel/src/fpga.rs crates/hwmodel/src/mem.rs crates/hwmodel/src/mlc.rs crates/hwmodel/src/nic.rs crates/hwmodel/src/pcie.rs crates/hwmodel/src/soc.rs crates/hwmodel/src/tco.rs
+
+/root/repo/target/release/deps/libhwmodel-263c1774669f8e41.rlib: crates/hwmodel/src/lib.rs crates/hwmodel/src/consts.rs crates/hwmodel/src/engine.rs crates/hwmodel/src/fpga.rs crates/hwmodel/src/mem.rs crates/hwmodel/src/mlc.rs crates/hwmodel/src/nic.rs crates/hwmodel/src/pcie.rs crates/hwmodel/src/soc.rs crates/hwmodel/src/tco.rs
+
+/root/repo/target/release/deps/libhwmodel-263c1774669f8e41.rmeta: crates/hwmodel/src/lib.rs crates/hwmodel/src/consts.rs crates/hwmodel/src/engine.rs crates/hwmodel/src/fpga.rs crates/hwmodel/src/mem.rs crates/hwmodel/src/mlc.rs crates/hwmodel/src/nic.rs crates/hwmodel/src/pcie.rs crates/hwmodel/src/soc.rs crates/hwmodel/src/tco.rs
+
+crates/hwmodel/src/lib.rs:
+crates/hwmodel/src/consts.rs:
+crates/hwmodel/src/engine.rs:
+crates/hwmodel/src/fpga.rs:
+crates/hwmodel/src/mem.rs:
+crates/hwmodel/src/mlc.rs:
+crates/hwmodel/src/nic.rs:
+crates/hwmodel/src/pcie.rs:
+crates/hwmodel/src/soc.rs:
+crates/hwmodel/src/tco.rs:

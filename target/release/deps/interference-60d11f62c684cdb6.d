@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/interference-60d11f62c684cdb6.d: examples/interference.rs
+
+/root/repo/target/release/deps/interference-60d11f62c684cdb6: examples/interference.rs
+
+examples/interference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lz4_codec-72a29b99d5d20427.d: crates/bench/benches/lz4_codec.rs
+
+/root/repo/target/release/deps/lz4_codec-72a29b99d5d20427: crates/bench/benches/lz4_codec.rs
+
+crates/bench/benches/lz4_codec.rs:

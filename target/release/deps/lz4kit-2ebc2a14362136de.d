@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lz4kit-2ebc2a14362136de.d: crates/lz4kit/src/lib.rs crates/lz4kit/src/compress.rs crates/lz4kit/src/decompress.rs crates/lz4kit/src/error.rs crates/lz4kit/src/frame.rs crates/lz4kit/src/xxhash.rs
+
+/root/repo/target/release/deps/liblz4kit-2ebc2a14362136de.rlib: crates/lz4kit/src/lib.rs crates/lz4kit/src/compress.rs crates/lz4kit/src/decompress.rs crates/lz4kit/src/error.rs crates/lz4kit/src/frame.rs crates/lz4kit/src/xxhash.rs
+
+/root/repo/target/release/deps/liblz4kit-2ebc2a14362136de.rmeta: crates/lz4kit/src/lib.rs crates/lz4kit/src/compress.rs crates/lz4kit/src/decompress.rs crates/lz4kit/src/error.rs crates/lz4kit/src/frame.rs crates/lz4kit/src/xxhash.rs
+
+crates/lz4kit/src/lib.rs:
+crates/lz4kit/src/compress.rs:
+crates/lz4kit/src/decompress.rs:
+crates/lz4kit/src/error.rs:
+crates/lz4kit/src/frame.rs:
+crates/lz4kit/src/xxhash.rs:

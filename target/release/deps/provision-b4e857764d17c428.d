@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/provision-b4e857764d17c428.d: examples/provision.rs
+
+/root/repo/target/release/deps/provision-b4e857764d17c428: examples/provision.rs
+
+examples/provision.rs:

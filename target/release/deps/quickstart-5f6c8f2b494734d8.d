@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-5f6c8f2b494734d8.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-5f6c8f2b494734d8: examples/quickstart.rs
+
+examples/quickstart.rs:

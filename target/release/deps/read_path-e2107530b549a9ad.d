@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/read_path-e2107530b549a9ad.d: examples/read_path.rs
+
+/root/repo/target/release/deps/read_path-e2107530b549a9ad: examples/read_path.rs
+
+examples/read_path.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rocenet-fb69666906619033.d: crates/rocenet/src/lib.rs crates/rocenet/src/aams.rs crates/rocenet/src/endpoint.rs crates/rocenet/src/mem.rs crates/rocenet/src/message.rs crates/rocenet/src/qp.rs crates/rocenet/src/rc.rs crates/rocenet/src/verbs.rs
+
+/root/repo/target/release/deps/librocenet-fb69666906619033.rlib: crates/rocenet/src/lib.rs crates/rocenet/src/aams.rs crates/rocenet/src/endpoint.rs crates/rocenet/src/mem.rs crates/rocenet/src/message.rs crates/rocenet/src/qp.rs crates/rocenet/src/rc.rs crates/rocenet/src/verbs.rs
+
+/root/repo/target/release/deps/librocenet-fb69666906619033.rmeta: crates/rocenet/src/lib.rs crates/rocenet/src/aams.rs crates/rocenet/src/endpoint.rs crates/rocenet/src/mem.rs crates/rocenet/src/message.rs crates/rocenet/src/qp.rs crates/rocenet/src/rc.rs crates/rocenet/src/verbs.rs
+
+crates/rocenet/src/lib.rs:
+crates/rocenet/src/aams.rs:
+crates/rocenet/src/endpoint.rs:
+crates/rocenet/src/mem.rs:
+crates/rocenet/src/message.rs:
+crates/rocenet/src/qp.rs:
+crates/rocenet/src/rc.rs:
+crates/rocenet/src/verbs.rs:

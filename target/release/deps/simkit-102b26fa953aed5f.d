@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/simkit-102b26fa953aed5f.d: crates/simkit/src/lib.rs crates/simkit/src/bytes.rs crates/simkit/src/engine.rs crates/simkit/src/fluid.rs crates/simkit/src/hist.rs crates/simkit/src/json.rs crates/simkit/src/meter.rs crates/simkit/src/rng.rs crates/simkit/src/server.rs crates/simkit/src/time.rs
+
+/root/repo/target/release/deps/libsimkit-102b26fa953aed5f.rlib: crates/simkit/src/lib.rs crates/simkit/src/bytes.rs crates/simkit/src/engine.rs crates/simkit/src/fluid.rs crates/simkit/src/hist.rs crates/simkit/src/json.rs crates/simkit/src/meter.rs crates/simkit/src/rng.rs crates/simkit/src/server.rs crates/simkit/src/time.rs
+
+/root/repo/target/release/deps/libsimkit-102b26fa953aed5f.rmeta: crates/simkit/src/lib.rs crates/simkit/src/bytes.rs crates/simkit/src/engine.rs crates/simkit/src/fluid.rs crates/simkit/src/hist.rs crates/simkit/src/json.rs crates/simkit/src/meter.rs crates/simkit/src/rng.rs crates/simkit/src/server.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/bytes.rs:
+crates/simkit/src/engine.rs:
+crates/simkit/src/fluid.rs:
+crates/simkit/src/hist.rs:
+crates/simkit/src/json.rs:
+crates/simkit/src/meter.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/server.rs:
+crates/simkit/src/time.rs:

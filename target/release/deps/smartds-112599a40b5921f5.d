@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/smartds-112599a40b5921f5.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/api.rs crates/core/src/cluster.rs crates/core/src/design.rs crates/core/src/fabric.rs crates/core/src/metrics.rs crates/core/src/plan.rs crates/core/src/policy.rs crates/core/src/qos.rs crates/core/src/scaleup.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/libsmartds-112599a40b5921f5.rlib: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/api.rs crates/core/src/cluster.rs crates/core/src/design.rs crates/core/src/fabric.rs crates/core/src/metrics.rs crates/core/src/plan.rs crates/core/src/policy.rs crates/core/src/qos.rs crates/core/src/scaleup.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/libsmartds-112599a40b5921f5.rmeta: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/api.rs crates/core/src/cluster.rs crates/core/src/design.rs crates/core/src/fabric.rs crates/core/src/metrics.rs crates/core/src/plan.rs crates/core/src/policy.rs crates/core/src/qos.rs crates/core/src/scaleup.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/agent.rs:
+crates/core/src/api.rs:
+crates/core/src/cluster.rs:
+crates/core/src/design.rs:
+crates/core/src/fabric.rs:
+crates/core/src/metrics.rs:
+crates/core/src/plan.rs:
+crates/core/src/policy.rs:
+crates/core/src/qos.rs:
+crates/core/src/scaleup.rs:
+crates/core/src/workload.rs:

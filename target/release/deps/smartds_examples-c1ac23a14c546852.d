@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smartds_examples-c1ac23a14c546852.d: examples/lib.rs
+
+/root/repo/target/release/deps/libsmartds_examples-c1ac23a14c546852.rlib: examples/lib.rs
+
+/root/repo/target/release/deps/libsmartds_examples-c1ac23a14c546852.rmeta: examples/lib.rs
+
+examples/lib.rs:

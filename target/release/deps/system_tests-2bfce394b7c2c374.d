@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/system_tests-2bfce394b7c2c374.d: tests/lib.rs
+
+/root/repo/target/release/deps/libsystem_tests-2bfce394b7c2c374.rlib: tests/lib.rs
+
+/root/repo/target/release/deps/libsystem_tests-2bfce394b7c2c374.rmeta: tests/lib.rs
+
+tests/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tenants-e18b3f5c5c7a0ca2.d: examples/tenants.rs
+
+/root/repo/target/release/deps/tenants-e18b3f5c5c7a0ca2: examples/tenants.rs
+
+examples/tenants.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/testkit-85c50731fb41adb7.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs crates/testkit/src/source.rs
+
+/root/repo/target/release/deps/libtestkit-85c50731fb41adb7.rlib: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs crates/testkit/src/source.rs
+
+/root/repo/target/release/deps/libtestkit-85c50731fb41adb7.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/gen.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs crates/testkit/src/source.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/gen.rs:
+crates/testkit/src/runner.rs:
+crates/testkit/src/shrink.rs:
+crates/testkit/src/source.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/virtual_disk-4f169e5a3be0958a.d: examples/virtual_disk.rs
+
+/root/repo/target/release/deps/virtual_disk-4f169e5a3be0958a: examples/virtual_disk.rs
+
+examples/virtual_disk.rs:

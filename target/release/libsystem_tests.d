@@ -1,0 +1,1 @@
+/root/repo/target/release/libsystem_tests.rlib: /root/repo/tests/lib.rs

@@ -2,9 +2,9 @@
 //! tests over the split boundary.
 
 use blockstore::{Header, Op, HEADER_LEN};
-use proptest::prelude::*;
 use rocenet::Message;
 use smartds::api::{EngineKind, RemotePeer, SmartDs};
+use testkit::gen;
 
 #[test]
 fn listing1_loop_roundtrips_every_silesia_member() {
@@ -46,14 +46,13 @@ fn listing1_loop_roundtrips_every_silesia_member() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+testkit::prop! {
+    cases = 64;
 
     /// Any message, any split point: the API's recv+send pair is lossless.
-    #[test]
     fn api_split_send_identity(
-        payload in proptest::collection::vec(any::<u8>(), 1..4096),
-        h_size in 0usize..128,
+        payload in gen::bytes(1..4096),
+        h_size in gen::usizes(0..128),
     ) {
         let mut ds = SmartDs::new(1);
         let h = ds.host_alloc(128).unwrap();
@@ -65,17 +64,16 @@ proptest! {
         a.send(Message::from_bytes(payload.clone()));
         let e = ds.dev_mixed_recv(qp_in, h, h_size, d, 4096);
         let got = ds.poll(e).unwrap();
-        prop_assert_eq!(got.size, payload.len());
+        assert_eq!(got.size, payload.len());
         let host_part = h_size.min(payload.len());
         let e = ds.dev_mixed_send(qp_out, h, host_part, d, payload.len() - host_part);
         ds.poll(e).unwrap();
         let wire = b.recv().unwrap().to_bytes();
-        prop_assert_eq!(&wire[..], &payload[..]);
+        assert_eq!(&wire[..], &payload[..]);
     }
 
     /// Compress→decompress through `dev_func` is the identity for any data.
-    #[test]
-    fn dev_func_roundtrip(data in proptest::collection::vec(any::<u8>(), 1..4096)) {
+    fn dev_func_roundtrip(data in gen::bytes(1..4096)) {
         let mut ds = SmartDs::new(1);
         let h = ds.host_alloc(64).unwrap();
         let src = ds.dev_alloc(4096).unwrap();
@@ -90,7 +88,7 @@ proptest! {
         let c = ds.poll(e).unwrap().size;
         let e = ds.dev_func(packed, c, back, 4096, EngineKind::Decompress);
         let n = ds.poll(e).unwrap().size;
-        prop_assert_eq!(n, data.len());
-        prop_assert_eq!(ds.dev_read(back, n).unwrap(), data);
+        assert_eq!(n, data.len());
+        assert_eq!(ds.dev_read(back, n).unwrap(), data);
     }
 }

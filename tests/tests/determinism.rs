@@ -1,0 +1,60 @@
+//! Reproducibility: the simulation is a pure function of its configuration.
+//! Two runs with the same seed must agree byte-for-byte; different seeds
+//! must actually change the workload.
+
+use smartds::cluster;
+use smartds::{Design, RunConfig};
+
+fn quick(design: Design) -> RunConfig {
+    let mut cfg = RunConfig::saturating(design);
+    cfg.warmup = simkit::Time::from_ms(1.0);
+    cfg.measure = simkit::Time::from_ms(4.0);
+    cfg.pool_blocks = 64;
+    cfg
+}
+
+#[test]
+fn same_seed_same_report_bytes() {
+    for design in [
+        Design::CpuOnly,
+        Design::SmartDs { ports: 1 },
+        Design::SmartDs { ports: 2 },
+    ] {
+        let cfg = quick(design);
+        let a = cluster::run(&cfg);
+        let b = cluster::run(&cfg);
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "{design:?}: same config must reproduce the identical report"
+        );
+    }
+}
+
+#[test]
+fn same_seed_same_report_with_snapshots_and_reads() {
+    // Maintenance services and the read path bring the chunk maps and
+    // scrubber into play; iteration order there must not leak wall-clock
+    // or hasher nondeterminism into the results.
+    let cfg = quick(Design::SmartDs { ports: 1 }).with_snapshots(simkit::Time::from_ms(1.0));
+    let a = cluster::run_with(&cfg, |c| c.set_read_fraction(1.0 / 6.0));
+    let b = cluster::run_with(&cfg, |c| c.set_read_fraction(1.0 / 6.0));
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn different_seed_different_workload() {
+    let cfg = quick(Design::SmartDs { ports: 1 });
+    let mut reseeded = cfg.clone();
+    reseeded.seed = cfg.seed.wrapping_add(1);
+    let a = cluster::run(&cfg);
+    let b = cluster::run(&reseeded);
+    // Throughput may coincide, but the full report (latency percentiles,
+    // byte counts) of a reseeded run matching exactly would mean the seed
+    // is ignored.
+    assert_ne!(
+        a.to_json(),
+        b.to_json(),
+        "reseeded run produced an identical report — seed is not plumbed through"
+    );
+}
