@@ -9,4 +9,9 @@ set -eu
 cd "$(dirname "$0")"
 
 cargo build --release --offline
+
+# Static analysis first: simlint (crates/lintkit) enforces the
+# determinism and zero-dependency invariants; exit 1 on any violation.
+cargo run -p lintkit --release --offline
+
 cargo test -q --offline

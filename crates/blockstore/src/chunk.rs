@@ -11,7 +11,7 @@
 
 use simkit::Bytes;
 use lz4kit::DecompressError;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// A stored (possibly compressed) block version.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -110,8 +110,10 @@ impl Snapshot {
 #[derive(Clone, Debug)]
 pub struct ChunkStore {
     log: Vec<LogEntry>,
-    /// block index → position in `log` of the live version.
-    index: HashMap<u64, usize>,
+    /// block index → position in `log` of the live version. Ordered map:
+    /// snapshot/scrub walks over the index must not depend on hasher
+    /// randomization.
+    index: BTreeMap<u64, usize>,
     stored_bytes: u64,
     live_bytes: u64,
     writes: u64,
@@ -127,7 +129,7 @@ impl ChunkStore {
     pub fn new(compaction_threshold: u64) -> Self {
         ChunkStore {
             log: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             stored_bytes: 0,
             live_bytes: 0,
             writes: 0,
@@ -196,7 +198,7 @@ impl ChunkStore {
     pub fn compact(&mut self) -> CompactionStats {
         let dead = self.log.iter().filter(|e| !e.live).count();
         let mut new_log = Vec::with_capacity(self.index.len());
-        let mut new_index = HashMap::with_capacity(self.index.len());
+        let mut new_index = BTreeMap::new();
         for entry in self.log.drain(..) {
             if entry.live {
                 new_index.insert(entry.block, new_log.len());

@@ -6,7 +6,7 @@
 //! chosen servers acknowledge before acking the VM.
 
 use crate::server::ServerId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Chooses replica sets over a set of storage servers, skipping failed ones
 /// and balancing load (appends outstanding per server).
@@ -66,9 +66,12 @@ impl ReplicaSelector {
 }
 
 /// Tracks outstanding acknowledgements for in-flight replicated writes.
+///
+/// Ordered map so any timeout/abort sweep over outstanding requests runs
+/// in request-id order, independent of hasher randomization.
 #[derive(Debug, Default)]
 pub struct QuorumTracker {
-    pending: HashMap<u64, Quorum>,
+    pending: BTreeMap<u64, Quorum>,
 }
 
 #[derive(Debug)]

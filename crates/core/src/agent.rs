@@ -20,7 +20,7 @@ use blockstore::{
     VdLayout, HEADER_LEN,
 };
 use rocenet::Message;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 
@@ -120,8 +120,9 @@ pub struct FunctionalMiddleTier {
     d_out: rocenet::Region,
     servers: Vec<StorageServer>,
     selector: ReplicaSelector,
-    /// Where each (segment, block) was placed, for reads.
-    placement: HashMap<(u64, u64), Vec<ServerId>>,
+    /// Where each (segment, block) was placed, for reads. Ordered map:
+    /// placement sweeps must be deterministic across runs.
+    placement: BTreeMap<(u64, u64), Vec<ServerId>>,
     layout: VdLayout,
     replicas: usize,
     next_request: u64,
@@ -160,7 +161,7 @@ impl FunctionalMiddleTier {
                 .map(|i| StorageServer::new(ServerId(i), 4096))
                 .collect(),
             selector: ReplicaSelector::new((0..servers as u32).map(ServerId).collect()),
-            placement: HashMap::new(),
+            placement: BTreeMap::new(),
             layout: VdLayout::paper(),
             replicas,
             next_request: 0,
@@ -331,7 +332,9 @@ pub struct VirtualDisk<S> {
     layout: VdLayout,
     cluster: ClusterMap<S>,
     /// Which blocks have ever been written (zero-fill reads elsewhere).
-    written: std::collections::HashSet<u64>,
+    /// Ordered set so any future sweep over written blocks is
+    /// reproducible.
+    written: BTreeSet<u64>,
 }
 
 impl<S: MiddleTierService> VirtualDisk<S> {
@@ -341,7 +344,7 @@ impl<S: MiddleTierService> VirtualDisk<S> {
             vm_id,
             layout: VdLayout::paper(),
             cluster,
-            written: std::collections::HashSet::new(),
+            written: BTreeSet::new(),
         }
     }
 

@@ -1,0 +1,104 @@
+//! The simlint CLI.
+//!
+//! ```text
+//! cargo run -p lintkit                     # lint the workspace, exit 1 on violations
+//! cargo run -p lintkit -- --list-rules     # print every rule with its rationale
+//! cargo run -p lintkit -- --baseline-write # regenerate crates/lintkit/baseline.txt
+//! cargo run -p lintkit -- --root <dir>     # lint a different workspace root
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut list_rules = false;
+    let mut baseline_write = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => list_rules = true,
+            "--baseline-write" => baseline_write = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("simlint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "simlint — workspace determinism & safety invariants\n\n\
+                     USAGE: cargo run -p lintkit [-- OPTIONS]\n\n\
+                     OPTIONS:\n  \
+                     --list-rules       print every rule with its rationale\n  \
+                     --baseline-write   regenerate crates/lintkit/baseline.txt (sorted)\n  \
+                     --root <dir>       workspace root (default: found from cwd)\n  \
+                     -h, --help         this message\n\n\
+                     Suppress a single site with\n  \
+                     // simlint: allow(<rule>, reason = \"…\")\n\
+                     on the offending line or the line above it."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("simlint: unknown option `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for r in lintkit::RULES {
+            println!("{:<16} {}", r.name, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| lintkit::workspace_root_from(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("simlint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    if baseline_write {
+        return match lintkit::write_baseline(&root) {
+            Ok(text) => {
+                let entries = text.lines().filter(|l| !l.starts_with('#')).count();
+                println!(
+                    "simlint: wrote {} with {entries} grandfathered entr{}",
+                    lintkit::baseline_path(&root).display(),
+                    if entries == 1 { "y" } else { "ies" },
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("simlint: baseline write failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match lintkit::scan(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("simlint: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

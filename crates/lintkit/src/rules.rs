@@ -1,0 +1,644 @@
+//! The simlint rules: named invariants checked over lexed Rust source and
+//! parsed `Cargo.toml` manifests.
+//!
+//! Every rule is suppressible at a single site with
+//! `// simlint: allow(<rule>, reason = "…")` on the offending line or the
+//! line directly above it; the reason is mandatory so every escape hatch is
+//! self-documenting. The `lib-unwrap` rule additionally consults a
+//! checked-in baseline (see [`crate::baseline`]) that grandfathers
+//! pre-existing sites while new ones are blocked.
+
+use crate::lexer::{lex_marked, Token, TokenKind};
+
+/// A single finding, pointing at a file, line, and named rule.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// The rule that fired (one of [`RULES`] names).
+    pub rule: &'static str,
+    /// Human-readable explanation with a suggested fix.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+/// Descriptor for one named rule (for `--list-rules`).
+pub struct RuleInfo {
+    /// The rule's name, as used in allow-annotations and the baseline.
+    pub name: &'static str,
+    /// One-line summary of what the rule enforces and why.
+    pub summary: &'static str,
+}
+
+/// Every rule simlint knows about.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "hash-order",
+        summary: "no HashMap/HashSet in simulation-observable crate libraries \
+                  (hasher randomization leaks into iteration order; use BTreeMap/BTreeSet)",
+    },
+    RuleInfo {
+        name: "wall-clock",
+        summary: "no std::time::Instant/SystemTime/thread::sleep outside testkit::bench \
+                  (simulated time only; wall-clock reads break seed reproducibility)",
+    },
+    RuleInfo {
+        name: "lib-unwrap",
+        summary: "no .unwrap()/.expect( in non-test library code of sim datapath crates \
+                  (baseline-grandfathered; return errors instead of panicking)",
+    },
+    RuleInfo {
+        name: "lossy-time-cast",
+        summary: "no bare `as u64`/`as f64` in simkit time/fluid/engine arithmetic \
+                  (use the checked Time conversion helpers)",
+    },
+    RuleInfo {
+        name: "no-extern-dep",
+        summary: "every Cargo.toml dependency must be an in-repo path (or workspace) \
+                  dependency; versions, git, and registry sources are forbidden",
+    },
+    RuleInfo {
+        name: "bad-allow",
+        summary: "a `// simlint:` annotation that does not parse as \
+                  allow(<rule>, reason = \"…\") with a known rule and non-empty reason",
+    },
+    RuleInfo {
+        name: "lex-error",
+        summary: "the file could not be tokenized (unterminated string or comment)",
+    },
+];
+
+/// Crates whose `src/` trees are simulation-observable: nondeterministic
+/// iteration order there can change reports byte-for-byte.
+pub const SIM_CRATES: &[&str] = &["simkit", "rocenet", "blockstore", "core", "hwmodel"];
+
+/// Files where `lossy-time-cast` applies: the time arithmetic core.
+pub const TIME_CAST_FILES: &[&str] = &[
+    "crates/simkit/src/time.rs",
+    "crates/simkit/src/fluid.rs",
+    "crates/simkit/src/engine.rs",
+];
+
+/// The single file allowed to read the wall clock: the bench runner, which
+/// measures the host, not the simulation.
+pub const WALL_CLOCK_EXEMPT: &[&str] = &["crates/testkit/src/bench.rs"];
+
+/// True when `rel` is non-test library code of a simulation-observable
+/// crate (i.e. under `crates/<sim crate>/src/`).
+pub fn is_sim_crate_lib(rel: &str) -> bool {
+    SIM_CRATES
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// A parsed allow-annotation: suppresses `rule` on the comment's line and
+/// the line directly below it.
+#[derive(Debug, PartialEq, Eq)]
+struct Allow {
+    rule: String,
+    line: u32,
+}
+
+/// Extracts `simlint:` annotations from comment tokens. Malformed
+/// annotations become `bad-allow` diagnostics so typos cannot silently
+/// disable a rule.
+fn collect_allows(rel: &str, tokens: &[Token<'_>], diags: &mut Vec<Diagnostic>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for t in tokens {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        // An annotation must start the comment body (`// simlint: …`);
+        // prose that merely mentions the marker mid-sentence is not one.
+        let body = t
+            .text
+            .trim_start_matches(['/', '*', '!'])
+            .trim_start();
+        let Some(rest) = body.strip_prefix("simlint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        match parse_allow(rest) {
+            Some(rule) => allows.push(Allow { rule, line: t.line }),
+            None => diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: t.line,
+                rule: "bad-allow",
+                msg: "malformed annotation; expected \
+                      `simlint: allow(<rule>, reason = \"…\")` with a known rule \
+                      and a non-empty reason"
+                    .to_string(),
+            }),
+        }
+    }
+    allows
+}
+
+/// Parses `allow(<rule>, reason = "…")`, returning the rule name.
+fn parse_allow(s: &str) -> Option<String> {
+    let s = s.strip_prefix("allow(")?;
+    let close = s.rfind(')')?;
+    let inner = &s[..close];
+    let (rule, rest) = inner.split_once(',')?;
+    let rule = rule.trim();
+    if !RULES.iter().any(|r| r.name == rule) {
+        return None;
+    }
+    let rest = rest.trim();
+    let reason = rest.strip_prefix("reason")?.trim_start().strip_prefix('=')?;
+    let reason = reason.trim().strip_prefix('"')?.strip_suffix('"')?;
+    if reason.trim().is_empty() {
+        return None;
+    }
+    Some(rule.to_string())
+}
+
+fn allowed(allows: &[Allow], rule: &str, line: u32) -> bool {
+    allows
+        .iter()
+        .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+}
+
+/// Lints one Rust source file. `rel` is the workspace-relative path with
+/// forward slashes; it determines which rules apply.
+pub fn lint_rust_file(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let tokens = match lex_marked(src) {
+        Ok(t) => t,
+        Err(e) => {
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: e.line,
+                rule: "lex-error",
+                msg: e.msg,
+            });
+            return diags;
+        }
+    };
+    let allows = collect_allows(rel, &tokens, &mut diags);
+    let push = |rule: &'static str, line: u32, msg: String, diags: &mut Vec<Diagnostic>| {
+        if !allowed(&allows, rule, line) {
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line,
+                rule,
+                msg,
+            });
+        }
+    };
+
+    let sim_lib = is_sim_crate_lib(rel);
+    let clock_exempt = WALL_CLOCK_EXEMPT.contains(&rel);
+    let time_cast = TIME_CAST_FILES.contains(&rel);
+
+    // Code tokens only (comments carry no violations themselves).
+    let code: Vec<&Token<'_>> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // hash-order: HashMap/HashSet identifiers in sim-crate libraries.
+        if sim_lib && !t.in_test && (t.text == "HashMap" || t.text == "HashSet") {
+            push(
+                "hash-order",
+                t.line,
+                format!(
+                    "{} iteration order depends on per-process hasher randomization; \
+                     use BTree{} (or annotate with a reason)",
+                    t.text,
+                    &t.text[4..]
+                ),
+                &mut diags,
+            );
+        }
+        // wall-clock: Instant/SystemTime anywhere (tests included — wall
+        // clock makes tests flaky), thread::sleep likewise.
+        if !clock_exempt && (t.text == "Instant" || t.text == "SystemTime") {
+            push(
+                "wall-clock",
+                t.line,
+                format!(
+                    "std::time::{} reads the host clock; simulations must use \
+                     simkit::Time exclusively",
+                    t.text
+                ),
+                &mut diags,
+            );
+        }
+        if !clock_exempt
+            && t.text == "sleep"
+            && i >= 3
+            && code[i - 1].text == ":"
+            && code[i - 2].text == ":"
+            && code[i - 3].text == "thread"
+        {
+            push(
+                "wall-clock",
+                t.line,
+                "thread::sleep blocks on wall-clock time; advance simulated time instead"
+                    .to_string(),
+                &mut diags,
+            );
+        }
+        // lib-unwrap: `.unwrap()` / `.expect(` in sim-crate library code.
+        if sim_lib
+            && !t.in_test
+            && (t.text == "unwrap" || t.text == "expect")
+            && i >= 1
+            && code[i - 1].kind == TokenKind::Punct
+            && code[i - 1].text == "."
+            && code.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            push(
+                "lib-unwrap",
+                t.line,
+                format!(
+                    ".{}( panics the whole simulation; return a typed error \
+                     (grandfathered sites live in lintkit/baseline.txt)",
+                    t.text
+                ),
+                &mut diags,
+            );
+        }
+        // lossy-time-cast: `as u64` / `as f64` in the time-arithmetic core.
+        if time_cast
+            && !t.in_test
+            && t.text == "as"
+            && code
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Ident && (n.text == "u64" || n.text == "f64"))
+        {
+            push(
+                "lossy-time-cast",
+                t.line,
+                format!(
+                    "bare `as {}` cast in time arithmetic silently truncates or loses \
+                     precision; use the checked simkit::Time conversion helpers",
+                    code[i + 1].text
+                ),
+                &mut diags,
+            );
+        }
+    }
+    diags
+}
+
+/// Lints one `Cargo.toml`, enforcing the zero-dependency policy: every
+/// entry in any `*dependencies*` section must resolve to an in-repo path.
+pub fn lint_manifest(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut push = |line: u32, msg: String| {
+        diags.push(Diagnostic {
+            file: rel.to_string(),
+            line,
+            rule: "no-extern-dep",
+            msg,
+        })
+    };
+
+    #[derive(PartialEq)]
+    enum Mode {
+        Other,
+        /// `[dependencies]`-style section: each line is one dependency.
+        DepList,
+        /// `[dependencies.<name>]`-style section: keys describe one dep.
+        DepTable,
+    }
+    let mut mode = Mode::Other;
+    // State for a DepTable: (header line, dep name, saw path/workspace).
+    let mut table: Option<(u32, String, bool)> = None;
+    let flush_table = |table: &mut Option<(u32, String, bool)>,
+                           push: &mut dyn FnMut(u32, String)| {
+        if let Some((line, name, ok)) = table.take() {
+            if !ok {
+                push(
+                    line,
+                    format!(
+                        "dependency `{name}` has no `path` (or `workspace = true`); \
+                         only in-repo path dependencies are allowed"
+                    ),
+                );
+            }
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = strip_toml_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush_table(&mut table, &mut push);
+            let name = line.trim_start_matches('[').trim_end_matches(']').trim();
+            let is_dep_section = |s: &str| {
+                s == "dependencies" || s.ends_with(".dependencies") || s.ends_with("-dependencies")
+            };
+            if is_dep_section(name) {
+                mode = Mode::DepList;
+            } else if let Some((head, dep)) = name.rsplit_once('.') {
+                if is_dep_section(head) {
+                    mode = Mode::DepTable;
+                    table = Some((line_no, dep.to_string(), false));
+                } else {
+                    mode = Mode::Other;
+                }
+            } else {
+                mode = Mode::Other;
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match mode {
+            Mode::Other => {}
+            Mode::DepList => {
+                // `foo.workspace = true` dotted form.
+                if let Some((dep, attr)) = key.rsplit_once('.') {
+                    if attr == "workspace" && value == "true" {
+                        continue;
+                    }
+                    if attr == "version" || attr == "git" || attr == "registry" {
+                        push(
+                            line_no,
+                            format!(
+                                "dependency `{dep}` sets `{attr}`; external sources are \
+                                 forbidden (zero-dependency policy)"
+                            ),
+                        );
+                        continue;
+                    }
+                    continue;
+                }
+                if value.starts_with('"') || value.starts_with('\'') {
+                    push(
+                        line_no,
+                        format!(
+                            "dependency `{key}` names a registry version {value}; \
+                             only in-repo path dependencies are allowed"
+                        ),
+                    );
+                } else if value.starts_with('{') {
+                    let keys = inline_table_keys(value);
+                    let bad: Vec<&String> = keys
+                        .iter()
+                        .filter(|k| matches!(k.as_str(), "version" | "git" | "registry"))
+                        .collect();
+                    let has_src = keys.iter().any(|k| k == "path" || k == "workspace");
+                    if let Some(b) = bad.first() {
+                        push(
+                            line_no,
+                            format!(
+                                "dependency `{key}` sets `{b}`; external sources are \
+                                 forbidden (zero-dependency policy)"
+                            ),
+                        );
+                    } else if !has_src {
+                        push(
+                            line_no,
+                            format!(
+                                "dependency `{key}` has no `path` (or `workspace = true`); \
+                                 only in-repo path dependencies are allowed"
+                            ),
+                        );
+                    }
+                } else {
+                    push(
+                        line_no,
+                        format!("dependency `{key}` has unrecognized form `{value}`"),
+                    );
+                }
+            }
+            Mode::DepTable => {
+                if let Some((hl, name, ok)) = table.as_mut() {
+                    match key {
+                        "path" | "workspace" => *ok = true,
+                        "version" | "git" | "registry" => {
+                            let (hl, name) = (*hl, name.clone());
+                            // Already reported; suppress the missing-path
+                            // report the flush would otherwise add.
+                            *ok = true;
+                            push(
+                                hl.max(line_no),
+                                format!(
+                                    "dependency `{name}` sets `{key}`; external sources \
+                                     are forbidden (zero-dependency policy)"
+                                ),
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    flush_table(&mut table, &mut push);
+    diags
+}
+
+/// Strips a `#` comment from a TOML line, respecting double-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let b = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Top-level keys of a TOML inline table `{ k = v, … }`, respecting quoted
+/// strings and nested braces.
+fn inline_table_keys(value: &str) -> Vec<String> {
+    let inner = value
+        .trim()
+        .trim_start_matches('{')
+        .trim_end_matches('}')
+        .trim();
+    let mut keys = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut part = String::new();
+    let mut parts = Vec::new();
+    for c in inner.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                part.push(c);
+            }
+            '{' | '[' if !in_str => {
+                depth += 1;
+                part.push(c);
+            }
+            '}' | ']' if !in_str => {
+                depth = depth.saturating_sub(1);
+                part.push(c);
+            }
+            ',' if !in_str && depth == 0 => {
+                parts.push(std::mem::take(&mut part));
+            }
+            _ => part.push(c),
+        }
+    }
+    if !part.trim().is_empty() {
+        parts.push(part);
+    }
+    for p in parts {
+        if let Some((k, _)) = p.split_once('=') {
+            keys.push(k.trim().to_string());
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rust(rel: &str, src: &str) -> Vec<Diagnostic> {
+        lint_rust_file(rel, src)
+    }
+
+    #[test]
+    fn hash_order_fires_in_sim_crate_lib() {
+        let d = rust(
+            "crates/simkit/src/engine.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "hash-order");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn hash_order_ignores_tests_and_other_crates() {
+        assert!(rust(
+            "crates/simkit/src/engine.rs",
+            "#[cfg(test)]\nmod tests { use std::collections::HashMap; }\n",
+        )
+        .is_empty());
+        assert!(rust("crates/lz4kit/src/frame.rs", "use std::collections::HashMap;\n").is_empty());
+        assert!(rust(
+            "crates/blockstore/tests/props.rs",
+            "use std::collections::HashMap;\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_with_reason() {
+        let src = "// simlint: allow(hash-order, reason = \"keys are never iterated\")\n\
+                   use std::collections::HashMap;\n";
+        assert!(rust("crates/simkit/src/engine.rs", src).is_empty());
+        let trailing = "use std::collections::HashMap; \
+                        // simlint: allow(hash-order, reason = \"never iterated\")\n";
+        assert!(rust("crates/simkit/src/engine.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn malformed_allow_is_its_own_violation() {
+        let src = "// simlint: allow(hash-order)\nuse std::collections::HashMap;\n";
+        let d = rust("crates/simkit/src/engine.rs", src);
+        assert!(d.iter().any(|x| x.rule == "bad-allow"));
+        assert!(d.iter().any(|x| x.rule == "hash-order"), "missing reason must not suppress");
+        let unknown = "// simlint: allow(no-such-rule, reason = \"x\")\nfn f() {}\n";
+        let d = rust("crates/simkit/src/engine.rs", unknown);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "bad-allow");
+    }
+
+    #[test]
+    fn wall_clock_fires_everywhere_but_bench() {
+        let src = "use std::time::Instant;\nfn f() { std::thread::sleep(d); }\n";
+        let d = rust("crates/corpus/src/gen.rs", src);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|x| x.rule == "wall-clock"));
+        assert!(rust("crates/testkit/src/bench.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lib_unwrap_matches_calls_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   fn g(x: Option<u32>) -> u32 { x.expect(\"msg\") }\n\
+                   fn h(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }\n";
+        let d = rust("crates/rocenet/src/verbs.rs", src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.rule == "lib-unwrap"));
+        // unwrap mentioned in a doc comment or string is not a call.
+        assert!(rust(
+            "crates/rocenet/src/verbs.rs",
+            "/// Calls `.unwrap()` internally.\nfn f() { let s = \".unwrap()\"; }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn lossy_time_cast_limited_to_time_core() {
+        let src = "fn f(x: u32) -> u64 { x as u64 }\n";
+        assert_eq!(rust("crates/simkit/src/time.rs", src).len(), 1);
+        assert_eq!(rust("crates/simkit/src/fluid.rs", src).len(), 1);
+        assert_eq!(rust("crates/simkit/src/engine.rs", src).len(), 1);
+        assert!(rust("crates/simkit/src/hist.rs", src).is_empty());
+        // `as usize` is not a lossy time cast.
+        assert!(rust("crates/simkit/src/fluid.rs", "fn f(x: u32) { x as usize; }").is_empty());
+    }
+
+    #[test]
+    fn extern_dep_versions_are_rejected() {
+        let toml = "[package]\nname = \"x\"\n[dependencies]\nserde = \"1.0\"\n";
+        let d = lint_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-extern-dep");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn extern_dep_inline_forms() {
+        let ok = "[dependencies]\nsimkit = { path = \"../simkit\" }\n\
+                  lz4kit = { workspace = true }\ncorpus.workspace = true\n";
+        assert!(lint_manifest("crates/x/Cargo.toml", ok).is_empty());
+        let git = "[dependencies]\nfoo = { git = \"https://example.com/foo\" }\n";
+        assert_eq!(lint_manifest("crates/x/Cargo.toml", git).len(), 1);
+        let versioned = "[dev-dependencies]\nbar = { version = \"0.3\", path = \"../bar\" }\n";
+        assert_eq!(lint_manifest("crates/x/Cargo.toml", versioned).len(), 1);
+    }
+
+    #[test]
+    fn extern_dep_table_sections() {
+        let bad = "[dependencies.foo]\nversion = \"1\"\n";
+        assert_eq!(lint_manifest("Cargo.toml", bad).len(), 1);
+        let pathless = "[dependencies.foo]\nfeatures = [\"x\"]\n";
+        assert_eq!(lint_manifest("Cargo.toml", pathless).len(), 1);
+        let ok = "[dependencies.foo]\npath = \"crates/foo\"\n";
+        assert!(lint_manifest("Cargo.toml", ok).is_empty());
+        let ws = "[workspace.dependencies]\nsimkit = { path = \"crates/simkit\" }\n";
+        assert!(lint_manifest("Cargo.toml", ws).is_empty());
+    }
+
+    #[test]
+    fn package_metadata_is_not_a_dependency() {
+        let toml = "[package]\nversion.workspace = true\nedition.workspace = true\n\
+                    [workspace.package]\nversion = \"0.1.0\"\n";
+        assert!(lint_manifest("Cargo.toml", toml).is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! Fixture and property tests for the simlint rules: synthetic files run
+//! through [`lintkit::lint_rust_file`] / [`lintkit::lint_manifest`],
+//! including the two regressions the issue pins down (a `HashMap` appearing
+//! in `crates/simkit/src/engine.rs`, a versioned dependency appearing in a
+//! manifest) and the lexer's blindness to idents hiding in strings,
+//! comments, and raw strings.
+
+use lintkit::rules::{lint_manifest, lint_rust_file};
+
+fn rules_of(diags: &[lintkit::Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// ---------------------------------------------------------------- hash-order
+
+#[test]
+fn hashmap_in_simkit_engine_is_flagged() {
+    // The issue's acceptance fixture: introducing a HashMap into the event
+    // engine must turn the scan red.
+    let src = "use std::collections::HashMap;\npub struct Engine { q: HashMap<u64, u64> }\n";
+    let diags = lint_rust_file("crates/simkit/src/engine.rs", src);
+    assert_eq!(rules_of(&diags), ["hash-order", "hash-order"]);
+    assert_eq!(diags[0].line, 1);
+    assert_eq!(diags[1].line, 2);
+}
+
+#[test]
+fn hashset_in_core_lib_is_flagged() {
+    let diags = lint_rust_file(
+        "crates/core/src/agent.rs",
+        "use std::collections::HashSet;\n",
+    );
+    assert_eq!(rules_of(&diags), ["hash-order"]);
+}
+
+#[test]
+fn hashmap_outside_sim_crates_is_fine() {
+    // lintkit itself, testkit, corpus, benches: not simulation-observable.
+    for rel in [
+        "crates/lintkit/src/rules.rs",
+        "crates/testkit/src/gen.rs",
+        "crates/bench/src/main.rs",
+    ] {
+        let diags = lint_rust_file(rel, "use std::collections::HashMap;\n");
+        assert!(diags.is_empty(), "{rel}: {diags:?}");
+    }
+}
+
+#[test]
+fn hashmap_in_tests_dir_and_cfg_test_is_fine() {
+    // Integration tests are not library code.
+    assert!(lint_rust_file(
+        "crates/simkit/tests/engine_props.rs",
+        "use std::collections::HashMap;\n"
+    )
+    .is_empty());
+    // #[cfg(test)] regions inside a sim crate are exempt.
+    let src = "pub fn f() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   use std::collections::HashMap;\n\
+                   fn helper() -> HashMap<u8, u8> { HashMap::new() }\n\
+               }\n";
+    assert!(lint_rust_file("crates/simkit/src/engine.rs", src).is_empty());
+}
+
+#[test]
+fn nested_cfg_test_modules_stay_exempt() {
+    let src = "#[cfg(test)]\n\
+               mod outer {\n\
+                   mod inner {\n\
+                       use std::collections::HashMap;\n\
+                   }\n\
+               }\n";
+    assert!(lint_rust_file("crates/rocenet/src/verbs.rs", src).is_empty());
+}
+
+#[test]
+fn hashmap_hidden_in_strings_and_comments_is_invisible() {
+    let src = concat!(
+        "// HashMap mentioned in a comment is prose, not code\n",
+        "/* block comment: HashMap<K, V> /* nested: HashSet */ still prose */\n",
+        "pub const DOC: &str = \"uses a HashMap internally\";\n",
+        "pub const RAW: &str = r#\"HashMap in a raw string \"quoted\" too\"#;\n",
+        "pub const BYTES: &[u8] = b\"HashSet\";\n",
+    );
+    assert!(lint_rust_file("crates/simkit/src/engine.rs", src).is_empty());
+}
+
+#[test]
+fn allow_annotation_suppresses_with_reason() {
+    let src = "// simlint: allow(hash-order, reason = \"scratch map, never iterated\")\n\
+               use std::collections::HashMap;\n";
+    assert!(lint_rust_file("crates/simkit/src/engine.rs", src).is_empty());
+}
+
+#[test]
+fn allow_without_reason_is_itself_a_violation() {
+    let src = "// simlint: allow(hash-order)\nuse std::collections::HashMap;\n";
+    let diags = lint_rust_file("crates/simkit/src/engine.rs", src);
+    assert!(rules_of(&diags).contains(&"bad-allow"), "{diags:?}");
+    // And the annotation does NOT suppress.
+    assert!(rules_of(&diags).contains(&"hash-order"), "{diags:?}");
+}
+
+// ---------------------------------------------------------------- wall-clock
+
+#[test]
+fn wall_clock_types_are_flagged_everywhere_but_bench() {
+    let src = "use std::time::Instant;\n\
+               pub fn now() -> Instant { Instant::now() }\n";
+    assert!(!lint_rust_file("crates/simkit/src/engine.rs", src).is_empty());
+    assert!(!lint_rust_file("crates/testkit/src/gen.rs", src).is_empty());
+    // The one sanctioned home for wall-clock time.
+    assert!(lint_rust_file("crates/testkit/src/bench.rs", src).is_empty());
+}
+
+#[test]
+fn thread_sleep_is_flagged() {
+    let diags = lint_rust_file(
+        "crates/core/src/cluster.rs",
+        "pub fn nap() { std::thread::sleep(std::time::Duration::from_millis(1)); }\n",
+    );
+    assert_eq!(rules_of(&diags), ["wall-clock"]);
+}
+
+// ---------------------------------------------------------------- lib-unwrap
+
+#[test]
+fn unwrap_in_sim_lib_flagged_but_not_in_tests() {
+    let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   #[test]\n\
+                   fn ok() { Some(1u8).unwrap(); }\n\
+               }\n";
+    let diags = lint_rust_file("crates/blockstore/src/chunk.rs", src);
+    assert_eq!(rules_of(&diags), ["lib-unwrap"]);
+    assert_eq!(diags[0].line, 1);
+}
+
+#[test]
+fn expect_call_is_flagged_but_expect_ident_alone_is_not() {
+    let src = "pub fn f(x: Option<u8>) -> u8 { x.expect(\"boom\") }\n\
+               pub fn expect_nothing() {}\n";
+    let diags = lint_rust_file("crates/rocenet/src/qp.rs", src);
+    assert_eq!(rules_of(&diags), ["lib-unwrap"]);
+}
+
+// ----------------------------------------------------------- lossy-time-cast
+
+#[test]
+fn bare_time_casts_flagged_only_in_listed_files() {
+    let src = "pub fn f(x: f64) -> u64 { x as u64 }\n";
+    assert_eq!(
+        rules_of(&lint_rust_file("crates/simkit/src/time.rs", src)),
+        ["lossy-time-cast"]
+    );
+    assert_eq!(
+        rules_of(&lint_rust_file("crates/simkit/src/fluid.rs", src)),
+        ["lossy-time-cast"]
+    );
+    // Same code elsewhere is not time arithmetic.
+    assert!(lint_rust_file("crates/simkit/src/stats.rs", src).is_empty());
+}
+
+#[test]
+fn as_usize_is_not_a_time_cast() {
+    let src = "pub fn f(x: u32) -> usize { x as usize }\n";
+    assert!(lint_rust_file("crates/simkit/src/time.rs", src).is_empty());
+}
+
+// ------------------------------------------------------------- no-extern-dep
+
+#[test]
+fn versioned_dependency_is_flagged() {
+    // The issue's second acceptance fixture: `serde = "1"` must fail.
+    let src = "[package]\nname = \"simkit\"\n\n[dependencies]\nserde = \"1\"\n";
+    let diags = lint_manifest("crates/simkit/Cargo.toml", src);
+    assert_eq!(rules_of(&diags), ["no-extern-dep"]);
+    assert_eq!(diags[0].line, 5);
+}
+
+#[test]
+fn git_and_registry_deps_are_flagged() {
+    let src = "[dependencies]\n\
+               a = { git = \"https://example.com/a\" }\n\
+               b = { version = \"0.3\", features = [\"std\"] }\n\
+               [dev-dependencies.c]\n\
+               registry = \"crates-io\"\n";
+    let diags = lint_manifest("crates/core/Cargo.toml", src);
+    assert_eq!(rules_of(&diags), ["no-extern-dep"; 3]);
+}
+
+#[test]
+fn path_and_workspace_deps_are_fine() {
+    let src = "[package]\nname = \"core\"\n\n[dependencies]\n\
+               simkit = { workspace = true }\n\
+               rocenet = { path = \"../rocenet\" }\n\
+               [dev-dependencies]\n\
+               testkit.workspace = true\n";
+    assert!(lint_manifest("crates/core/Cargo.toml", src).is_empty());
+}
+
+// ------------------------------------------------------- whole-repo self-test
+
+#[test]
+fn lexer_tokenizes_every_workspace_file() {
+    let root = lintkit::workspace_root_from(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let mut rust_files = 0;
+    for rel in lintkit::collect_files(&root).expect("walk workspace") {
+        if !rel.ends_with(".rs") {
+            continue;
+        }
+        let src = std::fs::read_to_string(root.join(&rel)).expect("read source");
+        let tokens = lintkit::lexer::lex(&src)
+            .unwrap_or_else(|e| panic!("{rel}: lex error at line {}: {}", e.line, e.msg));
+        assert!(!tokens.is_empty() || src.trim().is_empty(), "{rel}: no tokens");
+        rust_files += 1;
+    }
+    assert!(rust_files > 100, "only {rust_files} .rs files found — walk broken?");
+}
+
+#[test]
+fn workspace_scan_is_deterministic() {
+    let root = lintkit::workspace_root_from(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let a = lintkit::scan(&root).expect("scan").render();
+    let b = lintkit::scan(&root).expect("scan").render();
+    assert_eq!(a, b);
+}
+
+// ------------------------------------------------------------------ properties
+
+testkit::prop! {
+    cases = 128;
+
+    /// An arbitrary identifier-ish word is only flagged when it is exactly
+    /// a forbidden ident in code position — never when it hides inside a
+    /// string, comment, or raw string.
+    fn forbidden_idents_only_fire_in_code(
+        word in testkit::gen::choice(["HashMap", "HashSet", "Instant", "SystemTime", "map", "hash"]),
+        ctx in testkit::gen::choice(["code", "line-comment", "block-comment", "string", "raw-string"]),
+        pad in testkit::gen::bytes(0..12),
+    ) {
+        let pad: String = pad.iter().map(|b| char::from(b'a' + b % 26)).collect();
+        let src = match ctx {
+            "code" => format!("pub fn {pad}_f() {{ let _x = {word}::default(); }}\n"),
+            "line-comment" => format!("// {pad} {word} {pad}\npub fn f() {{}}\n"),
+            "block-comment" => format!("/* {pad} {word} */ pub fn f() {{}}\n"),
+            "string" => format!("pub const S: &str = \"{pad} {word}\";\n"),
+            "raw-string" => format!("pub const S: &str = r#\"{pad} {word}\"#;\n"),
+            _ => unreachable!(),
+        };
+        let diags = lint_rust_file("crates/simkit/src/engine.rs", &src);
+        let forbidden = matches!(word, "HashMap" | "HashSet" | "Instant" | "SystemTime");
+        if ctx == "code" && forbidden {
+            assert!(!diags.is_empty(), "{src}: should be flagged");
+        } else {
+            assert!(diags.is_empty(), "{src}: spurious {diags:?}");
+        }
+    }
+
+    /// Wrapping a hash-order violation in `#[cfg(test)] mod t { ... }`
+    /// always silences it, at any nesting depth. (wall-clock is deliberately
+    /// NOT test-exempt — wall-clock reads make tests flaky too.)
+    fn cfg_test_always_exempts(
+        word in testkit::gen::choice(["HashMap", "HashSet"]),
+        depth in testkit::gen::u8s(1..=3),
+    ) {
+        let mut inner = format!("use x::{word};\n");
+        for i in 0..depth {
+            inner = format!("mod m{i} {{\n{inner}}}\n");
+        }
+        let src = format!("#[cfg(test)]\n{inner}");
+        let diags = lint_rust_file("crates/simkit/src/engine.rs", &src);
+        assert!(diags.is_empty(), "{src}: {diags:?}");
+    }
+}

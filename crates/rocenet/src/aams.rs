@@ -291,9 +291,13 @@ mod tests {
 
 /// The Split module's receive-descriptor table: per-QP FIFOs of posted
 /// [`RecvDesc`]s, consumed in order as messages arrive.
+///
+/// Keyed by a `BTreeMap` so [`RecvTable::qpns`] walks queue pairs in
+/// numeric order — descriptor-table sweeps must not observe hasher
+/// randomization.
 #[derive(Debug, Default)]
 pub struct RecvTable {
-    tables: std::collections::HashMap<u32, std::collections::VecDeque<RecvDesc>>,
+    tables: std::collections::BTreeMap<u32, std::collections::VecDeque<RecvDesc>>,
 }
 
 impl RecvTable {
@@ -323,6 +327,11 @@ impl RecvTable {
     /// Descriptors currently posted for `qpn`.
     pub fn depth(&self, qpn: u32) -> usize {
         self.tables.get(&qpn).map_or(0, |q| q.len())
+    }
+
+    /// Queue pairs that have ever had a descriptor posted, ascending.
+    pub fn qpns(&self) -> impl Iterator<Item = u32> + '_ {
+        self.tables.keys().copied()
     }
 }
 

@@ -13,7 +13,7 @@ use crate::aams::{split_into, AamsError, RecvDesc, RecvTable, SplitPlacement};
 use crate::mem::MemPool;
 use crate::message::Message;
 use crate::rc::{Control, DataPacket, Psn, RcReceiver, RcSender, RxAction};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A queue pair number local to one endpoint.
 pub type Qpn = u32;
@@ -52,8 +52,12 @@ struct QpState {
 }
 
 /// One node's RoCE instance: QPs + descriptor table + memory pools.
+///
+/// Queue pairs live in a `BTreeMap`: any whole-endpoint sweep (idle polls,
+/// metrics, [`Endpoint::qpns`]) visits QPs in numeric order, keeping
+/// simulation reports byte-identical run to run.
 pub struct Endpoint {
-    qps: HashMap<Qpn, QpState>,
+    qps: BTreeMap<Qpn, QpState>,
     recv_table: RecvTable,
     /// Host memory (headers land here).
     pub host: MemPool,
@@ -67,7 +71,7 @@ impl Endpoint {
     /// An endpoint with the given pools and transport parameters.
     pub fn new(host: MemPool, dev: MemPool, mtu: usize, window: usize) -> Self {
         Endpoint {
-            qps: HashMap::new(),
+            qps: BTreeMap::new(),
             recv_table: RecvTable::new(),
             host,
             dev,
@@ -179,6 +183,11 @@ impl Endpoint {
     /// True when `qpn` has nothing queued or in flight.
     pub fn is_idle(&self, qpn: Qpn) -> bool {
         self.qps.get(&qpn).is_none_or(|q| q.tx.is_idle())
+    }
+
+    /// Connected queue pairs, in deterministic ascending order.
+    pub fn qpns(&self) -> impl Iterator<Item = Qpn> + '_ {
+        self.qps.keys().copied()
     }
 }
 

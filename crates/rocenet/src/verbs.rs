@@ -9,7 +9,7 @@
 
 use crate::mem::{MemPool, Region};
 use simkit::Bytes;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -42,7 +42,7 @@ impl Access {
 
 /// The remote key naming a registered region (what peers embed in their
 /// work requests).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RKey(u32);
 
 /// One-sided operation failures (RoCE remote access error class).
@@ -98,9 +98,14 @@ struct Registered {
 }
 
 /// A protection domain: registered regions over one memory pool.
+///
+/// Registrations live in a `BTreeMap` so [`ProtectionDomain::rkeys`]
+/// iterates in key order: simulation reports derived from a domain walk are
+/// byte-identical across runs and hosts (hasher randomization must never
+/// leak into observable state).
 #[derive(Debug, Default)]
 pub struct ProtectionDomain {
-    regions: HashMap<RKey, Registered>,
+    regions: BTreeMap<RKey, Registered>,
     next_key: u32,
 }
 
@@ -133,6 +138,11 @@ impl ProtectionDomain {
     /// True when nothing is registered.
     pub fn is_empty(&self) -> bool {
         self.regions.is_empty()
+    }
+
+    /// Live remote keys, in deterministic ascending order.
+    pub fn rkeys(&self) -> impl Iterator<Item = RKey> + '_ {
+        self.regions.keys().copied()
     }
 
     fn lookup(&self, rkey: RKey, write: bool, offset: usize, len: usize) -> Result<Region, VerbError> {

@@ -43,7 +43,7 @@
 //! assert_eq!(done.len(), 2);
 //! ```
 
-use crate::time::{Time, PS_PER_SEC};
+use crate::time::Time;
 
 /// Residual byte count below which a flow is considered complete.
 const EPS_BYTES: f64 = 0.5;
@@ -222,7 +222,7 @@ impl FluidResource {
             self.name,
             self.last_sync
         );
-        let dt = (now - self.last_sync).as_ps() as f64 / PS_PER_SEC as f64;
+        let dt = (now - self.last_sync).as_secs();
         self.last_sync = now;
         if dt == 0.0 || self.active == 0 {
             return;
@@ -332,8 +332,12 @@ impl FluidResource {
                 continue;
             }
             let secs = f.remaining / f.rate;
-            let ps = (secs * PS_PER_SEC as f64).ceil() as u64 + 1;
-            let at = self.last_sync.saturating_add(Time::from_ps(ps));
+            // Ceil + 1 ps so the wake lands strictly after the completion
+            // instant even when `secs` is exactly representable.
+            let at = self
+                .last_sync
+                .saturating_add(Time::from_secs_ceil(secs))
+                .saturating_add(Time::from_ps(1));
             best = Some(match best {
                 Some(b) => b.min(at),
                 None => at,

@@ -24,6 +24,34 @@ pub const PS_PER_MS: u64 = 1_000_000_000;
 /// Picoseconds per second.
 pub const PS_PER_SEC: u64 = 1_000_000_000_000;
 
+/// `PS_PER_NS` as `f64` (exact; see `scale_constants_agree` test).
+pub const PS_PER_NS_F64: f64 = 1e3;
+/// `PS_PER_US` as `f64` (exact).
+pub const PS_PER_US_F64: f64 = 1e6;
+/// `PS_PER_MS` as `f64` (exact).
+pub const PS_PER_MS_F64: f64 = 1e9;
+/// `PS_PER_SEC` as `f64` (exact).
+pub const PS_PER_SEC_F64: f64 = 1e12;
+
+/// The single audited `f64 → u64` picosecond conversion point. Rust's
+/// float-to-int `as` saturates: NaN maps to 0, negatives clamp to 0, and
+/// anything at or above `u64::MAX` clamps to `u64::MAX` — which is exactly
+/// the "never" sentinel, so overflowing times become [`Time::MAX`].
+#[inline]
+pub(crate) fn ps_from_f64_saturating(ps: f64) -> u64 {
+    // simlint: allow(lossy-time-cast, reason = "the one audited saturating f64->ps cast; everything else funnels through here")
+    ps as u64
+}
+
+/// The single audited `u64 → f64` conversion point. Above 2^53 ps (~2.5
+/// hours) the conversion rounds to the nearest representable double; all
+/// ordering/accumulation decisions stay on the integer side.
+#[inline]
+pub(crate) fn ps_to_f64(ps: u64) -> f64 {
+    // simlint: allow(lossy-time-cast, reason = "the one audited ps->f64 cast; readers only, never fed back into event ordering")
+    ps as f64
+}
+
 /// An instant or duration in simulated time, in integer picoseconds.
 ///
 /// # Examples
@@ -57,28 +85,77 @@ impl Time {
     #[inline]
     pub fn from_ns(ns: f64) -> Self {
         debug_assert!(ns.is_finite() && ns >= 0.0, "invalid time: {ns} ns");
-        Time((ns * PS_PER_NS as f64).round() as u64)
+        Time(ps_from_f64_saturating((ns * PS_PER_NS_F64).round()))
     }
 
     /// Creates a time from microseconds.
     #[inline]
     pub fn from_us(us: f64) -> Self {
         debug_assert!(us.is_finite() && us >= 0.0, "invalid time: {us} us");
-        Time((us * PS_PER_US as f64).round() as u64)
+        Time(ps_from_f64_saturating((us * PS_PER_US_F64).round()))
     }
 
     /// Creates a time from milliseconds.
     #[inline]
     pub fn from_ms(ms: f64) -> Self {
         debug_assert!(ms.is_finite() && ms >= 0.0, "invalid time: {ms} ms");
-        Time((ms * PS_PER_MS as f64).round() as u64)
+        Time(ps_from_f64_saturating((ms * PS_PER_MS_F64).round()))
     }
 
     /// Creates a time from seconds.
     #[inline]
     pub fn from_secs(s: f64) -> Self {
         debug_assert!(s.is_finite() && s >= 0.0, "invalid time: {s} s");
-        Time((s * PS_PER_SEC as f64).round() as u64)
+        Time(ps_from_f64_saturating((s * PS_PER_SEC_F64).round()))
+    }
+
+    /// Checked nanosecond conversion: `None` for NaN, infinite, or negative
+    /// inputs, and for values that would overflow into the [`Time::MAX`]
+    /// "never" sentinel. The release-mode-silent failure modes of
+    /// [`Time::from_ns`] all surface here.
+    #[inline]
+    pub fn from_ns_checked(ns: f64) -> Option<Self> {
+        Self::checked_scale(ns, PS_PER_NS_F64)
+    }
+
+    /// Checked microsecond conversion; see [`Time::from_ns_checked`].
+    #[inline]
+    pub fn from_us_checked(us: f64) -> Option<Self> {
+        Self::checked_scale(us, PS_PER_US_F64)
+    }
+
+    /// Checked millisecond conversion; see [`Time::from_ns_checked`].
+    #[inline]
+    pub fn from_ms_checked(ms: f64) -> Option<Self> {
+        Self::checked_scale(ms, PS_PER_MS_F64)
+    }
+
+    /// Checked second conversion; see [`Time::from_ns_checked`].
+    #[inline]
+    pub fn from_secs_checked(s: f64) -> Option<Self> {
+        Self::checked_scale(s, PS_PER_SEC_F64)
+    }
+
+    #[inline]
+    fn checked_scale(value: f64, scale: f64) -> Option<Self> {
+        if !value.is_finite() || value < 0.0 {
+            return None;
+        }
+        let ps = (value * scale).round();
+        if ps >= ps_to_f64(u64::MAX) {
+            return None;
+        }
+        Some(Time(ps_from_f64_saturating(ps)))
+    }
+
+    /// Creates a time from seconds, rounding *up* to the next picosecond
+    /// and saturating to [`Time::MAX`]. This is the wakeup-scheduling
+    /// direction: a completion instant must never be scheduled before the
+    /// fluid state actually reaches it.
+    #[inline]
+    pub fn from_secs_ceil(s: f64) -> Self {
+        debug_assert!(!s.is_nan(), "invalid time: NaN s");
+        Time(ps_from_f64_saturating((s * PS_PER_SEC_F64).ceil()))
     }
 
     /// Raw picosecond count.
@@ -90,25 +167,25 @@ impl Time {
     /// This time expressed in nanoseconds.
     #[inline]
     pub fn as_ns(self) -> f64 {
-        self.0 as f64 / PS_PER_NS as f64
+        ps_to_f64(self.0) / PS_PER_NS_F64
     }
 
     /// This time expressed in microseconds.
     #[inline]
     pub fn as_us(self) -> f64 {
-        self.0 as f64 / PS_PER_US as f64
+        ps_to_f64(self.0) / PS_PER_US_F64
     }
 
     /// This time expressed in milliseconds.
     #[inline]
     pub fn as_ms(self) -> f64 {
-        self.0 as f64 / PS_PER_MS as f64
+        ps_to_f64(self.0) / PS_PER_MS_F64
     }
 
     /// This time expressed in seconds.
     #[inline]
     pub fn as_secs(self) -> f64 {
-        self.0 as f64 / PS_PER_SEC as f64
+        ps_to_f64(self.0) / PS_PER_SEC_F64
     }
 
     /// Saturating addition; `Time::MAX` is absorbing.
@@ -195,15 +272,12 @@ impl Mul<u64> for Time {
 
 impl Mul<f64> for Time {
     type Output = Time;
+    /// Saturating: products at or beyond the representable range clamp to
+    /// [`Time::MAX`].
     #[inline]
     fn mul(self, rhs: f64) -> Time {
         debug_assert!(rhs.is_finite() && rhs >= 0.0);
-        let ps = (self.0 as f64 * rhs).round();
-        if ps >= u64::MAX as f64 {
-            Time::MAX
-        } else {
-            Time(ps as u64)
-        }
+        Time(ps_from_f64_saturating((ps_to_f64(self.0) * rhs).round()))
     }
 }
 
@@ -268,13 +342,8 @@ pub fn transfer_time(bytes: u64, rate_bytes_per_sec: f64) -> Time {
     if rate_bytes_per_sec <= 0.0 {
         return Time::MAX;
     }
-    let secs = bytes as f64 / rate_bytes_per_sec;
-    let ps = secs * PS_PER_SEC as f64;
-    if ps >= u64::MAX as f64 {
-        Time::MAX
-    } else {
-        Time::from_ps(ps.round() as u64)
-    }
+    let secs = ps_to_f64(bytes) / rate_bytes_per_sec;
+    Time(ps_from_f64_saturating((secs * PS_PER_SEC_F64).round()))
 }
 
 /// Converts a rate expressed in gigabits per second to bytes per second.
@@ -310,6 +379,47 @@ mod tests {
         assert_eq!(Time::from_ms(1.0).as_ps(), 1_000_000_000);
         assert_eq!(Time::from_secs(1.0).as_ps(), 1_000_000_000_000);
         assert_eq!(Time::from_secs(2.5).as_ms(), 2_500.0);
+    }
+
+    #[test]
+    fn scale_constants_agree() {
+        // The f64 mirrors must be the exact float value of the integer
+        // scale constants, or conversions would silently drift.
+        assert_eq!(PS_PER_NS_F64, ps_to_f64(PS_PER_NS));
+        assert_eq!(PS_PER_US_F64, ps_to_f64(PS_PER_US));
+        assert_eq!(PS_PER_MS_F64, ps_to_f64(PS_PER_MS));
+        assert_eq!(PS_PER_SEC_F64, ps_to_f64(PS_PER_SEC));
+    }
+
+    #[test]
+    fn checked_constructors_reject_bad_inputs() {
+        assert_eq!(Time::from_ns_checked(1.5), Some(Time::from_ps(1_500)));
+        assert_eq!(Time::from_us_checked(2.0), Some(Time::from_ps(2_000_000)));
+        assert_eq!(Time::from_ms_checked(0.5), Some(Time::from_ps(500_000_000)));
+        assert_eq!(Time::from_secs_checked(1.0), Some(Time::from_secs(1.0)));
+        assert_eq!(Time::from_ns_checked(f64::NAN), None);
+        assert_eq!(Time::from_ns_checked(f64::INFINITY), None);
+        assert_eq!(Time::from_ns_checked(-1.0), None);
+        // Overflow into the MAX sentinel must be rejected, not clamped.
+        assert_eq!(Time::from_secs_checked(1e30), None);
+    }
+
+    #[test]
+    fn from_secs_ceil_never_schedules_early() {
+        // A fractional picosecond rounds up, never down.
+        let t = Time::from_secs_ceil(1.25e-12);
+        assert_eq!(t.as_ps(), 2);
+        assert_eq!(Time::from_secs_ceil(0.0), Time::ZERO);
+        // Saturates at the sentinel instead of wrapping.
+        assert_eq!(Time::from_secs_ceil(1e30), Time::MAX);
+    }
+
+    #[test]
+    fn saturating_f64_cast_clamps() {
+        assert_eq!(ps_from_f64_saturating(-5.0), 0);
+        assert_eq!(ps_from_f64_saturating(f64::NAN), 0);
+        assert_eq!(ps_from_f64_saturating(1e30), u64::MAX);
+        assert_eq!(ps_from_f64_saturating(42.0), 42);
     }
 
     #[test]
