@@ -7,7 +7,8 @@
 //! ```
 
 use smartds_bench::{
-    csv, curve, fig4, json, loc, reads, sec55, soc, stages, sweeps, table1, table3, tco, Profile,
+    csv, curve, degraded, fig4, json, loc, reads, sec55, soc, stages, sweeps, table1, table3,
+    tco, Profile,
 };
 use std::path::PathBuf;
 
@@ -109,6 +110,12 @@ fn main() {
         println!();
         ran = true;
     }
+    if which == "degraded" || which == "all" {
+        let r = degraded::run(profile);
+        save("degraded", &r);
+        println!();
+        ran = true;
+    }
     if want("loc") {
         if let Err(e) = loc::run() {
             eprintln!("loc experiment failed: {e}");
@@ -119,7 +126,8 @@ fn main() {
     if !ran {
         eprintln!(
             "unknown experiment '{which}'; expected one of: \
-             table1 table3 fig4 fig7 fig8 fig9 fig10 sec55 soc curve tco stages reads loc all"
+             table1 table3 fig4 fig7 fig8 fig9 fig10 sec55 soc curve tco stages reads degraded \
+             loc all"
         );
         std::process::exit(2);
     }

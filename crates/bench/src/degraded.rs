@@ -1,0 +1,136 @@
+//! **Extension**: degraded-mode operation.
+//!
+//! The paper measures fair-weather performance; production disaggregated
+//! block storage spends a meaningful fraction of its life degraded —
+//! a crashed storage server, a gray (slow) replica, a flapping link. This
+//! sweep runs SmartDS-1 with the per-request timeout + retry machinery
+//! armed under escalating fault severity and reports how much throughput
+//! and tail latency each failure mode costs, alongside the fault counters
+//! (timeouts / retries / failovers / explicit write failures).
+
+use crate::pool::run_parallel;
+use crate::Profile;
+use faultkit::{ChaosSpec, FaultKind, FaultPlan, LinkTarget};
+use simkit::Time;
+use smartds::{cluster, Design, RunConfig, RunReport};
+
+/// The degraded-mode scenarios, in escalating order of severity.
+fn scenarios(cfg: &RunConfig) -> Vec<(&'static str, FaultPlan)> {
+    // Faults live inside the measurement window.
+    let t0 = cfg.warmup;
+    let t = |frac: f64| t0 + Time::from_us(cfg.measure.as_us() * frac);
+    vec![
+        ("fair-weather", FaultPlan::new()),
+        (
+            "replica-crash",
+            FaultPlan::new().at(t(0.25), FaultKind::ServerCrash { server: 2 }),
+        ),
+        (
+            "crash+restart",
+            FaultPlan::new()
+                .at(t(0.25), FaultKind::ServerCrash { server: 2 })
+                .at(t(0.60), FaultKind::ServerRestart { server: 2 }),
+        ),
+        (
+            "gray-replica",
+            // 64× on a ~20 µs disk ≈ 1.3 ms service time: past the 1 ms
+            // request timeout, so the retry/penalty machinery engages.
+            FaultPlan::new()
+                .at(t(0.25), FaultKind::ServerSlow { server: 1, factor: 64.0 })
+                .at(t(0.60), FaultKind::ServerNormal { server: 1 }),
+        ),
+        (
+            "link-brownout",
+            FaultPlan::new()
+                .at(t(0.25), FaultKind::LinkDegrade {
+                    link: LinkTarget::PortRx(0),
+                    fraction: 0.25,
+                })
+                .at(t(0.60), FaultKind::link_up(LinkTarget::PortRx(0))),
+        ),
+        (
+            "fault-storm",
+            FaultPlan::chaos(
+                11,
+                &ChaosSpec::new(t(0.2), t(0.9))
+                    .with_servers(smartds::cluster::STORAGE_SERVERS as u32)
+                    .with_ports(1)
+                    .with_crashes(2)
+                    .with_stalls(2)
+                    .with_link_flaps(1)
+                    .with_mean_outage(Time::from_us(800.0))
+                    .with_max_concurrent_down(2),
+            ),
+        ),
+    ]
+}
+
+/// Runs the degraded-mode sweep and prints one row per failure scenario.
+pub fn run(profile: Profile) -> Vec<RunReport> {
+    let base = profile
+        .apply(RunConfig::saturating(Design::SmartDs { ports: 1 }))
+        .with_request_timeout(Time::from_ms(1.0));
+    let named = scenarios(&base);
+    let names: Vec<&'static str> = named.iter().map(|(n, _)| *n).collect();
+    let configs: Vec<RunConfig> = named
+        .into_iter()
+        .map(|(_, plan)| base.clone().with_fault_plan(plan))
+        .collect();
+    let mut reports = run_parallel(configs, cluster::run);
+    // Stamp the scenario into the label so CSV/JSON exports are readable.
+    for (r, name) in reports.iter_mut().zip(&names) {
+        r.label = format!("{}/{}", r.label, name);
+    }
+    println!("Extension: degraded-mode operation (SmartDS-1, 1 ms request timeout)");
+    println!(
+        "  {:<24} {:>9} {:>9} {:>9} {:>8} {:>8} {:>9} {:>8} {:>7}",
+        "scenario", "Gbps", "p99 us", "p999 us", "timeout", "retry", "failover", "scrub", "failed"
+    );
+    for r in &reports {
+        let scenario = r.label.split('/').nth(1).unwrap_or(&r.label);
+        println!(
+            "  {:<24} {:>9.2} {:>9.1} {:>9.1} {:>8} {:>8} {:>9} {:>8} {:>7}",
+            scenario,
+            r.throughput_gbps,
+            r.p99_us,
+            r.p999_us,
+            r.timeouts,
+            r.retries,
+            r.failovers,
+            r.scrub_repairs,
+            r.write_failures
+        );
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_sweep_shapes() {
+        let reports = run(Profile::Quick);
+        assert_eq!(reports.len(), 6);
+        let fair = &reports[0];
+        assert_eq!(fair.timeouts, 0, "fair weather must not trip timers");
+        assert_eq!(fair.write_failures, 0);
+        assert!(fair.throughput_gbps > 40.0, "{:.1}", fair.throughput_gbps);
+        // Every degraded scenario keeps serving: no fault mode collapses
+        // throughput below half of fair weather in this sweep.
+        for r in &reports[1..] {
+            assert!(
+                r.throughput_gbps > 0.4 * fair.throughput_gbps,
+                "{}: {:.1} vs {:.1} Gbps",
+                r.label,
+                r.throughput_gbps,
+                fair.throughput_gbps
+            );
+        }
+        // The crash scenarios exercise fail-over; the restart one repairs.
+        assert!(reports[1].failovers > 0, "crash must fail over");
+        assert!(reports[2].scrub_repairs > 0, "restart must repair");
+        // The gray replica trips the timeout/retry machinery.
+        assert!(reports[3].timeouts > 0 && reports[3].retries > 0);
+    }
+}

@@ -20,6 +20,7 @@
 //! | tco    | motivation: fleet size and TCO          | [`tco::run`] |
 //! | stages | extension: write-latency breakdown      | [`stages::run`] |
 //! | reads  | extension: read-only workload           | [`reads::run`] |
+//! | degraded | extension: faults & degraded mode     | [`degraded::run`] |
 //! | loc    | programmability (lines of code)         | [`loc::run`] |
 
 #![forbid(unsafe_code)]
@@ -27,6 +28,7 @@
 
 pub mod csv;
 pub mod curve;
+pub mod degraded;
 pub mod fig4;
 pub mod json;
 pub mod loc;

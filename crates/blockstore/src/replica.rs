@@ -45,6 +45,25 @@ impl ReplicaSelector {
         }
     }
 
+    /// Whether `id` is currently marked healthy (unknown ids are not).
+    pub fn is_healthy(&self, id: ServerId) -> bool {
+        self.servers
+            .iter()
+            .position(|&s| s == id)
+            .is_some_and(|i| self.healthy[i])
+    }
+
+    /// Depreferences `id` for future placement by charging it `amount`
+    /// phantom placements — the timeout path calls this on a server that
+    /// failed to ack in time, so retries and failovers drift away from a
+    /// gray-failing replica without declaring it dead. Saturating; ids
+    /// not in the selector are ignored.
+    pub fn penalize(&mut self, id: ServerId, amount: u64) {
+        if let Some(i) = self.servers.iter().position(|&s| s == id) {
+            self.placed[i] = self.placed[i].saturating_add(amount);
+        }
+    }
+
     /// Chooses `k` distinct healthy servers for a chunk, preferring the
     /// least-loaded (fewest placements so far, deterministic tie-break by
     /// id). Returns `None` when fewer than `k` healthy servers exist —
@@ -104,17 +123,15 @@ impl QuorumTracker {
     }
 
     /// Records an ack from `server`. Returns `true` when the quorum is now
-    /// complete (and forgets the request). Duplicate acks are ignored.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the request is unknown (ack after completion is a protocol
-    /// bug in the caller).
+    /// complete (and forgets the request). Duplicate acks are ignored, and
+    /// an ack for an unknown request is a no-op returning `false`: with
+    /// timeouts in the write path, a slow replica's ack can legitimately
+    /// arrive after [`QuorumTracker::abort`] already gave up on (or a
+    /// failover already completed) the request.
     pub fn ack(&mut self, request_id: u64, server: ServerId) -> bool {
-        let q = self
-            .pending
-            .get_mut(&request_id)
-            .unwrap_or_else(|| panic!("ack for untracked request {request_id}"));
+        let Some(q) = self.pending.get_mut(&request_id) else {
+            return false;
+        };
         if !q.acked.contains(&server) {
             q.acked.push(server);
         }
@@ -129,6 +146,16 @@ impl QuorumTracker {
     /// Abandons a request (e.g. fail-over re-replication restarted it).
     pub fn abort(&mut self, request_id: u64) -> bool {
         self.pending.remove(&request_id).is_some()
+    }
+
+    /// The servers that acked `request_id` so far (empty if untracked).
+    /// The timeout path uses this to penalize only the replicas that
+    /// stayed silent, not the ones that answered.
+    pub fn acked_servers(&self, request_id: u64) -> &[ServerId] {
+        self.pending
+            .get(&request_id)
+            .map(|q| q.acked.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Requests still waiting for acks.
@@ -198,11 +225,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "untracked request")]
-    fn ack_after_completion_panics() {
+    fn late_acks_are_noops() {
         let mut q = QuorumTracker::new();
         q.begin(1, 1);
-        q.ack(1, ServerId(0));
-        q.ack(1, ServerId(1));
+        assert!(q.ack(1, ServerId(0)));
+        // Ack after completion: the request is gone, nothing re-completes.
+        assert!(!q.ack(1, ServerId(1)));
+        // Ack after abort: same story.
+        q.begin(2, 2);
+        assert!(q.abort(2));
+        assert!(!q.ack(2, ServerId(0)));
+        assert_eq!(q.outstanding(), 0);
+    }
+
+    #[test]
+    fn penalize_depreferences_server() {
+        let mut sel = ReplicaSelector::new(ids(&[0, 1, 2]));
+        sel.penalize(ServerId(0), 10);
+        let chosen = sel.choose(2).unwrap();
+        assert!(!chosen.contains(&ServerId(0)), "penalized server chosen");
+        // Unknown ids are ignored, and the penalty saturates.
+        sel.penalize(ServerId(99), 1);
+        sel.penalize(ServerId(0), u64::MAX);
+        assert!(sel.is_healthy(ServerId(0)));
+        assert!(!sel.is_healthy(ServerId(99)));
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::chunk::StoredBlock;
 use crate::header::crc32;
-use crate::server::{ChunkKey, StorageServer};
+use crate::server::{ChunkKey, ServerId, StorageServer};
 use std::collections::BTreeMap;
 
 /// A corruption found by a scrub pass.
@@ -51,6 +51,13 @@ pub struct ScrubStats {
 pub struct Scrubber {
     /// (chunk, block) → CRC-32 of the stored (compressed) bytes.
     expected: BTreeMap<(ChunkKey, u64), u32>,
+    /// (chunk, block) → servers expected to host it. Blocks recorded via
+    /// [`Scrubber::record`] have no entry and are checked on every server
+    /// (the legacy behaviour); blocks recorded via [`Scrubber::record_on`]
+    /// are only checked — and, crucially, *re-replicated* — on their
+    /// holders, so a scrub of a returning server does not smear every
+    /// block in the store onto it.
+    holders: BTreeMap<(ChunkKey, u64), Vec<ServerId>>,
 }
 
 impl Scrubber {
@@ -66,9 +73,44 @@ impl Scrubber {
             .insert((chunk, block), crc32(&stored.data));
     }
 
+    /// Records the checksum of a block version *and* that `server` is one
+    /// of its holders. Holder sets union across versions: a server that
+    /// held an older version (e.g. it crashed before a rewrite) stays a
+    /// holder, so the scrub repairs it up to the latest version rather
+    /// than forgetting it. The write path calls this once per replica.
+    pub fn record_on(
+        &mut self,
+        chunk: ChunkKey,
+        block: u64,
+        server: ServerId,
+        stored: &StoredBlock,
+    ) {
+        self.record(chunk, block, stored);
+        let hs = self.holders.entry((chunk, block)).or_default();
+        if !hs.contains(&server) {
+            hs.push(server);
+        }
+    }
+
     /// Blocks currently tracked.
     pub fn tracked(&self) -> usize {
         self.expected.len()
+    }
+
+    /// The recorded holder set of a block (empty = check everywhere).
+    pub fn holders(&self, chunk: ChunkKey, block: u64) -> &[ServerId] {
+        self.holders
+            .get(&(chunk, block))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether a scrub of `server` should examine this block.
+    fn assigned_to(&self, chunk: ChunkKey, block: u64, server: ServerId) -> bool {
+        match self.holders.get(&(chunk, block)) {
+            Some(hs) => hs.contains(&server),
+            None => true,
+        }
     }
 
     /// Scrubs one server: verifies every tracked block it should host.
@@ -79,9 +121,36 @@ impl Scrubber {
         server: &mut StorageServer,
         repair_from: Option<&StorageServer>,
     ) -> (ScrubStats, Vec<ScrubFinding>) {
+        self.scrub_with(server, |chunk, block, want_crc| {
+            let good = repair_from?.fetch(chunk, block)?;
+            if crc32(&good.data) == want_crc {
+                Some(good.clone())
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Scrubs one server, sourcing repairs from a caller-supplied lookup.
+    ///
+    /// `fetch_good(chunk, block, want_crc)` must return a block whose
+    /// stored bytes hash to `want_crc` (the closure is trusted to search
+    /// whichever peers it likes — the post-restart recovery path walks
+    /// all live replicas). Returning a block with the wrong checksum
+    /// counts as no repair: it is verified again here before the append.
+    /// Only repairs that actually land on the server are counted (`append`
+    /// can refuse if the server died again mid-scrub).
+    pub fn scrub_with(
+        &self,
+        server: &mut StorageServer,
+        mut fetch_good: impl FnMut(ChunkKey, u64, u32) -> Option<StoredBlock>,
+    ) -> (ScrubStats, Vec<ScrubFinding>) {
         let mut stats = ScrubStats::default();
         let mut findings = Vec::new();
         for (&(chunk, block), &want_crc) in &self.expected {
+            if !self.assigned_to(chunk, block, server.id()) {
+                continue;
+            }
             let verdict = match server.fetch(chunk, block) {
                 None => Some(ScrubReason::Missing),
                 Some(stored) => {
@@ -102,15 +171,11 @@ impl Scrubber {
                     block,
                     reason,
                 });
-                if let Some(peer) = repair_from {
-                    if let Some(good) = peer.fetch(chunk, block) {
-                        // The append can be refused (server down mid-scrub);
-                        // only count repairs that actually landed.
-                        if crc32(&good.data) == want_crc
-                            && server.append(chunk, block, good.clone()).is_some()
-                        {
-                            stats.repaired += 1;
-                        }
+                if let Some(good) = fetch_good(chunk, block, want_crc) {
+                    if crc32(&good.data) == want_crc
+                        && server.append(chunk, block, good).is_some()
+                    {
+                        stats.repaired += 1;
                     }
                 }
             }
@@ -202,6 +267,79 @@ mod tests {
         assert!(findings
             .iter()
             .any(|f| f.reason == ScrubReason::Missing && f.block == 99));
+    }
+
+    #[test]
+    fn holders_restrict_scrub_scope() {
+        let mut a = StorageServer::new(ServerId(0), 1 << 20);
+        let mut b = StorageServer::new(ServerId(1), 1 << 20);
+        let mut scrub = Scrubber::new();
+        // Block 0 placed on a only; block 1 on b only.
+        let s0 = block(0);
+        let s1 = block(1);
+        scrub.record_on((0, 0), 0, a.id(), &s0);
+        scrub.record_on((0, 0), 1, b.id(), &s1);
+        a.append((0, 0), 0, s0);
+        b.append((0, 0), 1, s1);
+        // Neither server is flagged for the block it does not hold.
+        let (stats_a, f_a) = scrub.scrub(&mut a, None);
+        let (stats_b, f_b) = scrub.scrub(&mut b, None);
+        assert_eq!((stats_a.corrupt, stats_b.corrupt), (0, 0));
+        assert!(f_a.is_empty() && f_b.is_empty());
+        assert_eq!(scrub.holders((0, 0), 0), &[ServerId(0)]);
+    }
+
+    #[test]
+    fn restart_recovery_re_replicates_lost_blocks() {
+        // The regression this PR fixes: blocks written while a holder was
+        // down were lost forever — nothing re-replicated them on restart.
+        let mut a = StorageServer::new(ServerId(0), 1 << 20);
+        let mut b = StorageServer::new(ServerId(1), 1 << 20);
+        let mut scrub = Scrubber::new();
+        // Blocks 0..4 go to both; b crashes; blocks 4..8 *placed* on both
+        // but only land on a (b refuses the append while down).
+        for blk in 0..8u64 {
+            if blk == 4 {
+                b.set_alive(false);
+            }
+            let sb = block(blk as u8);
+            scrub.record_on((0, 0), blk, a.id(), &sb);
+            scrub.record_on((0, 0), blk, b.id(), &sb);
+            a.append((0, 0), blk, sb.clone());
+            b.append((0, 0), blk, sb);
+        }
+        b.set_alive(true);
+        let (stats, findings) = scrub.scrub_with(&mut b, |chunk, blk, want| {
+            let good = a.fetch(chunk, blk)?;
+            (crc32(&good.data) == want).then(|| good.clone())
+        });
+        assert_eq!(stats.corrupt, 4, "the four missed blocks are found");
+        assert_eq!(stats.repaired, 4, "and all of them are restored");
+        assert!(findings.iter().all(|f| f.reason == ScrubReason::Missing));
+        for blk in 0..8u64 {
+            assert_eq!(
+                b.fetch((0, 0), blk).unwrap().expand().unwrap(),
+                vec![blk as u8; 4096],
+                "block {blk} readable after recovery"
+            );
+        }
+        // Second pass is clean.
+        let (again, _) = scrub.scrub_with(&mut b, |_, _, _| None);
+        assert_eq!(again.corrupt, 0);
+    }
+
+    #[test]
+    fn scrub_with_rejects_wrong_checksum_repairs() {
+        let mut s = StorageServer::new(ServerId(0), 1 << 20);
+        let mut scrub = Scrubber::new();
+        scrub.record_on((0, 0), 0, s.id(), &block(1));
+        // Block is missing; the closure offers bytes with the wrong CRC.
+        let (stats, _) = scrub.scrub_with(&mut s, |_, _, _| {
+            Some(StoredBlock::raw(vec![9, 9, 9]))
+        });
+        assert_eq!(stats.corrupt, 1);
+        assert_eq!(stats.repaired, 0, "mismatching bytes must not land");
+        assert!(s.fetch((0, 0), 0).is_none());
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct DiskModel {
     pool: ServerPool,
     access: Time,
     bandwidth: f64,
+    /// Gray-failure multiplier on service time (1.0 = nominal). Fault
+    /// injection raises it for slow-replica stalls; only new submissions
+    /// see the new factor, in-flight I/Os keep their original timing.
+    slow: f64,
 }
 
 impl DiskModel {
@@ -29,6 +33,7 @@ impl DiskModel {
             pool: ServerPool::new(name, channels),
             access,
             bandwidth,
+            slow: 1.0,
         }
     }
 
@@ -48,9 +53,28 @@ impl DiskModel {
         )
     }
 
-    /// Service time for one `bytes`-sized I/O.
+    /// Service time for one `bytes`-sized I/O (scaled by the slow factor).
     pub fn service_time(&self, bytes: usize) -> Time {
-        self.access + transfer_time(bytes as u64, self.bandwidth)
+        (self.access + transfer_time(bytes as u64, self.bandwidth)) * self.slow
+    }
+
+    /// Sets the gray-failure service-time multiplier (`1.0` = nominal,
+    /// `8.0` = an 8× slower disk). Affects subsequent submissions only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn set_slow_factor(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "invalid slow factor {factor}"
+        );
+        self.slow = factor;
+    }
+
+    /// The current gray-failure multiplier.
+    pub fn slow_factor(&self) -> f64 {
+        self.slow
     }
 
     /// Submits an I/O; see [`ServerPool::submit`].
@@ -192,6 +216,19 @@ mod tests {
         assert!((20.0..22.0).contains(&small.as_us()), "{small}");
         // 1 MiB at 4 GB/s adds ~262 µs.
         assert!((260.0..300.0).contains(&large.as_us()), "{large}");
+    }
+
+    #[test]
+    fn slow_factor_scales_service_time() {
+        let mut d = DiskModel::nvme("d");
+        let nominal = d.service_time(1 << 20);
+        d.set_slow_factor(8.0);
+        let slowed = d.service_time(1 << 20);
+        let ratio = slowed.as_us() / nominal.as_us();
+        assert!((7.9..8.1).contains(&ratio), "ratio={ratio}");
+        d.set_slow_factor(1.0);
+        assert_eq!(d.service_time(1 << 20), nominal);
+        assert_eq!(d.slow_factor(), 1.0);
     }
 
     #[test]

@@ -16,7 +16,8 @@ use crate::metrics::{Metrics, RunReport};
 use crate::plan::{read_plan, write_plan_replicated, Plan, Step};
 use crate::qos::TokenBucket;
 use crate::workload::Workload;
-use blockstore::{ReplicaSelector, ServerId, StorageServer, StoredBlock};
+use blockstore::{QuorumTracker, ReplicaSelector, Scrubber, ServerId, StorageServer, StoredBlock};
+use faultkit::{FaultKind, LinkTarget};
 use hwmodel::consts::PCIE_PROPAGATION;
 use blockstore::DiskModel;
 use hwmodel::{CompressEngine, CpuPool, MlcInjector};
@@ -30,6 +31,13 @@ pub const COMPACTION_THRESHOLD: u64 = 512;
 
 const BRANCH_BITS: u32 = 3;
 const MAX_BRANCHES: usize = 1 << BRANCH_BITS;
+/// Request-slot bits in a token (above the branch bits, below the
+/// generation bits).
+const KEY_BITS: u32 = 29;
+/// Phantom placements charged to a replica that failed to ack before the
+/// request timeout — enough to steer the next few placements elsewhere
+/// without permanently blacklisting a server that merely hiccuped.
+const TIMEOUT_PENALTY: u64 = 8;
 
 /// Events circulating in the cluster world.
 #[derive(Debug)]
@@ -50,6 +58,13 @@ pub enum Ev {
     Arrival,
     /// Fail or recover a storage server (fail-over injection).
     ServerAlive(u32, bool),
+    /// A scheduled `faultkit` fault fires (crash, stall, link degrade…).
+    Fault(FaultKind),
+    /// Per-request timer expired for request slot `key` at generation
+    /// `gen` (stale once the slot was freed or reused).
+    ReqTimeout(u32, u32),
+    /// Backoff elapsed: re-issue a timed-out request.
+    Retry(RetryTicket),
     /// Periodic snapshot maintenance tick.
     SnapshotTick,
     /// Periodic throughput sample (transient visualisation).
@@ -73,6 +88,25 @@ struct InFlight {
     replicas: [u32; 6],
     issued_at: Time,
     slot: u32,
+    is_read: bool,
+    /// Quorum-tracker id of this attempt (fresh per retry).
+    request_id: u64,
+    /// How many timeouts this logical request has already eaten.
+    attempt: u32,
+}
+
+/// Everything needed to re-issue a timed-out request after its backoff:
+/// the *same* payload block, chunk address, and client slot — a retry
+/// must not redraw the workload stream, or replays would diverge.
+#[derive(Clone, Debug)]
+pub struct RetryTicket {
+    slot: u32,
+    pool_idx: usize,
+    b: u32,
+    chunk_key: (u64, u64),
+    block: u64,
+    attempt: u32,
+    first_issued_at: Time,
     is_read: bool,
 }
 
@@ -103,7 +137,15 @@ pub struct Cluster {
     /// Collected metrics.
     pub metrics: Metrics,
     reqs: Vec<Option<InFlight>>,
+    /// Per-slot generation, bumped whenever a slot is freed. Tokens and
+    /// timeout events carry the generation they were minted under, so
+    /// completions of a timed-out request's leftover flows (or its stale
+    /// timer) can never touch the slot's next occupant.
+    gens: Vec<u32>,
     free: Vec<u32>,
+    quorum: QuorumTracker,
+    scrubber: Scrubber,
+    next_req_id: u64,
     mlc: Option<MlcInjector>,
     touched: u32,
     pending: Vec<u64>,
@@ -127,12 +169,19 @@ pub struct Cluster {
     pub dropped: u64,
 }
 
-fn token(key: u32, branch: u8) -> u64 {
-    ((key as u64) << BRANCH_BITS) | branch as u64
+fn token(key: u32, branch: u8, gen: u32) -> u64 {
+    debug_assert!(key < 1 << KEY_BITS, "request slot overflows token");
+    ((gen as u64) << (KEY_BITS + BRANCH_BITS))
+        | ((key as u64) << BRANCH_BITS)
+        | branch as u64
 }
 
-fn untoken(t: u64) -> (u32, u8) {
-    ((t >> BRANCH_BITS) as u32, (t & (MAX_BRANCHES as u64 - 1)) as u8)
+fn untoken(t: u64) -> (u32, u8, u32) {
+    (
+        ((t >> BRANCH_BITS) & ((1 << KEY_BITS) - 1)) as u32,
+        (t & (MAX_BRANCHES as u64 - 1)) as u8,
+        (t >> (KEY_BITS + BRANCH_BITS)) as u32,
+    )
 }
 
 impl Cluster {
@@ -176,7 +225,11 @@ impl Cluster {
             workload,
             metrics: Metrics::default(),
             reqs: Vec::with_capacity(slots),
+            gens: Vec::with_capacity(slots),
             free: Vec::new(),
+            quorum: QuorumTracker::new(),
+            scrubber: Scrubber::new(),
+            next_req_id: 0,
             mlc: cfg.mlc.map(|(cores, delay)| MlcInjector::new(cores, delay)),
             touched: 0,
             pending: Vec::new(),
@@ -321,7 +374,10 @@ impl Cluster {
 
     /// Advances one branch of one request as far as it can go.
     fn step_branch(&mut self, tok: u64, sched: &mut Scheduler<Ev>) {
-        let (key, branch) = untoken(tok);
+        let (key, branch, gen) = untoken(tok);
+        if self.gens.get(key as usize).copied() != Some(gen) {
+            return; // token minted for a previous occupant of this slot
+        }
         let now = sched.now();
         loop {
             // Fetch the next step (or detect branch/phase completion).
@@ -348,7 +404,7 @@ impl Cluster {
                     assert!(n <= MAX_BRANCHES, "too many parallel branches");
                     req.live = n as u8;
                     for b in 0..n as u8 {
-                        self.pending.push(token(key, b));
+                        self.pending.push(token(key, b, gen));
                     }
                     return;
                 }
@@ -421,9 +477,11 @@ impl Cluster {
     }
 
     /// Functionally appends the compressed block to replica `r`'s server,
-    /// running LSM compaction when the chunk's threshold fires.
+    /// running LSM compaction when the chunk's threshold fires. Successful
+    /// appends ack the request's write quorum and record placement with
+    /// the scrubber (so post-restart recovery knows who should hold what).
     fn store_replica(&mut self, key: u32, r: u8) {
-        let (pool_idx, b, chunk_key, block, server) = {
+        let (pool_idx, b, chunk_key, block, server, request_id) = {
             let req = self.reqs[key as usize].as_ref().unwrap();
             (
                 req.pool_idx,
@@ -431,12 +489,20 @@ impl Cluster {
                 req.chunk_key,
                 req.block,
                 req.replicas[r as usize],
+                req.request_id,
             )
         };
         let data = self.workload.compressed(pool_idx);
+        let stored = StoredBlock::lz4(data, b);
+        // Record the placement *intent*, not just the landed append: if the
+        // server is down right now, it stays on the holder list, and the
+        // post-restart scrub re-replicates the version it missed.
+        self.scrubber
+            .record_on(chunk_key, block, ServerId(server), &stored);
         let srv = &mut self.servers[server as usize];
-        match srv.append(chunk_key, block, StoredBlock::lz4(data.clone(), b)) {
+        match srv.append(chunk_key, block, stored.clone()) {
             Some(wants_compaction) => {
+                self.quorum.ack(request_id, ServerId(server));
                 if wants_compaction {
                     if let Some(chunk) = srv.chunk_mut(chunk_key) {
                         chunk.compact();
@@ -450,8 +516,17 @@ impl Cluster {
                 // keeps its replication factor.
                 self.metrics.failovers += 1;
                 if let Some(alt) = self.selector.choose(1) {
-                    self.servers[alt[0].0 as usize]
-                        .append(chunk_key, block, StoredBlock::lz4(data, b));
+                    let alt = alt[0];
+                    if self.servers[alt.0 as usize]
+                        .append(chunk_key, block, stored.clone())
+                        .is_some()
+                    {
+                        self.scrubber.record_on(chunk_key, block, alt, &stored);
+                        // The redirect may land on a server that already
+                        // acked this request; duplicate acks never
+                        // double-count, so the quorum stays honest.
+                        self.quorum.ack(request_id, alt);
+                    }
                 }
             }
         }
@@ -459,6 +534,31 @@ impl Cluster {
 
     fn complete_request(&mut self, key: u32, sched: &mut Scheduler<Ev>) {
         let req = self.reqs[key as usize].take().expect("double completion");
+        // Invalidate any leftover tokens/timers minted for this attempt.
+        self.gens[key as usize] = self.gens[key as usize].wrapping_add(1);
+        let quorum_incomplete = self.quorum.abort(req.request_id);
+        if quorum_incomplete && !req.is_read && self.cfg.request_timeout.is_some() {
+            // Fault-aware mode: the plan ran to its end but some replica
+            // ack never landed (e.g. every fail-over target was down too).
+            // Acking the VM now would be silent under-replication — route
+            // the request through the retry path instead, so it either
+            // eventually lands a full quorum or fails explicitly.
+            self.free.push(key);
+            self.in_flight -= 1;
+            self.metrics.aborts += 1;
+            let ticket = RetryTicket {
+                slot: req.slot,
+                pool_idx: req.pool_idx,
+                b: req.b,
+                chunk_key: req.chunk_key,
+                block: req.block,
+                attempt: req.attempt + 1,
+                first_issued_at: req.issued_at,
+                is_read: req.is_read,
+            };
+            self.fail_or_retry(ticket, sched);
+            return;
+        }
         self.free.push(key);
         let now = sched.now();
         let latency = now - req.issued_at;
@@ -525,30 +625,62 @@ impl Cluster {
             return;
         };
         let w = self.workload.next_write();
-        let port = (slot as usize % self.cfg.design.ports()) as u8;
         // Deterministic per-issue coin flip.
         let coin = ((self.issued.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) & 0xFFFF) as f64
             / 65536.0;
         let is_read = coin < self.read_fraction;
-        let plan = if is_read {
-            read_plan(self.cfg.design, port, w.b, w.c)
+        self.issued += 1;
+        let ticket = RetryTicket {
+            slot,
+            pool_idx: w.pool_idx,
+            b: w.b,
+            chunk_key: w.chunk_key,
+            block: w.block,
+            attempt: 0,
+            first_issued_at: now,
+            is_read,
+        };
+        self.spawn_attempt(replicas, ticket, sched);
+    }
+
+    /// Launches one attempt of a request (fresh issue or retry): allocates
+    /// a slot+generation, begins the write quorum, arms the per-request
+    /// timer, and injects the plan's first-phase branch tokens.
+    fn spawn_attempt(
+        &mut self,
+        replicas: Vec<ServerId>,
+        ticket: RetryTicket,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        // The compressed size is memoized per pool block, so a retry
+        // recomputes the exact same plan as the original attempt.
+        let c = self.workload.compressed(ticket.pool_idx).len() as u32;
+        let port = (ticket.slot as usize % self.cfg.design.ports()) as u8;
+        let plan = if ticket.is_read {
+            read_plan(self.cfg.design, port, ticket.b, c)
         } else {
             write_plan_replicated(
                 self.cfg.design,
                 port,
-                w.b,
-                w.c,
+                ticket.b,
+                c,
                 self.cfg.replication as u8,
             )
         };
-        self.issued += 1;
+        let request_id = self.next_req_id;
+        self.next_req_id += 1;
+        if !ticket.is_read {
+            self.quorum.begin(request_id, self.cfg.replication);
+        }
         let key = match self.free.pop() {
             Some(k) => k,
             None => {
                 self.reqs.push(None);
+                self.gens.push(0);
                 (self.reqs.len() - 1) as u32
             }
         };
+        let gen = self.gens[key as usize];
         let n = plan.phases[0].branches.len();
         assert!(n <= MAX_BRANCHES);
         let mut rep = [0u32; 6];
@@ -560,20 +692,192 @@ impl Cluster {
             phase: 0,
             cursor: [0; MAX_BRANCHES],
             live: n as u8,
-            pool_idx: w.pool_idx,
-            b: w.b,
-            chunk_key: w.chunk_key,
-            block: w.block,
+            pool_idx: ticket.pool_idx,
+            b: ticket.b,
+            chunk_key: ticket.chunk_key,
+            block: ticket.block,
             replicas: rep,
-            issued_at: now,
-            slot,
-            is_read,
+            issued_at: ticket.first_issued_at,
+            slot: ticket.slot,
+            is_read: ticket.is_read,
+            request_id,
+            attempt: ticket.attempt,
         });
         self.in_flight += 1;
+        if let Some(timeout) = self.cfg.request_timeout {
+            sched.schedule_in(timeout, Ev::ReqTimeout(key, gen));
+        }
         for b in 0..n as u8 {
-            self.pending.push(token(key, b));
+            self.pending.push(token(key, b, gen));
         }
         self.pump(sched);
+    }
+
+    /// After a timeout (or a retry that found no healthy quorum): either
+    /// schedule the next attempt after capped exponential backoff, or give
+    /// up with an explicit write failure once retries are exhausted.
+    fn fail_or_retry(&mut self, ticket: RetryTicket, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        if ticket.attempt > self.cfg.max_retries {
+            // Explicit quorum-failure error: the client learns the write
+            // failed — never a hang, never silent loss.
+            self.metrics.write_failures += 1;
+            if self.cfg.open_loop_gbps.is_none() && now < self.stop_issuing_at {
+                let think = Time::from_ps(self.workload.think_ps(1.0));
+                sched.schedule_in(think, Ev::Issue(ticket.slot));
+            }
+            return;
+        }
+        self.metrics.retries += 1;
+        // Attempt n backs off base × 2^(n−1), capped.
+        let shift = ticket.attempt.saturating_sub(1).min(16);
+        let backoff =
+            (self.cfg.retry_backoff * (1u64 << shift)).min(self.cfg.retry_backoff_cap);
+        sched.schedule_in(backoff, Ev::Retry(ticket));
+    }
+
+    /// The per-request timer fired: if the slot still holds the same
+    /// attempt, abandon it (abort its quorum, penalize the silent
+    /// replicas) and hand the request to the retry path.
+    fn request_timeout(&mut self, key: u32, gen: u32, sched: &mut Scheduler<Ev>) {
+        if self.gens.get(key as usize).copied() != Some(gen) {
+            return; // the attempt completed (or already timed out)
+        }
+        let Some(req) = self.reqs[key as usize].take() else {
+            return;
+        };
+        self.gens[key as usize] = self.gens[key as usize].wrapping_add(1);
+        self.free.push(key);
+        self.in_flight -= 1;
+        self.metrics.timeouts += 1;
+        if !req.is_read {
+            // Penalize only the replicas that stayed silent — the ones
+            // that acked did their part.
+            let acked: Vec<ServerId> =
+                self.quorum.acked_servers(req.request_id).to_vec();
+            for r in 0..self.cfg.replication.min(req.replicas.len()) {
+                let id = ServerId(req.replicas[r]);
+                if !acked.contains(&id) {
+                    self.selector.penalize(id, TIMEOUT_PENALTY);
+                }
+            }
+            if self.quorum.abort(req.request_id) {
+                self.metrics.aborts += 1;
+            }
+        }
+        let ticket = RetryTicket {
+            slot: req.slot,
+            pool_idx: req.pool_idx,
+            b: req.b,
+            chunk_key: req.chunk_key,
+            block: req.block,
+            attempt: req.attempt + 1,
+            first_issued_at: req.issued_at,
+            is_read: req.is_read,
+        };
+        self.fail_or_retry(ticket, sched);
+    }
+
+    /// Maps a faultkit link target onto this fabric's fluid resources.
+    /// Ports beyond the design's port count are ignored (a chaos plan
+    /// generated for 2 ports may run against a 1-port design).
+    fn link_key(&self, link: LinkTarget) -> Option<FluidKey> {
+        let ports = self.cfg.design.ports();
+        match link {
+            LinkTarget::PortTx(i) => {
+                ((i as usize) < ports).then_some(FluidKey::PortTx(i))
+            }
+            LinkTarget::PortRx(i) => {
+                ((i as usize) < ports).then_some(FluidKey::PortRx(i))
+            }
+            LinkTarget::NicH2D => Some(FluidKey::NicH2D),
+            LinkTarget::NicD2H => Some(FluidKey::NicD2H),
+            LinkTarget::DevH2D => Some(FluidKey::DevH2D),
+            LinkTarget::DevD2H => Some(FluidKey::DevD2H),
+        }
+    }
+
+    /// Applies one scheduled fault. Out-of-range server ids are ignored so
+    /// chaos plans compose with any cluster size.
+    fn apply_fault(&mut self, kind: FaultKind, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        match kind {
+            FaultKind::ServerCrash { server } => {
+                if let Some(srv) = self.servers.get_mut(server as usize) {
+                    srv.set_alive(false);
+                    self.selector.set_healthy(ServerId(server), false);
+                }
+            }
+            FaultKind::ServerRestart { server } => {
+                if (server as usize) < self.servers.len() {
+                    self.servers[server as usize].set_alive(true);
+                    self.selector.set_healthy(ServerId(server), true);
+                    self.restart_scrub(server as usize);
+                }
+            }
+            FaultKind::ServerSlow { server, factor } => {
+                if let Some(disk) = self.disks.get_mut(server as usize) {
+                    disk.set_slow_factor(factor);
+                }
+            }
+            FaultKind::ServerNormal { server } => {
+                if let Some(disk) = self.disks.get_mut(server as usize) {
+                    disk.set_slow_factor(1.0);
+                }
+            }
+            FaultKind::LinkDegrade { link, fraction } => {
+                if let Some(fkey) = self.link_key(link) {
+                    self.touch(fkey);
+                    self.fabric
+                        .fluid_mut(fkey)
+                        .set_capacity_frac(now, fraction.clamp(0.0, 1.0));
+                    self.drain_fluid(fkey, sched);
+                    self.pump(sched);
+                }
+            }
+        }
+    }
+
+    /// Post-restart recovery: scrub the returning server against the
+    /// cluster's checksum index, restoring blocks it should hold (written
+    /// while it was down, or rotted) from any live replica.
+    fn restart_scrub(&mut self, i: usize) {
+        let mut srv = std::mem::replace(
+            &mut self.servers[i],
+            StorageServer::new(ServerId(i as u32), COMPACTION_THRESHOLD),
+        );
+        let peers = &self.servers;
+        let (stats, _findings) = self.scrubber.scrub_with(&mut srv, |chunk, block, want| {
+            peers.iter().find_map(|p| {
+                let good = p.fetch(chunk, block)?;
+                (blockstore::crc32(&good.data) == want).then(|| good.clone())
+            })
+        });
+        self.servers[i] = srv;
+        self.metrics.scrub_repairs += stats.repaired as u64;
+    }
+
+    /// Audits every live server's stored blocks: `(ok, corrupt)` counts,
+    /// where `ok` blocks decompress to exactly one payload block. Chaos
+    /// tests call this after a run to assert no fault sequence ever
+    /// produced unreadable data.
+    pub fn verify_stored(&self) -> (usize, usize) {
+        let mut ok = 0usize;
+        let mut corrupt = 0usize;
+        for srv in &self.servers {
+            if !srv.is_alive() {
+                continue;
+            }
+            for (_, chunk) in srv.chunks() {
+                for (_, sb) in chunk.snapshot().iter() {
+                    match sb.expand() {
+                        Ok(d) if d.len() == hwmodel::consts::BLOCK_SIZE => ok += 1,
+                        _ => corrupt += 1,
+                    }
+                }
+            }
+        }
+        (ok, corrupt)
     }
 
     /// Syncs every fluid to `now` so cumulative counters are exact, without
@@ -632,6 +936,30 @@ impl World for Cluster {
             Ev::ServerAlive(i, alive) => {
                 self.servers[i as usize].set_alive(alive);
                 self.selector.set_healthy(ServerId(i), alive);
+                if alive {
+                    self.restart_scrub(i as usize);
+                }
+            }
+            Ev::Fault(kind) => {
+                self.apply_fault(kind, sched);
+            }
+            Ev::ReqTimeout(key, gen) => {
+                self.request_timeout(key, gen, sched);
+            }
+            Ev::Retry(ticket) => {
+                if sched.now() < self.stop_issuing_at {
+                    match self.selector.choose(self.cfg.replication) {
+                        Some(replicas) => self.spawn_attempt(replicas, ticket, sched),
+                        None => {
+                            // Still no healthy quorum: burn an attempt so
+                            // an extended outage converges to an explicit
+                            // failure instead of retrying forever.
+                            let mut t = ticket;
+                            t.attempt += 1;
+                            self.fail_or_retry(t, sched);
+                        }
+                    }
+                }
             }
             Ev::SnapshotTick => {
                 self.take_snapshot(sched.now());
@@ -673,6 +1001,13 @@ pub fn run(cfg: &RunConfig) -> RunReport {
 /// Like [`run`], but lets the caller adjust the cluster before it starts
 /// (e.g. set a read fraction or kill a storage server).
 pub fn run_with(cfg: &RunConfig, setup: impl FnOnce(&mut Cluster)) -> RunReport {
+    run_full(cfg, setup).0
+}
+
+/// Like [`run_with`], but also hands back the finished cluster so callers
+/// can audit its functional state — the chaos suite reads every stored
+/// block after the faults and asserts it still decompresses.
+pub fn run_full(cfg: &RunConfig, setup: impl FnOnce(&mut Cluster)) -> (RunReport, Cluster) {
     let mut cluster = Cluster::new(cfg.clone());
     setup(&mut cluster);
     let warmup = cfg.warmup;
@@ -684,9 +1019,13 @@ pub fn run_with(cfg: &RunConfig, setup: impl FnOnce(&mut Cluster)) -> RunReport 
         cluster.mlc = Some(m);
     }
     let faults = cfg.faults.clone();
+    let plan = cfg.fault_plan.clone();
     let mut sim = Simulation::new(cluster);
     for (at, server, alive) in faults {
         sim.schedule_at(at, Ev::ServerAlive(server, alive));
+    }
+    for e in plan.events() {
+        sim.schedule_at(e.at, Ev::Fault(e.kind));
     }
     if let Some(period) = cfg.snapshot_period {
         sim.schedule_at(period, Ev::SnapshotTick);
@@ -709,7 +1048,7 @@ pub fn run_with(cfg: &RunConfig, setup: impl FnOnce(&mut Cluster)) -> RunReport 
     let end_time = sim.now().max(end);
     let cluster = sim.into_world();
     let delta = cluster.fabric.traffic() - cluster.warmup_traffic;
-    RunReport::build(
+    let report = RunReport::build(
         cfg.design.label(),
         cfg.cores,
         cfg.outstanding,
@@ -717,7 +1056,8 @@ pub fn run_with(cfg: &RunConfig, setup: impl FnOnce(&mut Cluster)) -> RunReport 
         delta,
         warmup,
         end_time,
-    )
+    );
+    (report, cluster)
 }
 
 #[cfg(test)]

@@ -109,6 +109,23 @@ pub struct RunConfig {
     /// Fault injections: at each `(time, server, alive)` the storage server
     /// is failed or recovered (the fail-over maintenance path).
     pub faults: Vec<(simkit::Time, u32, bool)>,
+    /// Timed fault schedule (crashes, gray stalls, link degradation)
+    /// delivered through the event engine; empty = fair weather. Built
+    /// explicitly or from a seed via `faultkit::FaultPlan::chaos`.
+    pub fault_plan: faultkit::FaultPlan,
+    /// Per-request timeout: a request not completed this long after issue
+    /// is aborted (its quorum via `QuorumTracker::abort`), its silent
+    /// replicas penalized, and the write retried with backoff. `None`
+    /// disables the timer — the default, because saturation experiments
+    /// intentionally run queues deep and must not shed load.
+    pub request_timeout: Option<simkit::Time>,
+    /// Retry attempts after the first timeout before the request is
+    /// reported as an explicit write failure.
+    pub max_retries: u32,
+    /// Base retry backoff; attempt `n` waits `backoff × 2ⁿ`.
+    pub retry_backoff: simkit::Time,
+    /// Upper bound on the exponential backoff.
+    pub retry_backoff_cap: simkit::Time,
     /// Period of the snapshot maintenance service (§2.2.3), if enabled.
     pub snapshot_period: Option<simkit::Time>,
     /// Concurrent host-memory bursts the I/O path keeps in flight
@@ -160,6 +177,11 @@ impl RunConfig {
             pool_blocks: 256,
             seed: 42,
             faults: Vec::new(),
+            fault_plan: faultkit::FaultPlan::new(),
+            request_timeout: None,
+            max_retries: 4,
+            retry_backoff: simkit::Time::from_us(100.0),
+            retry_backoff_cap: simkit::Time::from_ms(2.0),
             snapshot_period: None,
             io_mem_window: hwmodel::consts::IO_MEM_WINDOW,
             zipf_theta: None,
@@ -192,6 +214,35 @@ impl RunConfig {
     /// Fails (or recovers) a storage server at `at` (fail-over experiments).
     pub fn with_fault(mut self, at: simkit::Time, server: u32, alive: bool) -> Self {
         self.faults.push((at, server, alive));
+        self
+    }
+
+    /// Installs a timed fault schedule (chaos experiments).
+    pub fn with_fault_plan(mut self, plan: faultkit::FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Arms the per-request timeout (and with it the retry/failover
+    /// machinery in the replication path).
+    pub fn with_request_timeout(mut self, timeout: simkit::Time) -> Self {
+        assert!(timeout > simkit::Time::ZERO, "timeout must be positive");
+        self.request_timeout = Some(timeout);
+        self
+    }
+
+    /// Tunes the retry policy: attempts after the first timeout, base
+    /// backoff, and the backoff cap.
+    pub fn with_retry_policy(
+        mut self,
+        max_retries: u32,
+        backoff: simkit::Time,
+        cap: simkit::Time,
+    ) -> Self {
+        assert!(cap >= backoff, "backoff cap below base backoff");
+        self.max_retries = max_retries;
+        self.retry_backoff = backoff;
+        self.retry_backoff_cap = cap;
         self
     }
 

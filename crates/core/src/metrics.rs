@@ -22,6 +22,18 @@ pub struct Metrics {
     pub compactions: u64,
     /// Replica appends redirected by the fail-over service.
     pub failovers: u64,
+    /// Requests whose per-request timer fired before completion.
+    pub timeouts: u64,
+    /// Retry attempts scheduled after timeouts (capped exponential
+    /// backoff; bounded by the run's `max_retries`).
+    pub retries: u64,
+    /// Write quorums abandoned via `QuorumTracker::abort` on timeout.
+    pub aborts: u64,
+    /// Requests given up after exhausting every retry (the explicit
+    /// quorum-failure error — never silent data loss).
+    pub write_failures: u64,
+    /// Blocks re-replicated by the post-restart scrub recovery.
+    pub scrub_repairs: u64,
     /// Time from issue to each write-path milestone
     /// (indexed by [`crate::plan::Milestone`]).
     pub stages: [Histogram; 4],
@@ -37,6 +49,11 @@ impl Metrics {
         self.stored.reset(now);
         self.compactions = 0;
         self.failovers = 0;
+        self.timeouts = 0;
+        self.retries = 0;
+        self.aborts = 0;
+        self.write_failures = 0;
+        self.scrub_repairs = 0;
         self.stages.iter_mut().for_each(Histogram::clear);
     }
 }
@@ -93,6 +110,16 @@ pub struct RunReport {
     pub compactions: u64,
     /// Replica appends redirected by fail-over in the window.
     pub failovers: u64,
+    /// Request timeouts fired in the window.
+    pub timeouts: u64,
+    /// Retry attempts scheduled in the window.
+    pub retries: u64,
+    /// Quorum aborts in the window.
+    pub aborts: u64,
+    /// Requests failed after exhausting retries.
+    pub write_failures: u64,
+    /// Blocks re-replicated by post-restart scrub recovery.
+    pub scrub_repairs: u64,
     /// Mean time from issue to {ingested, parsed, compressed, replicated},
     /// µs (the latency breakdown).
     pub stage_means_us: [f64; 4],
@@ -148,6 +175,11 @@ impl RunReport {
             },
             compactions: metrics.compactions,
             failovers: metrics.failovers,
+            timeouts: metrics.timeouts,
+            retries: metrics.retries,
+            aborts: metrics.aborts,
+            write_failures: metrics.write_failures,
+            scrub_repairs: metrics.scrub_repairs,
             stage_means_us: [
                 metrics.stages[0].mean().as_us(),
                 metrics.stages[1].mean().as_us(),
@@ -185,6 +217,11 @@ impl RunReport {
             .field("compression_ratio", self.compression_ratio)
             .field("compactions", self.compactions)
             .field("failovers", self.failovers)
+            .field("timeouts", self.timeouts)
+            .field("retries", self.retries)
+            .field("aborts", self.aborts)
+            .field("write_failures", self.write_failures)
+            .field("scrub_repairs", self.scrub_repairs)
             .field("stage_means_us", self.stage_means_us)
             .finish()
     }

@@ -1,0 +1,179 @@
+//! Per-packet adversaries for protocol state machines.
+//!
+//! [`PacketChaos`] answers one question per packet — deliver, drop, or
+//! duplicate? — from a seeded stream, so a lossy-channel test exercises
+//! the `rocenet` go-back-N NAK/retransmit machinery along the exact same
+//! path on every run. A cap on consecutive drops guarantees liveness:
+//! however hostile the parameters, some packet always gets through, so
+//! bounded-retry protocols terminate instead of flaking.
+
+use simkit::Rng;
+
+/// The verdict for one packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketFate {
+    /// Forward the packet unchanged.
+    Deliver,
+    /// Silently discard it (the receiver sees a PSN gap).
+    Drop,
+    /// Deliver it twice (exercises duplicate detection).
+    Duplicate,
+}
+
+/// A seeded drop/duplicate injector with bounded drop runs.
+///
+/// # Examples
+///
+/// ```
+/// use faultkit::{PacketChaos, PacketFate};
+///
+/// let mut a = PacketChaos::new(3).with_drop(0.3);
+/// let mut b = PacketChaos::new(3).with_drop(0.3);
+/// for _ in 0..100 {
+///     assert_eq!(a.fate(), b.fate());
+/// }
+/// assert!(a.dropped() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PacketChaos {
+    rng: Rng,
+    drop_p: f64,
+    dup_p: f64,
+    max_consecutive_drops: u32,
+    run: u32,
+    decided: u64,
+    dropped: u64,
+    duplicated: u64,
+}
+
+impl PacketChaos {
+    /// A chaos stream from `seed`: 10 % drops, 5 % duplicates, at most
+    /// 3 consecutive drops.
+    pub fn new(seed: u64) -> Self {
+        PacketChaos {
+            rng: Rng::new(seed),
+            drop_p: 0.10,
+            dup_p: 0.05,
+            max_consecutive_drops: 3,
+            run: 0,
+            decided: 0,
+            dropped: 0,
+            duplicated: 0,
+        }
+    }
+
+    /// Sets the per-packet drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_p = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-packet duplicate probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.dup_p = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Caps the longest run of consecutive drops (minimum 1). After the
+    /// cap, the next packet is forced through, which keeps retransmit
+    /// loops live even at `drop = 1.0`.
+    pub fn with_max_consecutive_drops(mut self, n: u32) -> Self {
+        self.max_consecutive_drops = n.max(1);
+        self
+    }
+
+    /// Decides the fate of the next packet.
+    pub fn fate(&mut self) -> PacketFate {
+        self.decided += 1;
+        if self.run >= self.max_consecutive_drops {
+            self.run = 0;
+            return PacketFate::Deliver;
+        }
+        let u = self.rng.gen_f64();
+        if u < self.drop_p {
+            self.run += 1;
+            self.dropped += 1;
+            PacketFate::Drop
+        } else if u < self.drop_p + self.dup_p {
+            self.run = 0;
+            self.duplicated += 1;
+            PacketFate::Duplicate
+        } else {
+            self.run = 0;
+            PacketFate::Deliver
+        }
+    }
+
+    /// Packets judged so far.
+    pub fn decided(&self) -> u64 {
+        self.decided
+    }
+
+    /// Packets dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Packets duplicated so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fates() {
+        let mut a = PacketChaos::new(11).with_drop(0.4).with_duplicate(0.1);
+        let mut b = PacketChaos::new(11).with_drop(0.4).with_duplicate(0.1);
+        for _ in 0..5_000 {
+            assert_eq!(a.fate(), b.fate());
+        }
+        assert_eq!(a.dropped(), b.dropped());
+        assert_eq!(a.duplicated(), b.duplicated());
+    }
+
+    #[test]
+    fn drop_runs_are_bounded_even_at_certain_loss() {
+        let mut chaos = PacketChaos::new(5).with_drop(1.0).with_max_consecutive_drops(3);
+        let mut run = 0u32;
+        let mut delivered = 0u64;
+        for _ in 0..1_000 {
+            match chaos.fate() {
+                PacketFate::Drop => {
+                    run += 1;
+                    assert!(run <= 3, "drop run exceeded cap");
+                }
+                _ => {
+                    run = 0;
+                    delivered += 1;
+                }
+            }
+        }
+        assert!(delivered >= 250, "forced delivery keeps the channel live");
+    }
+
+    #[test]
+    fn rates_track_configuration() {
+        let mut chaos = PacketChaos::new(19).with_drop(0.2).with_duplicate(0.1);
+        for _ in 0..20_000 {
+            chaos.fate();
+        }
+        let drop_rate = chaos.dropped() as f64 / chaos.decided() as f64;
+        let dup_rate = chaos.duplicated() as f64 / chaos.decided() as f64;
+        assert!((drop_rate - 0.2).abs() < 0.03, "drop_rate={drop_rate}");
+        assert!((dup_rate - 0.1).abs() < 0.03, "dup_rate={dup_rate}");
+    }
+
+    #[test]
+    fn zero_probabilities_always_deliver() {
+        let mut chaos = PacketChaos::new(1).with_drop(0.0).with_duplicate(0.0);
+        for _ in 0..1_000 {
+            assert_eq!(chaos.fate(), PacketFate::Deliver);
+        }
+        assert_eq!(chaos.dropped(), 0);
+        assert_eq!(chaos.duplicated(), 0);
+    }
+}

@@ -124,6 +124,9 @@ struct Flow {
 pub struct FluidResource {
     name: &'static str,
     capacity: f64,
+    /// Design capacity; `capacity` may be scaled below this by fault
+    /// injection and restored via [`FluidResource::set_capacity_frac`].
+    nominal: f64,
     flows: Vec<Flow>,
     free: Vec<u32>,
     active: usize,
@@ -148,6 +151,7 @@ impl FluidResource {
         FluidResource {
             name,
             capacity,
+            nominal: capacity,
             flows: Vec::new(),
             free: Vec::new(),
             active: 0,
@@ -163,9 +167,37 @@ impl FluidResource {
         self.name
     }
 
-    /// Configured capacity in bytes/sec.
+    /// Current capacity in bytes/sec (nominal unless degraded).
     pub fn capacity(&self) -> f64 {
         self.capacity
+    }
+
+    /// The design capacity the resource was created with, unaffected by
+    /// degradation.
+    pub fn nominal_capacity(&self) -> f64 {
+        self.nominal
+    }
+
+    /// Scales capacity to `frac` of nominal (fault injection: `0.0` is a
+    /// hard link-down, `1.0` restores full bandwidth). Bytes already
+    /// moved are settled at the old rates first, then all live flows are
+    /// re-water-filled under the new capacity and the epoch bumps, so stale
+    /// wakeups are discarded by the driving protocol as usual. At zero
+    /// capacity every flow stalls ([`FluidResource::next_wake`] returns
+    /// `None`) until capacity returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is negative or NaN.
+    pub fn set_capacity_frac(&mut self, now: Time, frac: f64) {
+        assert!(
+            frac >= 0.0 && !frac.is_nan(),
+            "{}: invalid capacity fraction {frac}",
+            self.name
+        );
+        self.sync(now);
+        self.capacity = self.nominal * frac;
+        self.recompute();
     }
 
     /// Number of currently active flows.
@@ -525,6 +557,48 @@ mod tests {
         let e1 = r.epoch();
         r.end_flow(Time::from_ps(10), id);
         assert!(r.epoch() > e1);
+    }
+
+    #[test]
+    fn capacity_degradation_stalls_and_restores() {
+        let mut r = FluidResource::new("link", 1e9);
+        let id = r.start_flow(Time::ZERO, 2e9, FlowSpec::new(), 1);
+        assert_eq!(r.flow_rate(id), 1e9);
+        // Half capacity from t = 1 s: 1 GB moved, 1 GB left at 0.5 GB/s.
+        r.set_capacity_frac(Time::from_secs(1.0), 0.5);
+        assert_eq!(r.capacity(), 0.5e9);
+        assert_eq!(r.nominal_capacity(), 1e9);
+        assert_eq!(r.flow_rate(id), 0.5e9);
+        // Hard down from t = 1.5 s: the flow stalls, no wake is armed.
+        r.set_capacity_frac(Time::from_secs(1.5), 0.0);
+        assert_eq!(r.flow_rate(id), 0.0);
+        assert_eq!(r.next_wake(), None);
+        // No bytes move while down.
+        r.sync(Time::from_secs(5.0));
+        assert!((r.total_bytes() - 1.25e9).abs() < 1.0);
+        // Link restored: 0.75 GB left at full rate → done at 5.75 s.
+        r.set_capacity_frac(Time::from_secs(5.0), 1.0);
+        assert_eq!(r.capacity(), 1e9);
+        let w = r.next_wake().unwrap();
+        assert!(w >= Time::from_secs(5.75) && w <= Time::from_secs(5.75) + Time::from_ps(4));
+        r.sync(w);
+        assert_eq!(drain_tokens(&mut r), vec![1]);
+    }
+
+    #[test]
+    fn degradation_bumps_epoch() {
+        let mut r = FluidResource::new("link", 1e9);
+        r.start_flow(Time::ZERO, f64::INFINITY, FlowSpec::new(), 1);
+        let e = r.epoch();
+        r.set_capacity_frac(Time::from_ps(10), 0.25);
+        assert!(r.epoch() > e, "stale wakeups must be invalidated");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid capacity fraction")]
+    fn negative_capacity_fraction_panics() {
+        let mut r = FluidResource::new("link", 1e9);
+        r.set_capacity_frac(Time::ZERO, -0.5);
     }
 
     #[test]

@@ -161,6 +161,42 @@ fn rocenet_verbs_aams_seed_replay() {
 }
 
 #[test]
+fn same_fault_plan_seed_same_report_bytes() {
+    // Chaos determinism: a FaultPlan generated from a seed, delivered
+    // through the event engine with timeouts/retries/failovers live, must
+    // replay to a byte-identical report — including every fault counter
+    // (timeouts, retries, aborts, failovers, write_failures,
+    // scrub_repairs). This is what makes chaos failures debuggable: any
+    // seed that breaks an invariant reproduces exactly.
+    use faultkit::{ChaosSpec, FaultPlan};
+
+    let spec = ChaosSpec::new(simkit::Time::from_ms(2.0), simkit::Time::from_ms(4.5))
+        .with_servers(6)
+        .with_crashes(2)
+        .with_stalls(1)
+        .with_link_flaps(1)
+        .with_mean_outage(simkit::Time::from_us(600.0));
+    for seed in [3u64, 0xC0FFEE] {
+        let plan = FaultPlan::chaos(seed, &spec);
+        assert_eq!(
+            plan.trace(),
+            FaultPlan::chaos(seed, &spec).trace(),
+            "the plan itself must be a pure function of the seed"
+        );
+        let cfg = quick(Design::SmartDs { ports: 1 })
+            .with_fault_plan(plan)
+            .with_request_timeout(simkit::Time::from_us(500.0));
+        let a = cluster::run(&cfg);
+        let b = cluster::run(&cfg);
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "seed {seed}: chaos run must replay byte-identically"
+        );
+    }
+}
+
+#[test]
 fn different_seed_different_workload() {
     let cfg = quick(Design::SmartDs { ports: 1 });
     let mut reseeded = cfg.clone();
