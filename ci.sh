@@ -21,3 +21,8 @@ cargo test -q --offline
 # scenarios in the suite are seed-independent and simply run twice).
 SMARTDS_CHAOS_SEED=101 cargo test -q --offline -p system-tests --test faults
 SMARTDS_CHAOS_SEED=202 cargo test -q --offline -p system-tests --test faults
+
+# Tracing contract under a pinned seed: a traced chaos workload must export
+# a Chrome trace that replays byte-identically, round-trips through the
+# in-repo JSON parser, is non-empty, and has balanced (open == close) spans.
+SMARTDS_CHAOS_SEED=303 cargo test -q --offline -p system-tests --test tracing

@@ -7,8 +7,8 @@
 //! ```
 
 use smartds_bench::{
-    csv, curve, degraded, fig4, json, loc, reads, sec55, soc, stages, sweeps, table1, table3,
-    tco, Profile,
+    breakdown, csv, curve, degraded, fig4, json, loc, reads, sec55, soc, stages, sweeps, table1,
+    table3, tco, Profile,
 };
 use std::path::PathBuf;
 
@@ -104,6 +104,12 @@ fn main() {
         println!();
         ran = true;
     }
+    if which == "breakdown" || which == "all" {
+        let r = breakdown::run(profile);
+        save("breakdown", &r);
+        println!();
+        ran = true;
+    }
     if which == "reads" || which == "all" {
         let r = reads::run(profile);
         save("reads", &r);
@@ -126,8 +132,8 @@ fn main() {
     if !ran {
         eprintln!(
             "unknown experiment '{which}'; expected one of: \
-             table1 table3 fig4 fig7 fig8 fig9 fig10 sec55 soc curve tco stages reads degraded \
-             loc all"
+             table1 table3 fig4 fig7 fig8 fig9 fig10 sec55 soc curve tco stages breakdown reads \
+             degraded loc all"
         );
         std::process::exit(2);
     }

@@ -19,6 +19,7 @@
 //! | curve  | extension: open-loop latency vs load    | [`curve::run`] |
 //! | tco    | motivation: fleet size and TCO          | [`tco::run`] |
 //! | stages | extension: write-latency breakdown      | [`stages::run`] |
+//! | breakdown | extension: traced per-stage table    | [`breakdown::run`] |
 //! | reads  | extension: read-only workload           | [`reads::run`] |
 //! | degraded | extension: faults & degraded mode     | [`degraded::run`] |
 //! | loc    | programmability (lines of code)         | [`loc::run`] |
@@ -26,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breakdown;
 pub mod csv;
 pub mod curve;
 pub mod degraded;

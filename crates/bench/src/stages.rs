@@ -46,7 +46,7 @@ mod tests {
     fn milestones_are_ordered_and_explain_the_designs() {
         let reports = run(Profile::Quick);
         for r in &reports {
-            let s = r.stage_means_us;
+            let s = &r.stage_means_us;
             assert!(
                 s[0] <= s[1] && s[1] <= s[2] && s[2] <= s[3] && s[3] <= r.avg_us + 1.0,
                 "{}: milestones must be ordered: {s:?} avg {}",

@@ -13,15 +13,16 @@
 use crate::design::{Design, RunConfig};
 use crate::fabric::{res_route, Fabric, FluidKey};
 use crate::metrics::{Metrics, RunReport};
-use crate::plan::{read_plan, write_plan_replicated, Plan, Step};
+use crate::plan::{read_plan, write_plan_replicated, Plan, Res, Step};
 use crate::qos::TokenBucket;
 use crate::workload::Workload;
 use blockstore::{QuorumTracker, ReplicaSelector, Scrubber, ServerId, StorageServer, StoredBlock};
 use faultkit::{FaultKind, LinkTarget};
 use hwmodel::consts::PCIE_PROPAGATION;
 use blockstore::DiskModel;
-use hwmodel::{CompressEngine, CpuPool, MlcInjector};
+use hwmodel::{CompressEngine, CpuPool, CpuWork, MlcInjector};
 use simkit::{FlowSpec, Scheduler, Simulation, Time, World};
+use tracekit::{SegmentAccum, SpanId, StageKind, TraceId, Tracer};
 
 /// Number of storage servers in the simulated cluster.
 pub const STORAGE_SERVERS: usize = 6;
@@ -93,6 +94,14 @@ struct InFlight {
     request_id: u64,
     /// How many timeouts this logical request has already eaten.
     attempt: u32,
+    /// Trace id (null when the request was not sampled).
+    trace: TraceId,
+    /// Root request span, closed on completion or final failure.
+    root: SpanId,
+    /// The span covering the step each branch is currently blocked on.
+    step_span: [SpanId; MAX_BRANCHES],
+    /// Latency-segment accumulator; milestones charge it via `Step::Mark`.
+    seg: SegmentAccum,
 }
 
 /// Everything needed to re-issue a timed-out request after its backoff:
@@ -108,6 +117,11 @@ pub struct RetryTicket {
     attempt: u32,
     first_issued_at: Time,
     is_read: bool,
+    /// Trace identity survives retries: every attempt of a logical request
+    /// lands under the same root span, so a trace shows the whole story.
+    trace: TraceId,
+    root: SpanId,
+    seg: SegmentAccum,
 }
 
 /// Admission window in front of host memory: the I/O path acts as one
@@ -136,6 +150,8 @@ pub struct Cluster {
     workload: Workload,
     /// Collected metrics.
     pub metrics: Metrics,
+    /// Deterministic request tracer (disabled unless `cfg.trace` is set).
+    pub tracer: Tracer,
     reqs: Vec<Option<InFlight>>,
     /// Per-slot generation, bumped whenever a slot is freed. Tokens and
     /// timeout events carry the generation they were minted under, so
@@ -184,6 +200,22 @@ fn untoken(t: u64) -> (u32, u8, u32) {
     )
 }
 
+/// Trace stage and label for a fluid transfer step.
+fn res_span(res: Res) -> (StageKind, &'static str) {
+    match res {
+        Res::MemRead => (StageKind::HostMem, "mem-read"),
+        Res::MemWrite => (StageKind::HostMem, "mem-write"),
+        Res::NicH2D => (StageKind::NicDma, "nic-dma-h2d"),
+        Res::NicD2H => (StageKind::NicDma, "nic-dma-d2h"),
+        Res::DevH2D => (StageKind::DevDma, "dev-dma-h2d"),
+        Res::DevD2H => (StageKind::DevDma, "dev-dma-d2h"),
+        Res::PortTx(_) => (StageKind::Wire, "port-tx"),
+        Res::PortRx(_) => (StageKind::Wire, "port-rx"),
+        Res::Hbm => (StageKind::Hbm, "hbm"),
+        Res::DevMem => (StageKind::DevMem, "dev-mem"),
+    }
+}
+
 impl Cluster {
     /// Builds a cluster for `cfg` (call [`run`] for the full lifecycle).
     pub fn new(cfg: RunConfig) -> Self {
@@ -215,6 +247,10 @@ impl Cluster {
             workload.set_zipf(theta);
         }
         let slots = cfg.outstanding;
+        let tracer = match cfg.trace {
+            Some(tc) => Tracer::new(cfg.seed, tc),
+            None => Tracer::off(),
+        };
         Cluster {
             fabric,
             cpu,
@@ -224,6 +260,7 @@ impl Cluster {
             selector,
             workload,
             metrics: Metrics::default(),
+            tracer,
             reqs: Vec::with_capacity(slots),
             gens: Vec::with_capacity(slots),
             free: Vec::new(),
@@ -372,6 +409,38 @@ impl Cluster {
         }
     }
 
+    /// Opens the span covering the blocking step `branch` just submitted,
+    /// parked in the request so [`step_branch`](Self::step_branch) closes it
+    /// when the branch resumes. No-op handle when the request is unsampled.
+    fn open_step_span(
+        &mut self,
+        key: u32,
+        branch: u8,
+        kind: StageKind,
+        label: &'static str,
+        bytes: u64,
+        now: Time,
+    ) -> SpanId {
+        let (trace, root) = match self.reqs[key as usize].as_ref() {
+            Some(req) => (req.trace, req.root),
+            None => return SpanId::NULL,
+        };
+        let sid = self.tracer.span_open(trace, root, kind, label, bytes, now);
+        if let Some(req) = self.reqs[key as usize].as_mut() {
+            req.step_span[branch as usize] = sid;
+        }
+        sid
+    }
+
+    /// Emits a zero-duration span on the request's trace under its root.
+    fn req_instant(&mut self, key: u32, kind: StageKind, label: &'static str, now: Time) {
+        let (trace, root) = match self.reqs[key as usize].as_ref() {
+            Some(req) => (req.trace, req.root),
+            None => return,
+        };
+        self.tracer.instant(trace, root, kind, label, 0, now);
+    }
+
     /// Advances one branch of one request as far as it can go.
     fn step_branch(&mut self, tok: u64, sched: &mut Scheduler<Ev>) {
         let (key, branch, gen) = untoken(tok);
@@ -379,6 +448,13 @@ impl Cluster {
             return; // token minted for a previous occupant of this slot
         }
         let now = sched.now();
+        // The branch resumed: close the span covering the step it was
+        // blocked on (null for the very first step of a phase).
+        let finished = match self.reqs[key as usize].as_mut() {
+            Some(req) => std::mem::replace(&mut req.step_span[branch as usize], SpanId::NULL),
+            None => SpanId::NULL,
+        };
+        self.tracer.span_close(finished, now);
         loop {
             // Fetch the next step (or detect branch/phase completion).
             let step = {
@@ -414,6 +490,8 @@ impl Cluster {
             match step {
                 Step::Xfer(_, 0) => continue,
                 Step::Xfer(res, bytes) => {
+                    let (kind, label) = res_span(res);
+                    self.open_step_span(key, branch, kind, label, bytes as u64, now);
                     let (fkey, class) = res_route(res);
                     self.touch(fkey);
                     if fkey == FluidKey::Mem {
@@ -429,12 +507,31 @@ impl Cluster {
                     return;
                 }
                 Step::Cpu(work) => {
+                    let (label, wbytes) = match work {
+                        CpuWork::ParseHeader => ("parse-header", 0u64),
+                        CpuWork::PostVerb => ("post-verb", 0u64),
+                        CpuWork::Compress(n) => ("lz4-software", n as u64),
+                        CpuWork::Decompress(n) => ("lz4-sw-decompress", n as u64),
+                    };
+                    let sid =
+                        self.open_step_span(key, branch, StageKind::CpuJob, label, wbytes, now);
+                    self.tracer.span_set_queue(sid, self.cpu.queued() as u32);
                     if let Some(js) = self.cpu.submit(now, work, tok) {
                         sched.schedule_at(js.finish_at, Ev::CpuDone(js.token));
                     }
                     return;
                 }
                 Step::Engine(i, bytes) => {
+                    let sid = self.open_step_span(
+                        key,
+                        branch,
+                        StageKind::EngineJob,
+                        "lz4-engine",
+                        bytes as u64,
+                        now,
+                    );
+                    let depth = self.engines[i as usize].queued() as u32;
+                    self.tracer.span_set_queue(sid, depth);
                     let eng = &mut self.engines[i as usize];
                     if let Some(js) = eng.submit(now, bytes as usize, tok) {
                         sched.schedule_at(js.finish_at, Ev::EngDone(i, js.token));
@@ -446,6 +543,16 @@ impl Cluster {
                         let req = self.reqs[key as usize].as_ref().unwrap();
                         req.replicas[r as usize]
                     };
+                    let sid = self.open_step_span(
+                        key,
+                        branch,
+                        StageKind::DiskIo,
+                        "disk-io",
+                        bytes as u64,
+                        now,
+                    );
+                    let depth = self.disks[server as usize].queued() as u32;
+                    self.tracer.span_set_queue(sid, depth);
                     let disk = &mut self.disks[server as usize];
                     if let Some(js) = disk.submit(now, bytes as usize, tok) {
                         sched.schedule_at(js.finish_at, Ev::DiskDone(server, js.token));
@@ -453,6 +560,7 @@ impl Cluster {
                     return;
                 }
                 Step::Wait(d) => {
+                    self.open_step_span(key, branch, StageKind::Propagation, "propagation", 0, now);
                     sched.schedule_in(d, Ev::Delay(tok));
                     return;
                 }
@@ -464,12 +572,18 @@ impl Cluster {
                     continue;
                 }
                 Step::StoreReplica(r) => {
-                    self.store_replica(key, r);
+                    self.store_replica(key, r, now);
                     continue;
                 }
-                Step::Mark(milestone) => {
-                    let issued_at = self.reqs[key as usize].as_ref().unwrap().issued_at;
-                    self.metrics.stages[milestone as usize].record(now - issued_at);
+                Step::Mark(kind) => {
+                    if let Some(req) = self.reqs[key as usize].as_mut() {
+                        req.seg.mark(kind, now);
+                    }
+                    self.req_instant(key, kind, kind.name(), now);
+                    continue;
+                }
+                Step::Note(kind, label) => {
+                    self.req_instant(key, kind, label, now);
                     continue;
                 }
             }
@@ -480,8 +594,8 @@ impl Cluster {
     /// running LSM compaction when the chunk's threshold fires. Successful
     /// appends ack the request's write quorum and record placement with
     /// the scrubber (so post-restart recovery knows who should hold what).
-    fn store_replica(&mut self, key: u32, r: u8) {
-        let (pool_idx, b, chunk_key, block, server, request_id) = {
+    fn store_replica(&mut self, key: u32, r: u8, now: Time) {
+        let (pool_idx, b, chunk_key, block, server, request_id, trace, root) = {
             let req = self.reqs[key as usize].as_ref().unwrap();
             (
                 req.pool_idx,
@@ -490,6 +604,8 @@ impl Cluster {
                 req.block,
                 req.replicas[r as usize],
                 req.request_id,
+                req.trace,
+                req.root,
             )
         };
         let data = self.workload.compressed(pool_idx);
@@ -500,9 +616,11 @@ impl Cluster {
         self.scrubber
             .record_on(chunk_key, block, ServerId(server), &stored);
         let srv = &mut self.servers[server as usize];
-        match srv.append(chunk_key, block, stored.clone()) {
+        match srv.append_traced(chunk_key, block, stored.clone(), &mut self.tracer, trace, root, now)
+        {
             Some(wants_compaction) => {
                 self.quorum.ack(request_id, ServerId(server));
+                self.tracer.instant(trace, root, StageKind::QuorumAck, "replica-ack", 0, now);
                 if wants_compaction {
                     if let Some(chunk) = srv.chunk_mut(chunk_key) {
                         chunk.compact();
@@ -515,10 +633,20 @@ impl Cluster {
                 // re-replicates onto another healthy server so the block
                 // keeps its replication factor.
                 self.metrics.failovers += 1;
+                self.tracer
+                    .instant(trace, root, StageKind::Failover, "replica-failover", 0, now);
                 if let Some(alt) = self.selector.choose(1) {
                     let alt = alt[0];
                     if self.servers[alt.0 as usize]
-                        .append(chunk_key, block, stored.clone())
+                        .append_traced(
+                            chunk_key,
+                            block,
+                            stored.clone(),
+                            &mut self.tracer,
+                            trace,
+                            root,
+                            now,
+                        )
                         .is_some()
                     {
                         self.scrubber.record_on(chunk_key, block, alt, &stored);
@@ -526,6 +654,8 @@ impl Cluster {
                         // acked this request; duplicate acks never
                         // double-count, so the quorum stays honest.
                         self.quorum.ack(request_id, alt);
+                        self.tracer
+                            .instant(trace, root, StageKind::QuorumAck, "failover-ack", 0, now);
                     }
                 }
             }
@@ -546,6 +676,14 @@ impl Cluster {
             self.free.push(key);
             self.in_flight -= 1;
             self.metrics.aborts += 1;
+            self.tracer.instant(
+                req.trace,
+                req.root,
+                StageKind::Abort,
+                "quorum-abort",
+                0,
+                sched.now(),
+            );
             let ticket = RetryTicket {
                 slot: req.slot,
                 pool_idx: req.pool_idx,
@@ -555,6 +693,9 @@ impl Cluster {
                 attempt: req.attempt + 1,
                 first_issued_at: req.issued_at,
                 is_read: req.is_read,
+                trace: req.trace,
+                root: req.root,
+                seg: req.seg,
             };
             self.fail_or_retry(ticket, sched);
             return;
@@ -565,6 +706,12 @@ impl Cluster {
         if req.is_read {
             self.metrics.read_latency.record(latency);
         } else {
+            // The write acked: charge the tail segment and fold the
+            // request's segment partition into the per-stage breakdown
+            // (Σ segments == issue→ack latency, retries included).
+            let mut seg = req.seg;
+            seg.mark(StageKind::Ack, now);
+            seg.flush_into(&mut self.metrics.breakdown);
             self.metrics.write_latency.record(latency);
             self.metrics.ingest.add(now, req.b as f64);
             let c = self.workload.compressed(req.pool_idx).len();
@@ -575,6 +722,7 @@ impl Cluster {
             }
         }
         self.metrics.ops.add(now, 1.0);
+        self.tracer.span_close(req.root, now);
         self.in_flight -= 1;
         // Closed loop: the slot immediately issues its next request.
         // Open loop: arrivals are driven by the Poisson process instead.
@@ -629,7 +777,17 @@ impl Cluster {
         let coin = ((self.issued.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) & 0xFFFF) as f64
             / 65536.0;
         let is_read = coin < self.read_fraction;
+        let ordinal = self.issued;
         self.issued += 1;
+        let trace = self.tracer.trace_for(ordinal);
+        let root = self.tracer.span_open(
+            trace,
+            SpanId::NULL,
+            StageKind::Request,
+            if is_read { "read" } else { "write" },
+            w.b as u64,
+            now,
+        );
         let ticket = RetryTicket {
             slot,
             pool_idx: w.pool_idx,
@@ -639,6 +797,9 @@ impl Cluster {
             attempt: 0,
             first_issued_at: now,
             is_read,
+            trace,
+            root,
+            seg: SegmentAccum::start(now),
         };
         self.spawn_attempt(replicas, ticket, sched);
     }
@@ -702,6 +863,10 @@ impl Cluster {
             is_read: ticket.is_read,
             request_id,
             attempt: ticket.attempt,
+            trace: ticket.trace,
+            root: ticket.root,
+            step_span: [SpanId::NULL; MAX_BRANCHES],
+            seg: ticket.seg,
         });
         self.in_flight += 1;
         if let Some(timeout) = self.cfg.request_timeout {
@@ -722,6 +887,9 @@ impl Cluster {
             // Explicit quorum-failure error: the client learns the write
             // failed — never a hang, never silent loss.
             self.metrics.write_failures += 1;
+            self.tracer
+                .instant(ticket.trace, ticket.root, StageKind::Abort, "write-failed", 0, now);
+            self.tracer.span_close(ticket.root, now);
             if self.cfg.open_loop_gbps.is_none() && now < self.stop_issuing_at {
                 let think = Time::from_ps(self.workload.think_ps(1.0));
                 sched.schedule_in(think, Ev::Issue(ticket.slot));
@@ -729,6 +897,8 @@ impl Cluster {
             return;
         }
         self.metrics.retries += 1;
+        self.tracer
+            .instant(ticket.trace, ticket.root, StageKind::Retry, "retry-backoff", 0, now);
         // Attempt n backs off base × 2^(n−1), capped.
         let shift = ticket.attempt.saturating_sub(1).min(16);
         let backoff =
@@ -750,6 +920,15 @@ impl Cluster {
         self.free.push(key);
         self.in_flight -= 1;
         self.metrics.timeouts += 1;
+        let now = sched.now();
+        // Close the abandoned attempt's in-flight step spans; leftover
+        // flows carry stale tokens, so nothing else would retire them.
+        for sid in req.step_span {
+            self.tracer.span_note(sid, "timeout");
+            self.tracer.span_close(sid, now);
+        }
+        self.tracer
+            .instant(req.trace, req.root, StageKind::Timeout, "request-timeout", 0, now);
         if !req.is_read {
             // Penalize only the replicas that stayed silent — the ones
             // that acked did their part.
@@ -774,6 +953,9 @@ impl Cluster {
             attempt: req.attempt + 1,
             first_issued_at: req.issued_at,
             is_read: req.is_read,
+            trace: req.trace,
+            root: req.root,
+            seg: req.seg,
         };
         self.fail_or_retry(ticket, sched);
     }
@@ -801,6 +983,10 @@ impl Cluster {
     /// chaos plans compose with any cluster size.
     fn apply_fault(&mut self, kind: FaultKind, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
+        if self.tracer.enabled() {
+            // Every span whose interval covers `now` gets this annotation.
+            self.tracer.fault_mark(now, kind.to_string());
+        }
         match kind {
             FaultKind::ServerCrash { server } => {
                 if let Some(srv) = self.servers.get_mut(server as usize) {
@@ -812,7 +998,7 @@ impl Cluster {
                 if (server as usize) < self.servers.len() {
                     self.servers[server as usize].set_alive(true);
                     self.selector.set_healthy(ServerId(server), true);
-                    self.restart_scrub(server as usize);
+                    self.restart_scrub(server as usize, now);
                 }
             }
             FaultKind::ServerSlow { server, factor } => {
@@ -841,7 +1027,7 @@ impl Cluster {
     /// Post-restart recovery: scrub the returning server against the
     /// cluster's checksum index, restoring blocks it should hold (written
     /// while it was down, or rotted) from any live replica.
-    fn restart_scrub(&mut self, i: usize) {
+    fn restart_scrub(&mut self, i: usize, now: Time) {
         let mut srv = std::mem::replace(
             &mut self.servers[i],
             StorageServer::new(ServerId(i as u32), COMPACTION_THRESHOLD),
@@ -855,6 +1041,15 @@ impl Cluster {
         });
         self.servers[i] = srv;
         self.metrics.scrub_repairs += stats.repaired as u64;
+        let maint = self.tracer.maint();
+        self.tracer.instant(
+            maint,
+            SpanId::NULL,
+            StageKind::Scrub,
+            "restart-scrub",
+            stats.repaired as u64,
+            now,
+        );
     }
 
     /// Audits every live server's stored blocks: `(ok, corrupt)` counts,
@@ -934,10 +1129,14 @@ impl World for Cluster {
                 self.arrival(sched);
             }
             Ev::ServerAlive(i, alive) => {
+                if self.tracer.enabled() {
+                    let verb = if alive { "server-restart" } else { "server-crash" };
+                    self.tracer.fault_mark(sched.now(), format!("{verb} s{i}"));
+                }
                 self.servers[i as usize].set_alive(alive);
                 self.selector.set_healthy(ServerId(i), alive);
                 if alive {
-                    self.restart_scrub(i as usize);
+                    self.restart_scrub(i as usize, sched.now());
                 }
             }
             Ev::Fault(kind) => {
@@ -984,6 +1183,9 @@ impl World for Cluster {
             }
             Ev::RunEnd => {
                 self.sync_all(sched);
+                // Balance the export: requests cut off mid-flight close
+                // their remaining spans at the end-of-run boundary.
+                self.tracer.close_all(sched.now());
                 sched.stop();
             }
         }

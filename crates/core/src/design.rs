@@ -142,6 +142,10 @@ pub struct RunConfig {
     pub sample_period: Option<simkit::Time>,
     /// Write replication factor (paper default 3; ablation knob).
     pub replication: usize,
+    /// Span tracing: `Some(cfg)` enables the deterministic tracer (head
+    /// sampling seeded by `seed`), `None` leaves tracing off with zero
+    /// overhead. See `tracekit`.
+    pub trace: Option<tracekit::TraceConfig>,
 }
 
 impl RunConfig {
@@ -188,7 +192,14 @@ impl RunConfig {
             open_loop_gbps: None,
             sample_period: None,
             replication: hwmodel::consts::REPLICATION,
+            trace: None,
         }
+    }
+
+    /// Same configuration with span tracing enabled.
+    pub fn with_trace(mut self, cfg: tracekit::TraceConfig) -> Self {
+        self.trace = Some(cfg);
+        self
     }
 
     /// Same configuration with a different core count (Figure 7 sweeps).

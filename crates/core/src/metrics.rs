@@ -3,6 +3,7 @@
 use crate::fabric::Traffic;
 use simkit::json::Object;
 use simkit::{to_gbps, Histogram, Meter, Time};
+use tracekit::{rows_json, StageBreakdown, StageKind, StageRow};
 
 /// Live metric collectors inside a running cluster.
 #[derive(Debug, Default)]
@@ -34,9 +35,11 @@ pub struct Metrics {
     pub write_failures: u64,
     /// Blocks re-replicated by the post-restart scrub recovery.
     pub scrub_repairs: u64,
-    /// Time from issue to each write-path milestone
-    /// (indexed by [`crate::plan::Milestone`]).
-    pub stages: [Histogram; 4],
+    /// Per-stage latency breakdown: one histogram per
+    /// [`tracekit::StageKind`], fed by the per-request segment accumulators
+    /// flushed at write completion (so the segment stages exactly partition
+    /// write latency) plus any stage populations recorded directly.
+    pub breakdown: StageBreakdown,
 }
 
 impl Metrics {
@@ -54,7 +57,7 @@ impl Metrics {
         self.aborts = 0;
         self.write_failures = 0;
         self.scrub_repairs = 0;
-        self.stages.iter_mut().for_each(Histogram::clear);
+        self.breakdown.clear();
     }
 }
 
@@ -121,8 +124,11 @@ pub struct RunReport {
     /// Blocks re-replicated by post-restart scrub recovery.
     pub scrub_repairs: u64,
     /// Mean time from issue to {ingested, parsed, compressed, replicated},
-    /// µs (the latency breakdown).
-    pub stage_means_us: [f64; 4],
+    /// µs: cumulative prefix sums of the first four latency segments, kept
+    /// in the historical shape for the CSV/plot consumers.
+    pub stage_means_us: Vec<f64>,
+    /// Full per-stage breakdown table (mean/p99/p999 per stage kind).
+    pub stage_table: Vec<StageRow>,
 }
 
 impl RunReport {
@@ -180,12 +186,22 @@ impl RunReport {
             aborts: metrics.aborts,
             write_failures: metrics.write_failures,
             scrub_repairs: metrics.scrub_repairs,
-            stage_means_us: [
-                metrics.stages[0].mean().as_us(),
-                metrics.stages[1].mean().as_us(),
-                metrics.stages[2].mean().as_us(),
-                metrics.stages[3].mean().as_us(),
-            ],
+            stage_means_us: {
+                // Cumulative issue→milestone means, as the old milestone
+                // histograms reported them: segment means are deltas, so the
+                // prefix sums recover issue→{ingested, parsed, compressed,
+                // replicated}.
+                let seg = metrics.breakdown.segment_means_us();
+                let mut acc = 0.0;
+                seg.iter()
+                    .take(StageKind::SEGMENT_COUNT - 1)
+                    .map(|m| {
+                        acc += m;
+                        acc
+                    })
+                    .collect()
+            },
+            stage_table: metrics.breakdown.rows(),
         }
     }
 
@@ -222,7 +238,8 @@ impl RunReport {
             .field("aborts", self.aborts)
             .field("write_failures", self.write_failures)
             .field("scrub_repairs", self.scrub_repairs)
-            .field("stage_means_us", self.stage_means_us)
+            .field("stage_means_us", &self.stage_means_us)
+            .field_raw("stage_table", &rows_json(&self.stage_table))
             .finish()
     }
 
@@ -247,6 +264,14 @@ mod tests {
         m.stored.add(Time::from_ms(1.0), 6.25e6);
         m.ops.add(Time::from_ms(1.0), 1.0);
         m.write_latency.record(Time::from_us(50.0));
+        // One request's segment partition: 10+5+15+12+8 = 50 µs.
+        let mut seg = tracekit::SegmentAccum::start(Time::ZERO);
+        seg.mark(StageKind::Ingress, Time::from_us(10.0));
+        seg.mark(StageKind::Parse, Time::from_us(15.0));
+        seg.mark(StageKind::Compress, Time::from_us(30.0));
+        seg.mark(StageKind::Replicate, Time::from_us(42.0));
+        seg.mark(StageKind::Ack, Time::from_us(50.0));
+        seg.flush_into(&mut m.breakdown);
         let delta = Traffic {
             mem_read: 1.25e7,
             ..Traffic::default()
@@ -270,5 +295,15 @@ mod tests {
         assert!(json.starts_with("{\"label\":\"test\""), "{json}");
         assert!(json.contains("\"writes_done\":1"), "{json}");
         assert!(json.contains("\"stage_means_us\":["), "{json}");
+        assert!(json.contains("\"stage_table\":[{\"stage\":\"ingress\""), "{json}");
+        // Cumulative prefix sums of the segment means.
+        assert_eq!(r.stage_means_us.len(), 4);
+        let expect = [10.0, 15.0, 30.0, 42.0];
+        for (got, want) in r.stage_means_us.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-6, "{:?}", r.stage_means_us);
+        }
+        // The segment means sum to the end-to-end write latency.
+        let total: f64 = m.breakdown.segment_means_us().iter().sum();
+        assert!((total - r.avg_us).abs() < 0.5, "{total} vs {}", r.avg_us);
     }
 }

@@ -18,6 +18,7 @@ use hwmodel::consts::{
 };
 use hwmodel::{wire_bytes, CpuWork};
 use simkit::Time;
+use tracekit::StageKind;
 
 /// A shared fluid resource a step can move bytes across.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -44,19 +45,6 @@ pub enum Res {
     DevMem,
 }
 
-/// Milestones recorded along the write path (latency breakdown).
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub enum Milestone {
-    /// The request's bytes finished landing on the middle-tier server.
-    Ingested = 0,
-    /// Header parse (and the control decisions) completed.
-    Parsed = 1,
-    /// The payload finished compressing.
-    Compressed = 2,
-    /// All three replicas acknowledged.
-    Replicated = 3,
-}
-
 /// One step of a branch.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub enum Step {
@@ -75,8 +63,15 @@ pub enum Step {
     CompressPayload,
     /// Functional: append the (compressed) block to replica `r`'s server.
     StoreReplica(u8),
-    /// Functional: record a latency milestone for this request.
-    Mark(Milestone),
+    /// Functional: a latency-segment boundary. The time since the previous
+    /// mark (or issue) is charged to `kind`'s segment in the per-request
+    /// [`tracekit::SegmentAccum`], so consecutive marks exactly partition
+    /// the request's issue-to-ack latency. Kinds outside
+    /// [`StageKind::SEGMENTS`] only emit a trace instant.
+    Mark(StageKind),
+    /// Functional: a zero-duration trace annotation (e.g. the AAMS split /
+    /// assemble decision points), with no effect on the latency breakdown.
+    Note(StageKind, &'static str),
 }
 
 /// A join-all set of parallel branches.
@@ -196,9 +191,9 @@ fn write_cpu_only(b: u32, c: u32, rep: u8) -> Plan {
     ]));
     // ② Header parse on the host CPU.
     p.phases.push(Phase::seq(vec![
-        Step::Mark(Milestone::Ingested),
+        Step::Mark(StageKind::Ingress),
         Step::Cpu(CpuWork::ParseHeader),
-        Step::Mark(Milestone::Parsed),
+        Step::Mark(StageKind::Parse),
     ]));
     // ③ Software LZ4: core busy b/rate; reads the payload from DRAM (cold —
     // evicted by the 400 MB buffer working set) and writes the result.
@@ -210,7 +205,7 @@ fn write_cpu_only(b: u32, c: u32, rep: u8) -> Plan {
         vec![Step::Xfer(Res::MemRead, b)],
         vec![Step::Xfer(Res::MemWrite, c)],
     ]));
-    p.phases.push(Phase::seq(vec![Step::Mark(Milestone::Compressed)]));
+    p.phases.push(Phase::seq(vec![Step::Mark(StageKind::Compress)]));
     // ④ Post the three replica sends.
     p.phases.push(Phase::seq(vec![Step::Cpu(CpuWork::PostVerb)]));
     // ⑤ Three-way replication: each replica crosses PCIe H2D and the port
@@ -235,7 +230,7 @@ fn write_cpu_only(b: u32, c: u32, rep: u8) -> Plan {
     p.phases.push(Phase::par(branches));
     // ⑥ Ack the VM.
     p.phases.push(Phase::seq(vec![
-        Step::Mark(Milestone::Replicated),
+        Step::Mark(StageKind::Replicate),
         Step::Cpu(CpuWork::PostVerb),
     ]));
     p.phases.push(Phase::par(vec![
@@ -265,9 +260,9 @@ fn write_acc(b: u32, c: u32, ddio: bool, rep: u8) -> Plan {
     ]));
     // ② Parse, ③ command the accelerator.
     p.phases.push(Phase::seq(vec![
-        Step::Mark(Milestone::Ingested),
+        Step::Mark(StageKind::Ingress),
         Step::Cpu(CpuWork::ParseHeader),
-        Step::Mark(Milestone::Parsed),
+        Step::Mark(StageKind::Parse),
         Step::Cpu(CpuWork::PostVerb),
     ]));
     // ④ Accelerator fetches the payload over its own PCIe link (LLC-served
@@ -288,7 +283,7 @@ fn write_acc(b: u32, c: u32, ddio: bool, rep: u8) -> Plan {
     ]));
     // ⑤ Completion back to the CPU, post sends.
     p.phases.push(Phase::seq(vec![
-        Step::Mark(Milestone::Compressed),
+        Step::Mark(StageKind::Compress),
         Step::Cpu(CpuWork::PostVerb),
     ]));
     // ⑥ Replication. Without DDIO the NIC re-reads the compressed block
@@ -314,7 +309,7 @@ fn write_acc(b: u32, c: u32, ddio: bool, rep: u8) -> Plan {
     p.phases.push(Phase::par(branches));
     // ⑦ Ack the VM.
     p.phases.push(Phase::seq(vec![
-        Step::Mark(Milestone::Replicated),
+        Step::Mark(StageKind::Replicate),
         Step::Cpu(CpuWork::PostVerb),
     ]));
     p.phases.push(Phase::par(vec![
@@ -340,9 +335,9 @@ fn write_bf2(port: u8, b: u32, c: u32, rep: u8) -> Plan {
         vec![Step::Xfer(Res::DevMem, H + b)],
     ]));
     p.phases.push(Phase::seq(vec![
-        Step::Mark(Milestone::Ingested),
+        Step::Mark(StageKind::Ingress),
         Step::Cpu(CpuWork::ParseHeader),
-        Step::Mark(Milestone::Parsed),
+        Step::Mark(StageKind::Parse),
     ]));
     p.phases.push(Phase::par(vec![
         vec![
@@ -354,7 +349,7 @@ fn write_bf2(port: u8, b: u32, c: u32, rep: u8) -> Plan {
         vec![Step::Xfer(Res::DevMem, c)],
     ]));
     p.phases.push(Phase::seq(vec![
-        Step::Mark(Milestone::Compressed),
+        Step::Mark(StageKind::Compress),
         Step::Cpu(CpuWork::PostVerb),
     ]));
     let branches: Vec<Vec<Step>> = (0..rep)
@@ -373,7 +368,7 @@ fn write_bf2(port: u8, b: u32, c: u32, rep: u8) -> Plan {
         .collect();
     p.phases.push(Phase::par(branches));
     p.phases.push(Phase::seq(vec![
-        Step::Mark(Milestone::Replicated),
+        Step::Mark(StageKind::Replicate),
         Step::Cpu(CpuWork::PostVerb),
     ]));
     p.phases.push(Phase::par(vec![vec![
@@ -395,14 +390,14 @@ fn write_smartds(port: u8, b: u32, c: u32, rep: u8) -> Plan {
             Step::Wait(NET_PROPAGATION),
             Step::Xfer(Res::PortRx(port), w(H + b)),
         ],
-        vec![Step::Xfer(Res::Hbm, b)],
+        vec![Step::Note(StageKind::Split, "aams-split"), Step::Xfer(Res::Hbm, b)],
         vec![Step::Xfer(Res::DevD2H, H), Step::Xfer(Res::MemWrite, H)],
     ]));
     // ② Host software parses the header — full flexibility, trivial cost.
     p.phases.push(Phase::seq(vec![
-        Step::Mark(Milestone::Ingested),
+        Step::Mark(StageKind::Ingress),
         Step::Cpu(CpuWork::ParseHeader),
-        Step::Mark(Milestone::Parsed),
+        Step::Mark(StageKind::Parse),
     ]));
     // ③ dev_func: the port's engine compresses in place in HBM.
     p.phases.push(Phase::seq(vec![Step::Cpu(CpuWork::PostVerb)]));
@@ -415,7 +410,7 @@ fn write_smartds(port: u8, b: u32, c: u32, rep: u8) -> Plan {
         vec![Step::Xfer(Res::Hbm, b)],
         vec![Step::Xfer(Res::Hbm, c)],
     ]));
-    p.phases.push(Phase::seq(vec![Step::Mark(Milestone::Compressed)]));
+    p.phases.push(Phase::seq(vec![Step::Mark(StageKind::Compress)]));
     // ④ dev_mixed_send ×3, posted as one batch. The Assemble module fetches
     // the (shared) header from host memory **once** and replays it for all
     // three replicas, so PCIe carries 64 B here, not 192 B. Storage-server
@@ -423,6 +418,7 @@ fn write_smartds(port: u8, b: u32, c: u32, rep: u8) -> Plan {
     // §4.1); the host sees a single completion record.
     p.phases.push(Phase::seq(vec![
         Step::Cpu(CpuWork::PostVerb),
+        Step::Note(StageKind::Assemble, "aams-assemble"),
         Step::Xfer(Res::DevH2D, H),
         Step::Xfer(Res::MemRead, H),
     ]));
@@ -443,7 +439,7 @@ fn write_smartds(port: u8, b: u32, c: u32, rep: u8) -> Plan {
     // ⑤ One completion record (CQE) to the host, then the VM ack (header
     // assembled from host memory, nothing from HBM).
     p.phases.push(Phase::par(vec![
-        vec![Step::Mark(Milestone::Replicated), Step::Cpu(CpuWork::PostVerb)],
+        vec![Step::Mark(StageKind::Replicate), Step::Cpu(CpuWork::PostVerb)],
         vec![Step::Xfer(Res::DevD2H, H), Step::Xfer(Res::MemWrite, H)],
     ]));
     p.phases.push(Phase::par(vec![vec![
@@ -553,7 +549,7 @@ pub fn read_plan(design: Design, port: u8, b: u32, c: u32) -> Plan {
         Design::SmartDs { .. } => {
             // Reply splits: header to host, compressed payload to HBM.
             p.phases.push(Phase::par(vec![
-                vec![Step::Xfer(Res::Hbm, c)],
+                vec![Step::Note(StageKind::Split, "reply-split"), Step::Xfer(Res::Hbm, c)],
                 vec![Step::Xfer(Res::DevD2H, H), Step::Xfer(Res::MemWrite, H)],
             ]));
             p.phases.push(Phase::seq(vec![
@@ -568,6 +564,7 @@ pub fn read_plan(design: Design, port: u8, b: u32, c: u32) -> Plan {
             ]));
             p.phases.push(Phase::seq(vec![Step::Cpu(CpuWork::PostVerb)]));
             p.phases.push(Phase::par(vec![vec![
+                Step::Note(StageKind::Assemble, "reply-assemble"),
                 Step::Xfer(Res::DevH2D, H),
                 Step::Xfer(Res::MemRead, H),
                 Step::Xfer(Res::Hbm, b),

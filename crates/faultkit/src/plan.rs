@@ -14,6 +14,7 @@
 //! trivially destroy every replica unless the spec asks for that.
 
 use simkit::{Rng, Time};
+use std::fmt;
 
 /// Which fabric resource a link fault degrades.
 ///
@@ -116,6 +117,20 @@ impl FaultKind {
                 format!("link-degrade {} frac={fraction:.3}", link.label())
             }
         }
+    }
+}
+
+impl fmt::Display for LinkTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The same stable string [`FaultPlan::trace`] uses per event, so trace
+/// annotations and golden schedules agree on fault names.
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
     }
 }
 

@@ -80,6 +80,16 @@ impl CompressEngine {
     pub fn jobs_done(&self) -> u64 {
         self.pool.jobs_done()
     }
+
+    /// Lanes currently serving a block.
+    pub fn busy(&self) -> usize {
+        self.pool.busy()
+    }
+
+    /// Blocks waiting behind the engine's lanes.
+    pub fn queued(&self) -> usize {
+        self.pool.queued()
+    }
 }
 
 /// What a CPU job is doing (service times differ per kind).

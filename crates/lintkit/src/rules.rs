@@ -65,6 +65,12 @@ pub const RULES: &[RuleInfo] = &[
                   dependency; versions, git, and registry sources are forbidden",
     },
     RuleInfo {
+        name: "span-balance",
+        summary: "a statement-position span_open(…) whose SpanId is discarded must be \
+                  covered by span_close calls in the same function body \
+                  (an unclosed span never retires to the sink and leaks)",
+    },
+    RuleInfo {
         name: "bad-allow",
         summary: "a `// simlint:` annotation that does not parse as \
                   allow(<rule>, reason = \"…\") with a known rule and non-empty reason",
@@ -77,7 +83,7 @@ pub const RULES: &[RuleInfo] = &[
 
 /// Crates whose `src/` trees are simulation-observable: nondeterministic
 /// iteration order there can change reports byte-for-byte.
-pub const SIM_CRATES: &[&str] = &["simkit", "rocenet", "blockstore", "core", "hwmodel"];
+pub const SIM_CRATES: &[&str] = &["simkit", "rocenet", "blockstore", "core", "hwmodel", "tracekit"];
 
 /// Files where `lossy-time-cast` applies: the time arithmetic core.
 pub const TIME_CAST_FILES: &[&str] = &[
@@ -289,6 +295,117 @@ pub fn lint_rust_file(rel: &str, src: &str) -> Vec<Diagnostic> {
                 ),
                 &mut diags,
             );
+        }
+    }
+
+    // span-balance: a span_open whose SpanId is discarded in statement
+    // position opens a span nothing can ever close. Scan each non-test
+    // function body; discarded opens beyond the body's span_close count are
+    // reported. Captured results (`let sid = …`, returns, arguments) are
+    // exempt — they are parked and closed elsewhere by construction.
+    if sim_lib {
+        let mut f = 0usize;
+        while f < code.len() {
+            let ft = code[f];
+            if !(ft.kind == TokenKind::Ident && ft.text == "fn") || ft.in_test {
+                f += 1;
+                continue;
+            }
+            // Find the body's opening brace; a `;` first means no body.
+            let mut j = f + 1;
+            let body = loop {
+                match code.get(j) {
+                    None => break None,
+                    Some(t) if t.kind == TokenKind::Punct && t.text == "{" => break Some(j),
+                    Some(t) if t.kind == TokenKind::Punct && t.text == ";" => break None,
+                    Some(_) => j += 1,
+                }
+            };
+            let Some(open) = body else {
+                f = j.min(code.len());
+                continue;
+            };
+            let mut depth = 1usize;
+            let mut k = open + 1;
+            let mut dropped: Vec<u32> = Vec::new();
+            let mut closes = 0usize;
+            while k < code.len() && depth > 0 {
+                let tk = code[k];
+                if tk.kind == TokenKind::Punct {
+                    if tk.text == "{" {
+                        depth += 1;
+                    } else if tk.text == "}" {
+                        depth -= 1;
+                    }
+                } else if tk.kind == TokenKind::Ident
+                    && code.get(k + 1).is_some_and(|n| n.text == "(")
+                    && code[k - 1].text != "fn"
+                {
+                    if tk.text == "span_close" {
+                        closes += 1;
+                    } else if tk.text == "span_open" {
+                        // Walk back to the start of the call's receiver
+                        // chain (`self.tracer.span_open`, `tr::span_open`).
+                        let mut p = k;
+                        while p >= 1 {
+                            let mut q = p;
+                            while q >= 1
+                                && code[q - 1].kind == TokenKind::Punct
+                                && (code[q - 1].text == "." || code[q - 1].text == ":")
+                            {
+                                q -= 1;
+                            }
+                            if q == p {
+                                break;
+                            }
+                            if q >= 1 && code[q - 1].kind == TokenKind::Ident {
+                                p = q - 1;
+                            } else {
+                                p = q;
+                                break;
+                            }
+                        }
+                        let stmt = p <= open + 1
+                            || matches!(code[p - 1].text, ";" | "{" | "}");
+                        // The call's value is discarded only when the call
+                        // itself ends the statement (`…span_open(…);`).
+                        let mut paren = 0usize;
+                        let mut m = k + 1;
+                        while m < code.len() {
+                            if code[m].kind == TokenKind::Punct {
+                                if code[m].text == "(" {
+                                    paren += 1;
+                                } else if code[m].text == ")" {
+                                    paren -= 1;
+                                    if paren == 0 {
+                                        break;
+                                    }
+                                }
+                            }
+                            m += 1;
+                        }
+                        let discarded =
+                            code.get(m + 1).is_some_and(|n| n.text == ";");
+                        if stmt && discarded {
+                            dropped.push(tk.line);
+                        }
+                    }
+                }
+                k += 1;
+            }
+            let excess = dropped.len().saturating_sub(closes);
+            for line in dropped.iter().rev().take(excess).rev() {
+                push(
+                    "span-balance",
+                    *line,
+                    "span_open's SpanId is discarded and this function body has no \
+                     matching span_close; bind the id and close it, or park it \
+                     somewhere a later close can reach"
+                        .to_string(),
+                    &mut diags,
+                );
+            }
+            f += 1;
         }
     }
     diags
@@ -601,6 +718,43 @@ mod tests {
         assert!(rust("crates/simkit/src/hist.rs", src).is_empty());
         // `as usize` is not a lossy time cast.
         assert!(rust("crates/simkit/src/fluid.rs", "fn f(x: u32) { x as usize; }").is_empty());
+    }
+
+    #[test]
+    fn span_balance_flags_dropped_opens() {
+        let src = "fn f(tr: &mut Tracer) { tr.span_open(a, b, now); }\n";
+        let d = rust("crates/core/src/cluster.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "span-balance");
+        assert_eq!(d[0].line, 1);
+        // Two statement-position opens against one close: one report.
+        let two = "fn f(tr: &mut Tracer) {\n    tr.span_open(a);\n    tr.span_open(b);\n    \
+                   tr.span_close(id, now);\n}\n";
+        let d = rust("crates/core/src/cluster.rs", two);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3, "the later open is the unmatched one");
+    }
+
+    #[test]
+    fn span_balance_accepts_balanced_captured_and_definitions() {
+        // Open and close in the same body.
+        let ok = "fn f(tr: &mut Tracer) { tr.span_open(a); tr.span_close(id, now); }\n";
+        assert!(rust("crates/core/src/cluster.rs", ok).is_empty());
+        // Captured into a binding (parked and closed elsewhere).
+        let cap = "fn f(tr: &mut Tracer) { let sid = self.tracer.span_open(a); park(sid); }\n";
+        assert!(rust("crates/core/src/cluster.rs", cap).is_empty());
+        // Returned to the caller.
+        let ret = "fn f(tr: &mut Tracer) -> SpanId { return tr.span_open(a); }\n";
+        assert!(rust("crates/core/src/cluster.rs", ret).is_empty());
+        // The method definition itself is not a call site.
+        let def = "impl Tracer { pub fn span_open(&mut self) -> SpanId { SpanId(0) } }\n";
+        assert!(rust("crates/tracekit/src/tracer.rs", def).is_empty());
+        // Test code is exempt.
+        let test = "#[cfg(test)]\nmod tests { fn f(tr: &mut Tracer) { tr.span_open(a); } }\n";
+        assert!(rust("crates/core/src/cluster.rs", test).is_empty());
+        // Non-sim crates are out of scope.
+        let other = "fn f(tr: &mut Tracer) { tr.span_open(a); }\n";
+        assert!(rust("crates/bench/src/breakdown.rs", other).is_empty());
     }
 
     #[test]

@@ -34,6 +34,7 @@ mod mem;
 mod message;
 mod qp;
 pub mod rc;
+pub mod trace;
 pub mod verbs;
 
 pub use aams::{

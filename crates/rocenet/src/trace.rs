@@ -1,0 +1,211 @@
+//! Traced wrappers around the Split/Assemble and RC wire hot paths.
+//!
+//! Each wrapper performs exactly the same functional operation as its
+//! untraced counterpart and additionally emits one tracekit span describing
+//! what moved: byte counts from the real message sizes, notes for the
+//! interesting outcomes (`split-error`, `retransmit`, `duplicate`, `nak`).
+//! With a disabled tracer every span call is a no-op, so drivers can route
+//! all traffic through these wrappers unconditionally.
+
+use crate::aams::{assemble_from, split_into, AamsError, RecvDesc, SendDesc, SplitPlacement};
+use crate::mem::MemPool;
+use crate::message::Message;
+use crate::rc::{Control, DataPacket, RcReceiver, RcSender, RxAction};
+use simkit::Time;
+use tracekit::{SpanId, StageKind, TraceId, Tracer};
+
+/// [`split_into`] with a `Split` span recording message size and placement.
+#[allow(clippy::too_many_arguments)]
+pub fn split_into_traced(
+    msg: &Message,
+    desc: &RecvDesc,
+    host: &mut MemPool,
+    dev: &mut MemPool,
+    tracer: &mut Tracer,
+    trace: TraceId,
+    parent: SpanId,
+    now: Time,
+) -> Result<SplitPlacement, AamsError> {
+    let sid = tracer.span_open(trace, parent, StageKind::Split, "aams-split", msg.len() as u64, now);
+    let out = split_into(msg, desc, host, dev);
+    match &out {
+        Ok(placed) if placed.dev_bytes == 0 => tracer.span_note(sid, "host-only"),
+        Ok(_) => {}
+        Err(_) => tracer.span_note(sid, "split-error"),
+    }
+    tracer.span_close(sid, now);
+    out
+}
+
+/// [`assemble_from`] with an `Assemble` span recording the gathered bytes.
+pub fn assemble_from_traced(
+    desc: &SendDesc,
+    host: &MemPool,
+    dev: &MemPool,
+    tracer: &mut Tracer,
+    trace: TraceId,
+    parent: SpanId,
+    now: Time,
+) -> Result<Message, AamsError> {
+    let bytes = (desc.h_size + desc.d_size) as u64;
+    let sid = tracer.span_open(trace, parent, StageKind::Assemble, "aams-assemble", bytes, now);
+    let out = assemble_from(desc, host, dev);
+    if out.is_err() {
+        tracer.span_note(sid, "assemble-error");
+    }
+    tracer.span_close(sid, now);
+    out
+}
+
+/// [`RcSender::poll_tx`] with an `RcTx` span per emitted packet, noting
+/// go-back-N retransmissions.
+pub fn poll_tx_traced(
+    tx: &mut RcSender,
+    tracer: &mut Tracer,
+    trace: TraceId,
+    parent: SpanId,
+    now: Time,
+) -> Option<DataPacket> {
+    // A fresh packet grows the in-flight window; a go-back-N replay of an
+    // already-sent packet leaves it unchanged.
+    let before = tx.in_flight();
+    let pkt = tx.poll_tx();
+    if let Some(p) = &pkt {
+        let sid =
+            tracer.span_open(trace, parent, StageKind::RcTx, "rc-tx", p.payload.len() as u64, now);
+        if tx.in_flight() == before {
+            tracer.span_note(sid, "retransmit");
+        }
+        tracer.span_close(sid, now);
+    }
+    pkt
+}
+
+/// [`RcReceiver::on_packet`] with an `RcRx` span per packet, noting
+/// duplicates, NAKs, RNR pushback, and message delivery.
+pub fn on_packet_traced(
+    rx: &mut RcReceiver,
+    pkt: &DataPacket,
+    tracer: &mut Tracer,
+    trace: TraceId,
+    parent: SpanId,
+    now: Time,
+) -> RxAction {
+    let dups = rx.duplicates();
+    let act = rx.on_packet(pkt);
+    let sid =
+        tracer.span_open(trace, parent, StageKind::RcRx, "rc-rx", pkt.payload.len() as u64, now);
+    if rx.duplicates() > dups {
+        tracer.span_note(sid, "duplicate");
+    }
+    match &act {
+        RxAction::Reply(Control::Nak { .. }) => tracer.span_note(sid, "nak"),
+        RxAction::Reply(Control::RnrNak { .. }) => tracer.span_note(sid, "rnr"),
+        RxAction::Reply(Control::Ack(_)) => {}
+        RxAction::Deliver { .. } => tracer.span_note(sid, "deliver"),
+    }
+    tracer.span_close(sid, now);
+    act
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rc::Psn;
+    use tracekit::TraceConfig;
+
+    fn t(us: f64) -> Time {
+        Time::from_us(us)
+    }
+
+    #[test]
+    fn wire_spans_note_drops_and_duplicates() {
+        let mut tracer = Tracer::new(7, TraceConfig::default());
+        let trace = tracer.trace_for(0);
+        let mut tx = RcSender::new(1024, 8, Psn::new(0));
+        let mut rx = RcReceiver::new(Psn::new(0), 4);
+        tx.post(1, Message::from_bytes(vec![0xAB; 3000]));
+        let mut clock = 0.0;
+        let mut sent = Vec::new();
+        while let Some(p) = poll_tx_traced(&mut tx, &mut tracer, trace, SpanId::NULL, t(clock)) {
+            clock += 1.0;
+            sent.push(p);
+        }
+        assert_eq!(sent.len(), 3, "3000 B over 1024 B MTU is 3 packets");
+        // Drop the middle packet; deliver 1st and 3rd, then replay on NAK.
+        for (i, p) in sent.iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            let act = on_packet_traced(&mut rx, p, &mut tracer, trace, SpanId::NULL, t(clock));
+            clock += 1.0;
+            if let RxAction::Reply(ctrl) = act {
+                tx.on_control(ctrl);
+            }
+        }
+        // The NAK rewound the sender: replay everything still in flight.
+        let mut delivered = false;
+        while let Some(p) = poll_tx_traced(&mut tx, &mut tracer, trace, SpanId::NULL, t(clock)) {
+            clock += 1.0;
+            let act = on_packet_traced(&mut rx, &p, &mut tracer, trace, SpanId::NULL, t(clock));
+            match act {
+                RxAction::Reply(ctrl) => tx.on_control(ctrl),
+                RxAction::Deliver { msg, reply, .. } => {
+                    assert_eq!(msg.len(), 3000);
+                    tx.on_control(reply);
+                    delivered = true;
+                }
+            }
+        }
+        assert!(delivered, "message must be delivered after recovery");
+        let notes: Vec<&str> = tracer.spans().flat_map(|s| s.notes.iter().copied()).collect();
+        assert!(notes.contains(&"retransmit"), "notes: {notes:?}");
+        assert!(notes.contains(&"nak"), "notes: {notes:?}");
+        assert!(notes.contains(&"deliver"), "notes: {notes:?}");
+        assert!(
+            tracer.spans().all(|s| s.kind == StageKind::RcTx || s.kind == StageKind::RcRx),
+            "only wire spans emitted here"
+        );
+    }
+
+    #[test]
+    fn split_and_assemble_spans_carry_byte_counts() {
+        let mut tracer = Tracer::new(7, TraceConfig::default());
+        let trace = tracer.trace_for(0);
+        let mut host = MemPool::new("host", 1 << 12);
+        let mut dev = MemPool::new("dev", 1 << 16);
+        let h_buf = host.alloc(64).expect("host alloc");
+        let d_buf = dev.alloc(4096).expect("dev alloc");
+        let msg = Message::header_payload(vec![1; 64], vec![2; 4096]);
+        let desc = RecvDesc::split(9, h_buf, 64, d_buf);
+        let placed = split_into_traced(
+            &msg,
+            &desc,
+            &mut host,
+            &mut dev,
+            &mut tracer,
+            trace,
+            SpanId::NULL,
+            t(1.0),
+        )
+        .expect("split ok");
+        assert_eq!(placed.dev_bytes, 4096);
+        let send = SendDesc {
+            wr_id: 9,
+            h_buf,
+            h_size: 64,
+            d_buf: Some(d_buf),
+            d_size: 4096,
+        };
+        let out =
+            assemble_from_traced(&send, &host, &dev, &mut tracer, trace, SpanId::NULL, t(2.0))
+                .expect("assemble ok");
+        assert_eq!(out.to_bytes(), msg.to_bytes());
+        let spans: Vec<_> = tracer.spans().collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].kind, StageKind::Split);
+        assert_eq!(spans[0].bytes, 64 + 4096);
+        assert_eq!(spans[1].kind, StageKind::Assemble);
+        assert_eq!(spans[1].bytes, 64 + 4096);
+    }
+}

@@ -1,0 +1,38 @@
+//! # tracekit — deterministic per-request tracing for the SmartDS simulation
+//!
+//! The aggregate histograms in `core::metrics` say *how long* a write takes;
+//! tracekit says *where the time went*. The event engine opens and closes
+//! spans at simulated time as a request moves through NIC ingress, AAMS
+//! split, DMA, compression, the RC fabric, and replication, producing the
+//! same stage sequence the paper's latency-breakdown figures draw.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Sampling is a pure function of `(seed, request
+//!    ordinal)`; span ids are sequential; spans retire in close order. Two
+//!    runs of the same seed export byte-identical traces, so traces diff
+//!    cleanly across code changes and chaos replays.
+//! 2. **Bounded memory.** Closed spans land in a ring sink
+//!    ([`TraceConfig::capacity`]); the oldest are evicted and counted, never
+//!    silently lost.
+//! 3. **Zero overhead when off.** A disabled tracer returns [`SpanId::NULL`]
+//!    from every open, and every operation on the null span is a no-op —
+//!    instrumented code never branches on tracing state.
+//!
+//! Two exporters: [`chrome::export`] writes Chrome `trace_event` JSON
+//! (openable in `chrome://tracing` or Perfetto), and [`StageBreakdown`]
+//! aggregates spans/segments into the per-stage mean/p99/p999 table.
+//! Fault-injection events registered via [`Tracer::fault_mark`] annotate
+//! every span whose interval contains them, making chaos runs explainable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod chrome;
+pub mod span;
+pub mod tracer;
+
+pub use breakdown::{rows_json, SegmentAccum, StageBreakdown, StageRow};
+pub use span::{well_formed, Span, SpanId, StageKind, TraceId};
+pub use tracer::{TraceConfig, Tracer};

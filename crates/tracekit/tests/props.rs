@@ -1,0 +1,78 @@
+//! Property tests for the tracer: arbitrary open/close scripts yield
+//! well-formed span trees, byte-identical exports for identical inputs, and
+//! a hard ring-buffer bound. Replay failures with `TESTKIT_SEED=<seed>`.
+
+use simkit::Time;
+use testkit::gen;
+use tracekit::{well_formed, Span, SpanId, StageKind, TraceConfig, TraceId, Tracer};
+
+/// Drives a tracer from a script of opcodes: each op advances simulated time,
+/// then either closes the innermost open span (`op % 3 == 2`) or opens a
+/// child of it. Whatever is left open at the end is closed innermost-first,
+/// as the cluster's own unwind paths do.
+fn run_script(seed: u64, ops: &[u64], capacity: usize) -> Tracer {
+    let mut tr = Tracer::new(
+        seed,
+        TraceConfig {
+            sample_one_in: 1,
+            capacity,
+        },
+    );
+    let trace = TraceId(2);
+    let mut stack: Vec<SpanId> = Vec::new();
+    let mut now = 0u64;
+    for &op in ops {
+        now += op % 997 + 1;
+        let t = Time::from_ps(now);
+        if op % 3 == 2 {
+            if let Some(id) = stack.pop() {
+                tr.span_close(id, t);
+                continue;
+            }
+        }
+        let parent = stack.last().copied().unwrap_or(SpanId::NULL);
+        let kind = StageKind::ALL[(op as usize) % StageKind::ALL.len()];
+        let id = tr.span_open(trace, parent, kind, "op", op, t);
+        stack.push(id);
+    }
+    while let Some(id) = stack.pop() {
+        now += 1;
+        tr.span_close(id, Time::from_ps(now));
+    }
+    tr
+}
+
+testkit::prop! {
+    cases = 96;
+
+    /// No orphan parents, `close >= open`, and every child's interval nests
+    /// inside its parent's — for arbitrary interleavings at monotone
+    /// simulated time.
+    fn span_trees_are_well_formed(
+        seed in gen::u64s(0..1024),
+        ops in gen::vecs(gen::u64s(0..100_000), 1..200),
+    ) {
+        let tr = run_script(seed, &ops, 1 << 16);
+        assert_eq!(tr.opened(), tr.closed(), "unbalanced open/close");
+        assert_eq!(tr.open_count(), 0);
+        let spans: Vec<Span> = tr.spans().cloned().collect();
+        assert!(!spans.is_empty());
+        if let Err(e) = well_formed(&spans) {
+            panic!("{e}");
+        }
+    }
+
+    /// The same script exports byte-identical Chrome JSON, and the ring sink
+    /// never holds more than its capacity (evictions are accounted for).
+    fn export_is_deterministic_and_bounded(
+        seed in gen::u64s(0..1024),
+        ops in gen::vecs(gen::u64s(0..100_000), 1..200),
+        cap in gen::u64s(1..32),
+    ) {
+        let a = run_script(seed, &ops, cap as usize);
+        let b = run_script(seed, &ops, cap as usize);
+        assert_eq!(a.export_chrome(), b.export_chrome(), "same seed, different bytes");
+        assert!(a.spans().count() <= cap as usize);
+        assert_eq!(a.dropped() + a.spans().count() as u64, a.closed());
+    }
+}

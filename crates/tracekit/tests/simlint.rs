@@ -1,0 +1,7 @@
+//! Embeds the workspace simlint gate so `cargo test -p tracekit` catches
+//! determinism-invariant violations without a separate lint run.
+
+#[test]
+fn simlint_workspace_clean() {
+    lintkit::assert_workspace_clean(env!("CARGO_MANIFEST_DIR"));
+}

@@ -15,3 +15,5 @@
 //! * `cold_archive` — tiering compacted chunks into checksummed `.lz4`
 //!   frames and restoring them byte-perfectly.
 //! * `tenants` — per-VM token-bucket rate limiting on a shared middle tier.
+//! * `trace` — a traced run: per-stage latency breakdown plus a Chrome
+//!   `trace_event` export for `chrome://tracing` / Perfetto.
