@@ -26,3 +26,11 @@ SMARTDS_CHAOS_SEED=202 cargo test -q --offline -p system-tests --test faults
 # a Chrome trace that replays byte-identically, round-trips through the
 # in-repo JSON parser, is non-empty, and has balanced (open == close) spans.
 SMARTDS_CHAOS_SEED=303 cargo test -q --offline -p system-tests --test tracing
+
+# Simulator perf snapshot, quick profile, report-only: prints events/sec and
+# writes BENCH_PERF.quick.json (untracked scratch — the committed
+# BENCH_PERF.json baseline is full-profile only) so every CI log carries a
+# throughput reference. No wall-clock assertion here — hosts differ; the
+# deterministic events-budget gate lives in `system-tests --test perf_budget`
+# (part of `cargo test` above).
+SMARTDS_THREADS=1 cargo run -q -p smartds-bench --release --offline --bin experiments -- perf --quick

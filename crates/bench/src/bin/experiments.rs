@@ -7,8 +7,8 @@
 //! ```
 
 use smartds_bench::{
-    breakdown, csv, curve, degraded, fig4, json, loc, reads, sec55, soc, stages, sweeps, table1,
-    table3, tco, Profile,
+    breakdown, csv, curve, degraded, fig4, json, loc, perf, reads, sec55, soc, stages, sweeps,
+    table1, table3, tco, Profile,
 };
 use std::path::PathBuf;
 
@@ -129,11 +129,21 @@ fn main() {
         println!();
         ran = true;
     }
+    // Not part of `all`: perf measures the simulator itself, and its wall
+    // times would be skewed by whatever other experiments just ran.
+    if which == "perf" {
+        let rows = perf::run(profile);
+        if let Err(e) = perf::write_json(&PathBuf::from("."), profile, &rows) {
+            eprintln!("perf export failed: {e}");
+        }
+        println!();
+        ran = true;
+    }
     if !ran {
         eprintln!(
             "unknown experiment '{which}'; expected one of: \
              table1 table3 fig4 fig7 fig8 fig9 fig10 sec55 soc curve tco stages breakdown reads \
-             degraded loc all"
+             degraded loc perf all"
         );
         std::process::exit(2);
     }

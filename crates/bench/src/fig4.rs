@@ -9,7 +9,7 @@
 //! paper.
 
 use hwmodel::{wire_bytes, HostMemory, MemClass, MlcInjector, NicPort};
-use simkit::{FlowSpec, Meter, Scheduler, Simulation, Time, World};
+use simkit::{FlowSpec, Meter, Scheduler, Simulation, Time, WakeCoalescer, World};
 
 /// RDMA message size used by the paper (4 MiB).
 pub const MSG_BYTES: usize = 4 << 20;
@@ -39,7 +39,7 @@ enum Stage {
 
 #[derive(Debug)]
 enum Ev {
-    Wake(u8, u64), // fluid index, epoch
+    Wake(u8, u64, u64), // fluid index, epoch, coalescer serial
     Warmup,
     End,
 }
@@ -51,6 +51,10 @@ struct Fwd {
     remaining: Vec<u8>,
     meter: Meter,
     touched: u8,
+    /// One wakeup coalescer per fluid (indexed by `F_MEM`/`F_RX`/`F_TX`):
+    /// at most one armed heap entry each, schedule-equivalent to the
+    /// push-per-batch driver (see [`simkit::wake`]).
+    coal: [WakeCoalescer; 3],
 }
 
 const F_MEM: u8 = 0;
@@ -116,9 +120,20 @@ impl Fwd {
         for i in [F_MEM, F_RX, F_TX] {
             if mask & (1 << i) != 0 {
                 let f = self.fluid_mut(i);
-                if let Some(at) = f.next_wake() {
-                    let epoch = f.epoch();
-                    sched.schedule_at(at.max(sched.now()), Ev::Wake(i, epoch));
+                let epoch = f.epoch();
+                let want = f.next_wake();
+                let now = sched.now();
+                let (a, b) =
+                    self.coal[i as usize].arm(want.map(|at| at.max(now)), epoch, || {
+                        sched.reserve_seq()
+                    });
+                for e in [a, b].into_iter().flatten() {
+                    match e.seq {
+                        Some(seq) => {
+                            sched.schedule_at_seq(e.at, seq, Ev::Wake(i, e.epoch, e.serial))
+                        }
+                        None => sched.schedule_at(e.at, Ev::Wake(i, e.epoch, e.serial)),
+                    }
                 }
             }
         }
@@ -130,8 +145,17 @@ impl World for Fwd {
 
     fn handle(&mut self, ev: Ev, sched: &mut Scheduler<Ev>) {
         match ev {
-            Ev::Wake(i, epoch) => {
-                if self.fluid_mut(i).epoch() != epoch {
+            Ev::Wake(i, epoch, serial) => {
+                // Sentinel bookkeeping first (see `core::cluster`'s Wake
+                // handler for the protocol).
+                let current = self.fluid_mut(i).epoch();
+                if let Some(e) = self.coal[i as usize].on_delivery(serial, current) {
+                    let Some(seq) = e.seq else {
+                        unreachable!("materialized wakes always carry a reserved seq")
+                    };
+                    sched.schedule_at_seq(e.at, seq, Ev::Wake(i, e.epoch, e.serial));
+                }
+                if current != epoch {
                     return;
                 }
                 let now = sched.now();
@@ -178,6 +202,7 @@ pub fn point(delay_cycles: u32, mlc_cores: usize) -> Fig4Point {
         remaining: vec![0; OUTSTANDING],
         meter: Meter::new(),
         touched: 0,
+        coal: Default::default(),
     };
     let mut mlc = MlcInjector::new(mlc_cores, delay_cycles);
     mlc.start(&mut world.mem, Time::ZERO);
@@ -189,18 +214,26 @@ pub fn point(delay_cycles: u32, mlc_cores: usize) -> Fig4Point {
     let warmup = Time::from_ms(5.0);
     let end = Time::from_ms(25.0);
     let mut sim = Simulation::new(world);
-    // Initial arming.
-    sim.world_mut().touched = 0b111;
+    // Initial arming. The coalescers are fresh (nothing armed), so each
+    // arm yields exactly one plain push and never needs a reserved seq.
+    sim.world_mut().touched = 0;
     let now = sim.now();
     let mut first = Vec::new();
     for i in [F_MEM, F_RX, F_TX] {
-        let f = sim.world_mut().fluid_mut(i);
-        if let Some(at) = f.next_wake() {
-            first.push((at.max(now), i, f.epoch()));
+        let world = sim.world_mut();
+        let f = world.fluid_mut(i);
+        let epoch = f.epoch();
+        let want = f.next_wake().map(|at| at.max(now));
+        let (a, b) = world.coal[i as usize]
+            .arm(want, epoch, || unreachable!("fresh coalescers never defer"));
+        debug_assert!(b.is_none());
+        if let Some(e) = a {
+            debug_assert!(e.seq.is_none());
+            first.push((e.at, i, e.epoch, e.serial));
         }
     }
-    for (at, i, epoch) in first {
-        sim.schedule_at(at, Ev::Wake(i, epoch));
+    for (at, i, epoch, serial) in first {
+        sim.schedule_at(at, Ev::Wake(i, epoch, serial));
     }
     sim.schedule_at(warmup, Ev::Warmup);
     sim.schedule_at(end, Ev::End);

@@ -23,6 +23,7 @@
 //! | reads  | extension: read-only workload           | [`reads::run`] |
 //! | degraded | extension: faults & degraded mode     | [`degraded::run`] |
 //! | loc    | programmability (lines of code)         | [`loc::run`] |
+//! | perf   | simulator hot-path throughput           | [`perf::run`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +35,7 @@ pub mod degraded;
 pub mod fig4;
 pub mod json;
 pub mod loc;
+pub mod perf;
 pub mod pool;
 pub mod reads;
 pub mod sec55;

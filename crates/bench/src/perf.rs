@@ -1,0 +1,261 @@
+//! `perf` experiment: measures the **simulator itself**, not the simulated
+//! system.
+//!
+//! Every figure in the reproduction is produced by the discrete-event core,
+//! so the throughput of the evaluation harness — events executed per
+//! wall-clock second — bounds how dense a sweep or how long a chaos storm
+//! we can afford. This experiment runs three pinned-seed workloads that
+//! stress the hot path in different ways, measures wall time around each,
+//! and writes `BENCH_PERF.json` so every PR has a perf reference:
+//!
+//! - **sweep_dense** — the SmartDS port sweep at high closed-loop depth
+//!   (hundreds of concurrent fluid flows per resource): stresses the
+//!   water-filling solver and wakeup arming.
+//! - **chaos** — a seeded fault storm with request timeouts armed:
+//!   stresses epoch churn (capacity changes re-water-fill everything) and
+//!   the retry machinery.
+//! - **breakdown** — a fully traced run (`sample_one_in = 1`): stresses
+//!   the span pipeline riding on every event.
+//!
+//! Workloads run sequentially on the calling thread — wall time here must
+//! not depend on pool scheduling (the sweeps' `bench::pool` honors
+//! `SMARTDS_THREADS` for the same reason). Simulated outcomes (events,
+//! requests) are deterministic per seed; only `wall_ms`/`events_per_sec`
+//! vary with the host. Comparisons are valid on the same machine only.
+
+use crate::Profile;
+use faultkit::{ChaosSpec, FaultPlan};
+use simkit::json::{array_raw, Object};
+use simkit::Time;
+use smartds::{cluster, Design, RunConfig};
+use std::io::Write as _;
+use std::path::Path;
+
+/// One measured workload.
+#[derive(Clone, Debug)]
+pub struct PerfRow {
+    /// Workload id (stable across PRs; used as the JSON key).
+    pub name: &'static str,
+    /// The pinned workload seed.
+    pub seed: u64,
+    /// Requests completed inside the measurement window (simulated).
+    pub requests: u64,
+    /// Discrete events the engine executed (simulated, deterministic).
+    pub events: u64,
+    /// Host wall-clock time for the whole workload, milliseconds.
+    pub wall_ms: f64,
+    /// Events per wall-clock second — the headline simulator throughput.
+    pub events_per_sec: f64,
+}
+
+impl PerfRow {
+    fn to_json(&self) -> String {
+        Object::new()
+            .field("name", self.name)
+            .field("seed", self.seed)
+            .field("requests", self.requests)
+            .field("events", self.events)
+            .field("wall_ms", self.wall_ms)
+            .field("events_per_sec", self.events_per_sec)
+            .finish()
+    }
+}
+
+/// Measures wall time around `f`, returning `(wall_ms, output)`.
+fn timed<O>(f: impl FnOnce() -> O) -> (f64, O) {
+    // simlint: allow(wall-clock, reason = "the perf harness measures the host running the simulator, never simulated time")
+    let start = std::time::Instant::now();
+    let out = f();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    (wall_ms, out)
+}
+
+fn windows(profile: Profile, mut cfg: RunConfig) -> RunConfig {
+    match profile {
+        Profile::Quick => {
+            cfg.warmup = Time::from_ms(1.0);
+            cfg.measure = Time::from_ms(3.0);
+            cfg.pool_blocks = 64;
+        }
+        Profile::Full => {
+            cfg.warmup = Time::from_ms(3.0);
+            cfg.measure = Time::from_ms(9.0);
+            cfg.pool_blocks = 128;
+        }
+    }
+    cfg
+}
+
+/// The dense port sweep: SmartDS 1–6 ports at high closed-loop depth.
+fn sweep_dense(profile: Profile, seed: u64) -> PerfRow {
+    let (wall_ms, (events, requests)) = timed(|| {
+        let mut events = 0u64;
+        let mut requests = 0u64;
+        for ports in 1..=6usize {
+            let mut cfg =
+                windows(profile, RunConfig::saturating(Design::SmartDs { ports }));
+            cfg.outstanding = 256 * ports;
+            cfg.seed = seed;
+            let (report, _, executed) = cluster::run_counted(&cfg, |_| {});
+            events += executed;
+            requests += report.writes_done;
+        }
+        (events, requests)
+    });
+    PerfRow {
+        name: "sweep_dense",
+        seed,
+        requests,
+        events,
+        wall_ms,
+        events_per_sec: events as f64 / (wall_ms / 1e3),
+    }
+}
+
+/// A seeded chaos storm with the retry machinery armed.
+fn chaos(profile: Profile, seed: u64) -> PerfRow {
+    let (wall_ms, (events, requests)) = timed(|| {
+        let mut cfg = windows(profile, RunConfig::saturating(Design::SmartDs { ports: 1 }));
+        let end = cfg.warmup + cfg.measure;
+        let spec = ChaosSpec::new(cfg.warmup, end)
+            .with_servers(6)
+            .with_ports(1)
+            .with_crashes(1)
+            .with_stalls(1)
+            .with_link_flaps(2)
+            .with_mean_outage(Time::from_us(600.0))
+            .with_max_concurrent_down(1)
+            .with_slow_factor(16.0);
+        cfg.seed = seed;
+        let cfg = cfg
+            .with_fault_plan(FaultPlan::chaos(seed, &spec))
+            .with_request_timeout(Time::from_ms(1.0));
+        let (report, _, executed) = cluster::run_counted(&cfg, |_| {});
+        (executed, report.writes_done)
+    });
+    PerfRow {
+        name: "chaos",
+        seed,
+        requests,
+        events,
+        wall_ms,
+        events_per_sec: events as f64 / (wall_ms / 1e3),
+    }
+}
+
+/// A fully traced run: every request is sampled.
+fn breakdown(profile: Profile, seed: u64) -> PerfRow {
+    let (wall_ms, (events, requests)) = timed(|| {
+        let mut cfg = windows(profile, RunConfig::saturating(Design::SmartDs { ports: 1 }));
+        cfg.seed = seed;
+        let cfg = cfg.with_trace(tracekit::TraceConfig {
+            sample_one_in: 1,
+            capacity: 1 << 17,
+        });
+        let (report, _, executed) = cluster::run_counted(&cfg, |_| {});
+        (executed, report.writes_done)
+    });
+    PerfRow {
+        name: "breakdown",
+        seed,
+        requests,
+        events,
+        wall_ms,
+        events_per_sec: events as f64 / (wall_ms / 1e3),
+    }
+}
+
+/// Renders the rows (plus profile metadata) as the `BENCH_PERF.json` text.
+pub fn render(profile: Profile, rows: &[PerfRow]) -> String {
+    let items: Vec<String> = rows.iter().map(PerfRow::to_json).collect();
+    Object::new()
+        .field(
+            "profile",
+            match profile {
+                Profile::Quick => "quick",
+                Profile::Full => "full",
+            },
+        )
+        .field_raw("workloads", &array_raw(&items))
+        .finish()
+}
+
+/// Runs the perf suite and returns its rows.
+///
+/// Pinned seeds match the repo's golden/chaos seeds (101/202/303) so the
+/// same schedules are exercised everywhere.
+pub fn run(profile: Profile) -> Vec<PerfRow> {
+    println!("perf: simulator hot-path throughput ({profile:?} profile)");
+    let rows = vec![
+        sweep_dense(profile, 101),
+        chaos(profile, 202),
+        breakdown(profile, 303),
+    ];
+    println!(
+        "  {:>12} {:>6} {:>10} {:>12} {:>10} {:>14}",
+        "workload", "seed", "requests", "events", "wall(ms)", "events/sec"
+    );
+    for r in &rows {
+        println!(
+            "  {:>12} {:>6} {:>10} {:>12} {:>10.0} {:>14.0}",
+            r.name, r.seed, r.requests, r.events, r.wall_ms, r.events_per_sec
+        );
+    }
+    rows
+}
+
+/// Writes the perf snapshot into `dir` (the repo root when run via
+/// `ci.sh` or from the workspace directory). The full profile writes the
+/// tracked `BENCH_PERF.json` baseline; the quick profile writes
+/// `BENCH_PERF.quick.json` (untracked scratch) so a CI quick pass never
+/// clobbers the committed full-profile reference.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json(dir: &Path, profile: Profile, rows: &[PerfRow]) -> std::io::Result<()> {
+    let path = dir.join(match profile {
+        Profile::Quick => "BENCH_PERF.quick.json",
+        Profile::Full => "BENCH_PERF.json",
+    });
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(render(profile, rows).as_bytes())?;
+    f.write_all(b"\n")?;
+    println!("  wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render_as_json() {
+        let row = PerfRow {
+            name: "sweep_dense",
+            seed: 101,
+            requests: 10,
+            events: 1000,
+            wall_ms: 5.0,
+            events_per_sec: 200_000.0,
+        };
+        let json = render(Profile::Quick, &[row]);
+        let v = simkit::json::parse(&json).expect("well-formed");
+        assert_eq!(v.get("profile").and_then(|p| p.as_str()), Some("quick"));
+        let w = v.get("workloads").and_then(|w| w.as_arr()).expect("array");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].get("events").and_then(|e| e.as_f64()), Some(1000.0));
+    }
+
+    #[test]
+    fn event_counts_are_deterministic() {
+        // The wall clock varies; the simulated schedule must not.
+        let mut cfg = windows(Profile::Quick, RunConfig::saturating(Design::SmartDs { ports: 1 }));
+        cfg.outstanding = 64;
+        cfg.seed = 101;
+        let (_, _, a) = cluster::run_counted(&cfg, |_| {});
+        let (_, _, b) = cluster::run_counted(&cfg, |_| {});
+        assert_eq!(a, b, "same config, same event count");
+        assert!(a > 10_000, "a saturating run executes real work: {a}");
+    }
+}

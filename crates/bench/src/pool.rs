@@ -5,7 +5,23 @@ use std::sync::mpsc;
 use std::sync::Mutex;
 use std::thread;
 
-/// Runs `job` over every item of `inputs` on up to `available_parallelism`
+/// Worker count: the `SMARTDS_THREADS` env override when set to a positive
+/// integer, otherwise `available_parallelism`. The override pins the pool
+/// width so perf-harness wall-clock numbers are comparable across runs and
+/// machines (`SMARTDS_THREADS=1` removes scheduling noise entirely).
+fn worker_count() -> usize {
+    std::env::var("SMARTDS_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        })
+}
+
+/// Runs `job` over every item of `inputs` on up to [`worker_count`]
 /// worker threads, returning outputs in input order.
 ///
 /// Each job must be independent and deterministic; the sweeps satisfy this
@@ -20,10 +36,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
+    let workers = worker_count().min(n);
     // std::sync::mpsc receivers are single-consumer; a Mutex turns the work
     // queue into the multi-consumer channel crossbeam used to provide.
     let (in_tx, in_rx) = mpsc::channel::<(usize, I)>();
@@ -74,6 +87,23 @@ mod tests {
     fn empty_input_is_fine() {
         let outputs: Vec<u32> = run_parallel(Vec::<u32>::new(), |&x| x);
         assert!(outputs.is_empty());
+    }
+
+    #[test]
+    fn thread_override_is_honored() {
+        // Env mutation is process-global: restore whatever was set so this
+        // test composes with a caller-pinned SMARTDS_THREADS.
+        let prev = std::env::var("SMARTDS_THREADS").ok();
+        std::env::set_var("SMARTDS_THREADS", "2");
+        assert_eq!(worker_count(), 2);
+        std::env::set_var("SMARTDS_THREADS", "0");
+        assert!(worker_count() >= 1, "zero falls back to autodetect");
+        std::env::set_var("SMARTDS_THREADS", "not-a-number");
+        assert!(worker_count() >= 1, "garbage falls back to autodetect");
+        match prev {
+            Some(v) => std::env::set_var("SMARTDS_THREADS", v),
+            None => std::env::remove_var("SMARTDS_THREADS"),
+        }
     }
 
     #[test]

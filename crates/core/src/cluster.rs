@@ -21,7 +21,7 @@ use faultkit::{FaultKind, LinkTarget};
 use hwmodel::consts::PCIE_PROPAGATION;
 use blockstore::DiskModel;
 use hwmodel::{CompressEngine, CpuPool, CpuWork, MlcInjector};
-use simkit::{FlowSpec, Scheduler, Simulation, Time, World};
+use simkit::{FlowSpec, Scheduler, Simulation, Time, WakeCoalescer, World};
 use tracekit::{SegmentAccum, SpanId, StageKind, TraceId, Tracer};
 
 /// Number of storage servers in the simulated cluster.
@@ -43,8 +43,9 @@ const TIMEOUT_PENALTY: u64 = 8;
 /// Events circulating in the cluster world.
 #[derive(Debug)]
 pub enum Ev {
-    /// Fluid-resource wakeup (key, epoch at arming time).
-    Wake(FluidKey, u64),
+    /// Fluid-resource wakeup (key, epoch at arming time, coalescer
+    /// serial identifying the armed sentinel).
+    Wake(FluidKey, u64, u64),
     /// A CPU-pool job finished (token).
     CpuDone(u64),
     /// Engine `i` finished a block (token).
@@ -164,6 +165,10 @@ pub struct Cluster {
     next_req_id: u64,
     mlc: Option<MlcInjector>,
     touched: u32,
+    /// Per-fluid wakeup coalescers (indexed by [`FluidKey::index`]): at
+    /// most one armed heap entry per resource, with provable schedule
+    /// equivalence to the push-per-batch driver (see [`simkit::wake`]).
+    wake_coal: Vec<WakeCoalescer>,
     pending: Vec<u64>,
     mem_gate: MemGate,
     warmup_traffic: crate::fabric::Traffic,
@@ -269,6 +274,9 @@ impl Cluster {
             next_req_id: 0,
             mlc: cfg.mlc.map(|(cores, delay)| MlcInjector::new(cores, delay)),
             touched: 0,
+            wake_coal: (0..FluidKey::count(cfg.design.ports()))
+                .map(|_| WakeCoalescer::new())
+                .collect(),
             pending: Vec::new(),
             mem_gate: MemGate::default(),
             warmup_traffic: crate::fabric::Traffic::default(),
@@ -339,8 +347,16 @@ impl Cluster {
             bits &= bits - 1;
             let key = FluidKey::from_index(i);
             let fluid = self.fabric.fluid(key);
-            if let Some(at) = fluid.next_wake() {
-                sched.schedule_at(at.max(sched.now()), Ev::Wake(key, fluid.epoch()));
+            let want = fluid.next_wake().map(|at| at.max(sched.now()));
+            let epoch = fluid.epoch();
+            let (a, b) = self.wake_coal[i].arm(want, epoch, || sched.reserve_seq());
+            for e in [a, b].into_iter().flatten() {
+                match e.seq {
+                    Some(seq) => {
+                        sched.schedule_at_seq(e.at, seq, Ev::Wake(key, e.epoch, e.serial))
+                    }
+                    None => sched.schedule_at(e.at, Ev::Wake(key, e.epoch, e.serial)),
+                }
             }
         }
     }
@@ -1090,8 +1106,18 @@ impl World for Cluster {
 
     fn handle(&mut self, ev: Ev, sched: &mut Scheduler<Ev>) {
         match ev {
-            Ev::Wake(key, epoch) => {
-                if self.fabric.fluid(key).epoch() != epoch {
+            Ev::Wake(key, epoch, serial) => {
+                // Sentinel bookkeeping first, under the pre-processing
+                // epoch — the instant at which the push-per-batch driver
+                // would still have held both heap entries.
+                let current = self.fabric.fluid(key).epoch();
+                if let Some(e) = self.wake_coal[key.index()].on_delivery(serial, current) {
+                    let Some(seq) = e.seq else {
+                        unreachable!("materialized wakes always carry a reserved seq")
+                    };
+                    sched.schedule_at_seq(e.at, seq, Ev::Wake(key, e.epoch, e.serial));
+                }
+                if current != epoch {
                     return; // stale: a newer wakeup exists
                 }
                 self.drain_fluid(key, sched);
@@ -1210,6 +1236,22 @@ pub fn run_with(cfg: &RunConfig, setup: impl FnOnce(&mut Cluster)) -> RunReport 
 /// can audit its functional state — the chaos suite reads every stored
 /// block after the faults and asserts it still decompresses.
 pub fn run_full(cfg: &RunConfig, setup: impl FnOnce(&mut Cluster)) -> (RunReport, Cluster) {
+    let (report, cluster, _) = run_counted(cfg, setup);
+    (report, cluster)
+}
+
+/// Like [`run_full`], but additionally returns the number of discrete
+/// events the engine executed ([`Simulation::executed`]).
+///
+/// The count is a property of the *implementation*, not the simulated
+/// outcome: the perf harness and the events-budget regression test use it
+/// as a wall-clock-free measure of simulator work per run. It is kept out
+/// of [`RunReport`] so report JSON stays a pure function of the simulated
+/// schedule.
+pub fn run_counted(
+    cfg: &RunConfig,
+    setup: impl FnOnce(&mut Cluster),
+) -> (RunReport, Cluster, u64) {
     let mut cluster = Cluster::new(cfg.clone());
     setup(&mut cluster);
     let warmup = cfg.warmup;
@@ -1248,6 +1290,7 @@ pub fn run_full(cfg: &RunConfig, setup: impl FnOnce(&mut Cluster)) -> (RunReport
     sim.schedule_at(end, Ev::RunEnd);
     sim.run();
     let end_time = sim.now().max(end);
+    let executed = sim.executed();
     let cluster = sim.into_world();
     let delta = cluster.fabric.traffic() - cluster.warmup_traffic;
     let report = RunReport::build(
@@ -1259,7 +1302,7 @@ pub fn run_full(cfg: &RunConfig, setup: impl FnOnce(&mut Cluster)) -> (RunReport
         warmup,
         end_time,
     );
-    (report, cluster)
+    (report, cluster, executed)
 }
 
 #[cfg(test)]

@@ -4,6 +4,13 @@
 //! provide *timing*; the functional LZ4 transformation itself is performed
 //! by `lz4kit` in the middle-tier logic, so payload bytes are really
 //! compressed while the model charges the calibrated processing time.
+//!
+//! **Wakeup discipline.** A [`ServerPool`] job completes at an absolute
+//! instant known when the job starts, so these stations schedule exactly
+//! one event per job and never re-arm: no fluid wakeups originate here.
+//! Rate-shared resources (links, memory, PCIe) instead live in the
+//! cluster driver, where a per-resource [`simkit::wake::WakeCoalescer`]
+//! holds the one-armed-wakeup invariant.
 
 use crate::consts::{
     cpu_lz4_capacity, BF2_ARM_SLOWDOWN, BF2_ENGINE_BW, CPU_LZ4_DECOMP_FACTOR, ENGINE_BLOCK_SETUP,

@@ -8,6 +8,14 @@
 //! the host pool, payload bytes into the device pool. The unit tests run
 //! two endpoints against each other over a lossy wire and verify split
 //! placements byte-for-byte.
+//!
+//! **Wakeup discipline.** Endpoints are driven entirely by explicit
+//! packet/timer events from the surrounding driver — they own no
+//! [`simkit::FluidResource`] and therefore schedule no fluid wakeups.
+//! All fluid arming in the system goes through the per-resource
+//! [`simkit::wake::WakeCoalescer`] in the cluster driver, which keeps at
+//! most one armed heap entry per resource; keeping this crate
+//! wakeup-free is what makes that invariant checkable in one place.
 
 use crate::aams::{split_into, AamsError, RecvDesc, RecvTable, SplitPlacement};
 use crate::mem::MemPool;

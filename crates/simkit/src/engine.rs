@@ -123,6 +123,36 @@ impl<E> Scheduler<E> {
         self.schedule_at(self.now.saturating_add(delay), event);
     }
 
+    /// Reserves the next sequence number without pushing an event.
+    ///
+    /// Together with [`Scheduler::schedule_at_seq`] this lets a driver defer
+    /// a heap push while keeping FIFO tie-breaking identical to the
+    /// non-deferred schedule: the event is pushed later (or never, when it
+    /// is provably a no-op) but fires in exactly the slot it would have
+    /// occupied. See `simkit::wake` for the one intended user.
+    pub fn reserve_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
+    }
+
+    /// Schedules `event` at `at` under a sequence number previously handed
+    /// out by [`Scheduler::reserve_seq`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or `seq` was never reserved (i.e. is
+    /// not below the scheduler's internal counter).
+    pub fn schedule_at_seq(&mut self, at: Time, seq: u64, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at:?} now={:?}",
+            self.now
+        );
+        assert!(seq < self.seq, "sequence {seq} was never reserved");
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
     /// Requests that the executor stop after the current event.
     pub fn stop(&mut self) {
         self.stopped = true;
@@ -305,6 +335,31 @@ mod tests {
         sim.schedule_at(Time::from_ps(10), "a");
         sim.run();
         sim.schedule_at(Time::from_ps(5), "late");
+    }
+
+    #[test]
+    fn reserved_seq_keeps_fifo_slot() {
+        // Reserve a slot, schedule a later event, then fill the reserved
+        // slot: at equal timestamps the deferred event must still fire in
+        // the order its reservation was made, not its push.
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule_at(Time::from_ps(10), "a");
+        let reserved = sim.sched.reserve_seq();
+        sim.schedule_at(Time::from_ps(10), "c");
+        sim.sched.schedule_at_seq(Time::from_ps(10), reserved, "b");
+        sim.run();
+        assert_eq!(
+            sim.world().log,
+            vec![(10, "a"), (10, "b"), (10, "c")],
+            "a deferred push must land in its reserved FIFO slot"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "never reserved")]
+    fn unreserved_seq_panics() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.sched.schedule_at_seq(Time::from_ps(1), 99, "x");
     }
 
     #[test]

@@ -78,10 +78,12 @@ mod meter;
 mod rng;
 mod server;
 mod time;
+pub mod wake;
 
 pub use bytes::Bytes;
 pub use engine::{Scheduler, Simulation, World};
 pub use fluid::{FlowEnd, FlowId, FlowSpec, FluidResource};
+pub use wake::{WakeCoalescer, WakeEmit};
 pub use hist::Histogram;
 pub use meter::Meter;
 pub use rng::Rng;

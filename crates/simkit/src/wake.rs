@@ -1,0 +1,308 @@
+//! Wakeup coalescing for fluid-resource drivers.
+//!
+//! The driving protocol (see [`crate::fluid`]) re-arms a wakeup after every
+//! batch that touches a resource. A naive driver pushes a heap entry each
+//! time; under churn almost all of those entries are stale by the time they
+//! surface (their epoch no longer matches), so the scheduler heap fills
+//! with no-ops and every real event pays `O(log heap)` for them.
+//!
+//! [`WakeCoalescer`] keeps **at most one armed heap entry per resource**
+//! (the *sentinel*) plus at most one *deferred* wake that exists only as a
+//! reserved FIFO sequence number. The protocol is constructed so the
+//! resulting simulation is **indistinguishable** from the naive driver —
+//! same deliveries, same ordering, same tie-breaks:
+//!
+//! - Every arm request consumes exactly one scheduler sequence number,
+//!   either by pushing a real entry ([`Scheduler::schedule_at`]) or by
+//!   reserving one ([`Scheduler::reserve_seq`]) for a deferred wake. The
+//!   global sequence counter therefore advances exactly as it would under
+//!   the naive driver, so FIFO tie-breaks between *other* events are
+//!   untouched.
+//! - A wake may be deferred only while it would fire at or after the
+//!   sentinel (`want >= armed.at`): the sentinel always surfaces first and
+//!   decides the deferred wake's fate before the scheduler could need it.
+//! - A deferred wake is *dropped* only when its epoch is already behind
+//!   the resource's — epochs are monotone, so its delivery would have been
+//!   a guaranteed no-op. Otherwise it is materialized into the heap under
+//!   its reserved sequence number ([`Scheduler::schedule_at_seq`]), landing
+//!   in exactly the position the naive driver's push would have given it.
+//!
+//! The heap thus holds the naive driver's entries minus provably-stale
+//! ones; everything that survives is delivered at the same instant with
+//! the same tie-break rank.
+//!
+//! # Driver usage
+//!
+//! ```text
+//! // When re-arming after a batch (per touched resource):
+//! let (a, b) = coal.arm(fluid.next_wake().map(|t| t.max(now)), fluid.epoch(),
+//!                       || sched.reserve_seq());
+//! for e in [a, b].into_iter().flatten() {
+//!     match e.seq {
+//!         Some(seq) => sched.schedule_at_seq(e.at, seq, Ev::Wake(key, e.epoch, e.serial)),
+//!         None => sched.schedule_at(e.at, Ev::Wake(key, e.epoch, e.serial)),
+//!     }
+//! }
+//!
+//! // On delivery of Ev::Wake(key, epoch, serial), BEFORE the epoch check:
+//! if let Some(e) = coal.on_delivery(serial, fluid.epoch()) {
+//!     sched.schedule_at_seq(e.at, e.seq.unwrap(), Ev::Wake(key, e.epoch, e.serial));
+//! }
+//! if epoch != fluid.epoch() { return; } // stale, same as the naive driver
+//! ```
+//!
+//! [`Scheduler::schedule_at`]: crate::Scheduler::schedule_at
+//! [`Scheduler::reserve_seq`]: crate::Scheduler::reserve_seq
+//! [`Scheduler::schedule_at_seq`]: crate::Scheduler::schedule_at_seq
+
+use crate::time::Time;
+
+/// An instruction to push one wake event into the scheduler.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WakeEmit {
+    /// Delivery instant.
+    pub at: Time,
+    /// The fluid epoch the wake was armed under (checked on delivery).
+    pub epoch: u64,
+    /// The coalescer serial to embed in the event (identifies the
+    /// sentinel on delivery).
+    pub serial: u64,
+    /// `Some(seq)`: push via `schedule_at_seq` under this pre-reserved
+    /// FIFO rank. `None`: push via plain `schedule_at`.
+    pub seq: Option<u64>,
+}
+
+/// Per-resource wakeup coalescing state. See the module documentation for
+/// the protocol and its equivalence argument.
+#[derive(Debug, Default)]
+pub struct WakeCoalescer {
+    /// The one heap entry this resource tracks: `(at, serial)`.
+    armed: Option<(Time, u64)>,
+    /// The one not-yet-pushed wake: `(at, epoch, reserved seq)`.
+    /// Invariant: `deferred` exists only while `armed` does, with
+    /// `armed.at <= deferred.at`.
+    deferred: Option<(Time, u64, u64)>,
+    next_serial: u64,
+}
+
+impl WakeCoalescer {
+    /// A coalescer with nothing armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh_serial(&mut self) -> u64 {
+        let s = self.next_serial;
+        self.next_serial += 1;
+        s
+    }
+
+    /// Decides the fate of the deferred wake: materialize it if it could
+    /// still be current at delivery, drop it if it is provably stale.
+    fn dispose_deferred(&mut self, current_epoch: u64) -> Option<WakeEmit> {
+        let (at, epoch, seq) = self.deferred.take()?;
+        if epoch == current_epoch {
+            Some(WakeEmit {
+                at,
+                epoch,
+                serial: self.fresh_serial(),
+                seq: Some(seq),
+            })
+        } else {
+            // Epochs are monotone: at delivery this wake's epoch check
+            // would fail just as it would have under the naive driver.
+            // The reserved sequence number stays consumed, so global FIFO
+            // numbering is unchanged.
+            None
+        }
+    }
+
+    /// Arms a wakeup at `want` under `epoch` (the resource's current
+    /// epoch). `reserve` must reserve one scheduler sequence number when
+    /// called; it is called at most once, precisely when the naive driver
+    /// would have pushed an entry that this coalescer defers.
+    ///
+    /// Returns up to two [`WakeEmit`]s the caller must execute in order.
+    pub fn arm(
+        &mut self,
+        want: Option<Time>,
+        epoch: u64,
+        reserve: impl FnOnce() -> u64,
+    ) -> (Option<WakeEmit>, Option<WakeEmit>) {
+        match want {
+            // Nothing to arm (the naive driver pushed nothing either);
+            // the deferred wake, if any, must still be resolved.
+            None => (self.dispose_deferred(epoch), None),
+            Some(at) => match self.armed {
+                None => {
+                    debug_assert!(self.deferred.is_none(), "deferred without a sentinel");
+                    let serial = self.fresh_serial();
+                    self.armed = Some((at, serial));
+                    (
+                        Some(WakeEmit {
+                            at,
+                            epoch,
+                            serial,
+                            seq: None,
+                        }),
+                        None,
+                    )
+                }
+                Some((armed_at, _)) if at >= armed_at => {
+                    // The sentinel surfaces first and will decide this
+                    // wake's fate; hold it as a reserved seq only.
+                    let first = self.dispose_deferred(epoch);
+                    let seq = reserve();
+                    self.deferred = Some((at, epoch, seq));
+                    (first, None)
+                }
+                Some(_) => {
+                    // Earlier than the sentinel: it must be pushed for
+                    // real. The old sentinel stays in the heap as an
+                    // orphan and self-checks its epoch on delivery.
+                    let first = self.dispose_deferred(epoch);
+                    let serial = self.fresh_serial();
+                    self.armed = Some((at, serial));
+                    (
+                        first,
+                        Some(WakeEmit {
+                            at,
+                            epoch,
+                            serial,
+                            seq: None,
+                        }),
+                    )
+                }
+            },
+        }
+    }
+
+    /// Must be called on every wake delivery, *before* the driver's epoch
+    /// check, with the resource's current epoch. If the delivered event is
+    /// the sentinel, the deferred wake (if any) is resolved: the returned
+    /// emit (if some) must be pushed via `schedule_at_seq` and becomes the
+    /// new sentinel.
+    pub fn on_delivery(&mut self, serial: u64, current_epoch: u64) -> Option<WakeEmit> {
+        match self.armed {
+            Some((_, s)) if s == serial => {
+                self.armed = None;
+                let emit = self.dispose_deferred(current_epoch);
+                if let Some(e) = &emit {
+                    // The materialized wake is now this resource's
+                    // earliest outstanding entry: the new sentinel.
+                    self.armed = Some((e.at, e.serial));
+                }
+                emit
+            }
+            // An orphaned entry from before a sentinel replacement; the
+            // driver's epoch check handles it exactly like the naive
+            // driver would.
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ps: u64) -> Time {
+        Time::from_ps(ps)
+    }
+
+    #[test]
+    fn fresh_arm_pushes_a_sentinel() {
+        let mut c = WakeCoalescer::new();
+        let (a, b) = c.arm(Some(t(100)), 1, || unreachable!("nothing to defer"));
+        let e = a.expect("pushes");
+        assert_eq!(b, None);
+        assert_eq!((e.at, e.epoch, e.seq), (t(100), 1, None));
+    }
+
+    #[test]
+    fn later_wake_is_deferred_with_one_reserved_seq() {
+        let mut c = WakeCoalescer::new();
+        let _ = c.arm(Some(t(100)), 1, || unreachable!());
+        let mut reserved = 0;
+        let (a, b) = c.arm(Some(t(200)), 2, || {
+            reserved += 1;
+            7
+        });
+        assert_eq!((a, b), (None, None), "nothing enters the heap");
+        assert_eq!(reserved, 1, "exactly one seq consumed, like a real push");
+    }
+
+    #[test]
+    fn sentinel_delivery_materializes_current_deferred_under_its_seq() {
+        let mut c = WakeCoalescer::new();
+        let s0 = c.arm(Some(t(100)), 1, || unreachable!()).0.unwrap();
+        let _ = c.arm(Some(t(200)), 2, || 7);
+        // Epoch still 2 at delivery: the deferred wake may be live.
+        let e = c.on_delivery(s0.serial, 2).expect("materialized");
+        assert_eq!((e.at, e.epoch, e.seq), (t(200), 2, Some(7)));
+        // It became the new sentinel: its own delivery resolves it.
+        assert_eq!(c.on_delivery(e.serial, 2), None);
+        // And the slot is free for a fresh push again.
+        let (a, _) = c.arm(Some(t(300)), 3, || unreachable!());
+        assert!(a.is_some());
+    }
+
+    #[test]
+    fn sentinel_delivery_drops_stale_deferred() {
+        let mut c = WakeCoalescer::new();
+        let s0 = c.arm(Some(t(100)), 1, || unreachable!()).0.unwrap();
+        let _ = c.arm(Some(t(200)), 2, || 7);
+        // Epoch moved past the deferred wake's: provably a no-op.
+        assert_eq!(c.on_delivery(s0.serial, 3), None);
+        // Nothing is armed anymore.
+        let (a, _) = c.arm(Some(t(300)), 3, || unreachable!());
+        assert!(a.is_some(), "slot was cleared");
+    }
+
+    #[test]
+    fn replacing_deferred_resolves_the_old_one() {
+        let mut c = WakeCoalescer::new();
+        let _ = c.arm(Some(t(100)), 1, || unreachable!());
+        let _ = c.arm(Some(t(200)), 2, || 7);
+        // Same epoch: the old deferred wake must materialize.
+        let (a, b) = c.arm(Some(t(250)), 2, || 9);
+        let e = a.expect("old deferred materialized");
+        assert_eq!((e.at, e.seq), (t(200), Some(7)));
+        assert_eq!(b, None);
+        // Bumped epoch: the replaced deferred wake is dropped instead.
+        let (a, b) = c.arm(Some(t(300)), 3, || 11);
+        assert_eq!((a, b), (None, None));
+    }
+
+    #[test]
+    fn earlier_wake_pushes_new_sentinel_and_orphans_old() {
+        let mut c = WakeCoalescer::new();
+        let s0 = c.arm(Some(t(100)), 1, || unreachable!()).0.unwrap();
+        let (a, b) = c.arm(Some(t(50)), 2, || unreachable!());
+        assert_eq!(a, None, "no deferred to resolve");
+        let e = b.expect("new sentinel pushed");
+        assert_eq!((e.at, e.seq), (t(50), None));
+        assert_ne!(e.serial, s0.serial);
+        // The orphaned old sentinel is ignored on delivery.
+        assert_eq!(c.on_delivery(s0.serial, 2), None);
+        // The new sentinel is recognized.
+        assert_eq!(c.on_delivery(e.serial, 2), None);
+        let (a, _) = c.arm(Some(t(300)), 3, || unreachable!());
+        assert!(a.is_some(), "slot was cleared by the real sentinel");
+    }
+
+    #[test]
+    fn arm_none_resolves_deferred_without_consuming_seqs() {
+        let mut c = WakeCoalescer::new();
+        let _ = c.arm(Some(t(100)), 1, || unreachable!());
+        let _ = c.arm(Some(t(200)), 2, || 7);
+        // Same epoch: materialize on the way out.
+        let (a, b) = c.arm(None, 2, || unreachable!("None never reserves"));
+        let e = a.expect("materialized");
+        assert_eq!(e.seq, Some(7));
+        assert_eq!(b, None);
+        // A stale deferred wake is silently dropped.
+        let _ = c.arm(Some(t(400)), 5, || 9);
+        assert_eq!(c.arm(None, 6, || unreachable!()), (None, None));
+    }
+}

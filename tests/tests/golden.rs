@@ -1,0 +1,137 @@
+//! Golden determinism suite: the simulated *schedule* is frozen.
+//!
+//! The hot-path work in `simkit::fluid` and the wakeup-coalescing driver
+//! layer are pure performance changes — they must not move a single
+//! simulated outcome. This suite pins that contract to bytes on disk:
+//! for each pinned seed (101/202/303) the metrics JSON of a chaos run, and
+//! for seed 303 the Chrome trace export of a traced run, must equal the
+//! fixtures under `tests/golden/` **byte for byte**. The fixtures were
+//! generated with the pre-optimization naive solver; any future change
+//! that shifts a rate, a completion instant, an event ordering, or a
+//! floating-point accumulation order fails here first.
+//!
+//! Regenerate (only when a *semantic* change is intended and understood):
+//!
+//! ```text
+//! SMARTDS_GOLDEN_WRITE=1 cargo test -q --offline -p system-tests --test golden
+//! ```
+//!
+//! Metrics fixtures are stored verbatim. The trace export is a few MB, so
+//! its fixture stores `length + crc32 + fnv64` — equality of all three is
+//! byte-identity for any realistic regression.
+
+use faultkit::{ChaosSpec, FaultPlan};
+use simkit::Time;
+use smartds::{cluster, Design, RunConfig};
+use std::path::PathBuf;
+use tracekit::TraceConfig;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+/// The pinned chaos workload for one seed: the faults-suite base config
+/// with a seeded storm and (for 202) the MLC injector, so capped
+/// background flows, capacity degradation, retries, and fail-over all sit
+/// inside the frozen schedule.
+fn golden_cfg(seed: u64) -> RunConfig {
+    let mut cfg = RunConfig::saturating(Design::SmartDs { ports: 1 });
+    cfg.warmup = Time::from_ms(2.0);
+    cfg.measure = Time::from_ms(8.0);
+    cfg.pool_blocks = 64;
+    cfg.seed = seed;
+    if seed == 202 {
+        // Rate-capped persistent flows exercise the solver's capped path.
+        cfg.mlc = Some((48, 0));
+    }
+    let spec = ChaosSpec::new(Time::from_ms(3.0), Time::from_ms(8.0))
+        .with_servers(6)
+        .with_ports(1)
+        .with_crashes(1)
+        .with_stalls(1)
+        .with_link_flaps(1)
+        .with_mean_outage(Time::from_us(800.0))
+        .with_max_concurrent_down(1)
+        .with_slow_factor(32.0);
+    cfg.with_fault_plan(FaultPlan::chaos(seed, &spec))
+        .with_request_timeout(Time::from_ms(1.0))
+}
+
+/// FNV-1a 64-bit — independent of crc32 so a coincidental collision in one
+/// cannot mask a drift in the other.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Compares `got` against the fixture `name`, or rewrites the fixture when
+/// `SMARTDS_GOLDEN_WRITE` is set.
+fn check_or_write(name: &str, got: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var("SMARTDS_GOLDEN_WRITE").is_ok() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, got).expect("write fixture");
+        println!("wrote {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate with \
+             SMARTDS_GOLDEN_WRITE=1 cargo test -p system-tests --test golden",
+            path.display()
+        )
+    });
+    if want != got {
+        let at = want
+            .bytes()
+            .zip(got.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or(want.len().min(got.len()));
+        let lo = at.saturating_sub(60);
+        panic!(
+            "{name}: output drifted from golden fixture at byte {at}\n \
+             want[..]: {:?}\n  got[..]: {:?}\n\
+             The simulated schedule changed. If (and only if) that is an \
+             intended semantic change, regenerate with SMARTDS_GOLDEN_WRITE=1.",
+            &want[lo..(at + 60).min(want.len())],
+            &got[lo..(at + 60).min(got.len())],
+        );
+    }
+}
+
+#[test]
+fn metrics_json_matches_golden_fixtures() {
+    for seed in [101u64, 202, 303] {
+        let cfg = golden_cfg(seed);
+        let (report, _) = cluster::run_full(&cfg, |_| {});
+        let mut text = report.to_json();
+        text.push('\n');
+        check_or_write(&format!("metrics_{seed}.json"), &text);
+    }
+}
+
+#[test]
+fn trace_export_matches_golden_digest() {
+    let cfg = golden_cfg(303).with_trace(TraceConfig {
+        sample_one_in: 16,
+        capacity: 1 << 17,
+    });
+    let (_, cluster) = cluster::run_full(&cfg, |_| {});
+    let export = cluster.tracer.export_chrome();
+    assert!(
+        cluster.tracer.opened() > 100,
+        "a traced chaos run must record spans ({})",
+        cluster.tracer.opened()
+    );
+    let digest = format!(
+        "len:{} crc32:{:08x} fnv64:{:016x}\n",
+        export.len(),
+        blockstore::crc32(export.as_bytes()),
+        fnv64(export.as_bytes()),
+    );
+    check_or_write("trace_303.digest", &digest);
+}

@@ -1,0 +1,98 @@
+//! Events-budget regression guard: a wall-clock-free perf gate.
+//!
+//! Wall time depends on the host, so tier-1 cannot assert on it. What it
+//! *can* assert on is the number of discrete events the engine executes
+//! for a pinned workload — that count is deterministic per seed, and the
+//! hot-path work in this repo (incremental water-filling, wakeup
+//! coalescing) exists precisely to keep it from creeping: a regression
+//! that re-arms a wakeup per rate change or leaks stale heap entries
+//! shows up here as an event-count jump long before anyone notices a
+//! slow sweep.
+//!
+//! Each pinned seed runs a small quick-profile workload mirroring one
+//! `perf` experiment shape (dense sweep / chaos storm / fully traced) and
+//! asserts `Simulation::executed()` — total and per completed request —
+//! does not exceed a recorded baseline. Baselines were recorded with the
+//! coalescing driver in place and carry ~12 % headroom, so legitimate
+//! *semantic* changes (new events in the model) have room to land; a
+//! hot-path regression (which typically multiplies wakeups) does not.
+//!
+//! If a deliberate model change moves the counts, re-record: run with
+//! `--nocapture`, read the printed `executed=…` lines, and set each
+//! baseline to ~1.12× the new value.
+
+use faultkit::{ChaosSpec, FaultPlan};
+use simkit::Time;
+use smartds::{cluster, Design, RunConfig};
+
+/// Quick-profile windows (match `bench`'s quick perf profile).
+fn quick(mut cfg: RunConfig) -> RunConfig {
+    cfg.warmup = Time::from_ms(1.0);
+    cfg.measure = Time::from_ms(3.0);
+    cfg.pool_blocks = 64;
+    cfg
+}
+
+/// Runs a config and checks its event budget.
+fn assert_budget(name: &str, cfg: &RunConfig, max_events: u64, max_per_request: f64) {
+    let (report, _, executed) = cluster::run_counted(cfg, |_| {});
+    let requests = report.writes_done;
+    assert!(requests > 0, "{name}: no requests completed");
+    let per_request = executed as f64 / requests as f64;
+    println!("{name}: executed={executed} requests={requests} per_request={per_request:.1}");
+    assert!(
+        executed <= max_events,
+        "{name}: executed {executed} events, budget {max_events} — the hot path regressed \
+         (or a semantic change landed; see module docs to re-record)"
+    );
+    assert!(
+        per_request <= max_per_request,
+        "{name}: {per_request:.1} events/request, budget {max_per_request} — the hot path \
+         regressed (or a semantic change landed; see module docs to re-record)"
+    );
+}
+
+/// Dense-sweep shape: multi-port SmartDS at high closed-loop depth.
+#[test]
+fn events_budget_sweep_seed_101() {
+    let mut cfg = quick(RunConfig::saturating(Design::SmartDs { ports: 2 }));
+    cfg.outstanding = 512;
+    cfg.seed = 101;
+    // Recorded: executed=711_043, 54.4 events/request.
+    assert_budget("sweep/101", &cfg, 800_000, 61.0);
+}
+
+/// Chaos shape: a seeded fault storm with timeouts armed (epoch churn).
+#[test]
+fn events_budget_chaos_seed_202() {
+    let mut cfg = quick(RunConfig::saturating(Design::SmartDs { ports: 1 }));
+    let end = cfg.warmup + cfg.measure;
+    let spec = ChaosSpec::new(cfg.warmup, end)
+        .with_servers(6)
+        .with_ports(1)
+        .with_crashes(1)
+        .with_stalls(1)
+        .with_link_flaps(2)
+        .with_mean_outage(Time::from_us(600.0))
+        .with_max_concurrent_down(1)
+        .with_slow_factor(16.0);
+    cfg.seed = 202;
+    let cfg = cfg
+        .with_fault_plan(FaultPlan::chaos(202, &spec))
+        .with_request_timeout(Time::from_ms(1.0));
+    // Recorded: executed=183_212, 72.3 events/request.
+    assert_budget("chaos/202", &cfg, 206_000, 81.0);
+}
+
+/// Breakdown shape: every request traced (span pipeline on each event).
+#[test]
+fn events_budget_traced_seed_303() {
+    let mut cfg = quick(RunConfig::saturating(Design::SmartDs { ports: 1 }));
+    cfg.seed = 303;
+    let cfg = cfg.with_trace(tracekit::TraceConfig {
+        sample_one_in: 1,
+        capacity: 1 << 17,
+    });
+    // Recorded: executed=307_911, 55.0 events/request.
+    assert_budget("traced/303", &cfg, 345_000, 62.0);
+}
