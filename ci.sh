@@ -16,6 +16,14 @@ cargo run -p lintkit --release --offline
 
 cargo test -q --offline
 
+# Thread matrix: the sharded engine must produce identical results at any
+# worker count (golden.rs also pins 1/2/4/8 explicitly). Running the whole
+# tier-1 suite under both a serial and a parallel default catches any test
+# that accidentally depends on the engine's thread count via the
+# SMARTDS_THREADS environment path rather than an explicit override.
+SMARTDS_THREADS=1 cargo test -q --offline -p system-tests
+SMARTDS_THREADS=4 cargo test -q --offline -p system-tests
+
 # Chaos suite under two fixed storm seeds: each run asserts the generated
 # fault schedule replays byte-identically and corrupts nothing (the other
 # scenarios in the suite are seed-independent and simply run twice).
@@ -27,10 +35,12 @@ SMARTDS_CHAOS_SEED=202 cargo test -q --offline -p system-tests --test faults
 # in-repo JSON parser, is non-empty, and has balanced (open == close) spans.
 SMARTDS_CHAOS_SEED=303 cargo test -q --offline -p system-tests --test tracing
 
-# Simulator perf snapshot, quick profile, report-only: prints events/sec and
-# writes BENCH_PERF.quick.json (untracked scratch — the committed
-# BENCH_PERF.json baseline is full-profile only) so every CI log carries a
-# throughput reference. No wall-clock assertion here — hosts differ; the
-# deterministic events-budget gate lives in `system-tests --test perf_budget`
-# (part of `cargo test` above).
-SMARTDS_THREADS=1 cargo run -q -p smartds-bench --release --offline --bin experiments -- perf --quick
+# Simulator perf snapshot, quick profile, report-only: prints the dense
+# sweep at 1/2/4/8 worker threads (identical simulated outcomes, wall time
+# scaling with the host's real parallelism) and writes BENCH_PERF.quick.json
+# (untracked scratch — the committed BENCH_PERF.json baseline is
+# full-profile only) so every CI log carries a throughput + scaling
+# reference. No wall-clock assertion here — hosts differ; the deterministic
+# events-budget gate lives in `system-tests --test perf_budget` (part of
+# `cargo test` above).
+cargo run -q -p smartds-bench --release --offline --bin experiments -- perf --quick

@@ -17,13 +17,17 @@
 //! - **breakdown** — a fully traced run (`sample_one_in = 1`): stresses
 //!   the span pipeline riding on every event.
 //!
-//! Workloads run sequentially on the calling thread — wall time here must
-//! not depend on pool scheduling (the sweeps' `bench::pool` honors
-//! `SMARTDS_THREADS` for the same reason). Simulated outcomes (events,
-//! requests) are deterministic per seed; only `wall_ms`/`events_per_sec`
-//! vary with the host. Comparisons are valid on the same machine only.
+//! Each row records the worker-thread count it ran at. The dense sweep is
+//! a bag of independent pinned-seed jobs (ports × seed lanes) executed on
+//! `bench::pool` workers in longest-job-first order, with the sharded
+//! engine inside each job pinned to one thread — so `threads` is exactly
+//! the host parallelism and the thread sweep (`sweep_dense@t1` …
+//! `sweep_dense` at 8) measures scaling honestly. Simulated outcomes
+//! (events, requests, sync rounds/messages) are deterministic per seed and
+//! identical at every thread count; only `wall_ms`/`events_per_sec` vary
+//! with the host. Comparisons are valid on the same machine only.
 
-use crate::Profile;
+use crate::{pool, Profile};
 use faultkit::{ChaosSpec, FaultPlan};
 use simkit::json::{array_raw, Object};
 use simkit::Time;
@@ -38,10 +42,16 @@ pub struct PerfRow {
     pub name: &'static str,
     /// The pinned workload seed.
     pub seed: u64,
+    /// Worker threads the workload ran at.
+    pub threads: usize,
     /// Requests completed inside the measurement window (simulated).
     pub requests: u64,
-    /// Discrete events the engine executed (simulated, deterministic).
+    /// Payload events the engine executed (simulated, deterministic).
     pub events: u64,
+    /// Synchronization rounds (barrier epochs) across all runs.
+    pub sync_rounds: u64,
+    /// Cross-shard mailbox messages across all runs.
+    pub sync_messages: u64,
     /// Host wall-clock time for the whole workload, milliseconds.
     pub wall_ms: f64,
     /// Events per wall-clock second — the headline simulator throughput.
@@ -53,8 +63,11 @@ impl PerfRow {
         Object::new()
             .field("name", self.name)
             .field("seed", self.seed)
+            .field("threads", self.threads as u64)
             .field("requests", self.requests)
             .field("events", self.events)
+            .field("sync_rounds", self.sync_rounds)
+            .field("sync_messages", self.sync_messages)
             .field("wall_ms", self.wall_ms)
             .field("events_per_sec", self.events_per_sec)
             .finish()
@@ -86,35 +99,77 @@ fn windows(profile: Profile, mut cfg: RunConfig) -> RunConfig {
     cfg
 }
 
-/// The dense port sweep: SmartDS 1–6 ports at high closed-loop depth.
-fn sweep_dense(profile: Profile, seed: u64) -> PerfRow {
-    let (wall_ms, (events, requests)) = timed(|| {
-        let mut events = 0u64;
-        let mut requests = 0u64;
-        for ports in 1..=6usize {
-            let mut cfg =
-                windows(profile, RunConfig::saturating(Design::SmartDs { ports }));
-            cfg.outstanding = 256 * ports;
-            cfg.seed = seed;
-            let (report, _, executed) = cluster::run_counted(&cfg, |_| {});
-            events += executed;
-            requests += report.writes_done;
-        }
-        (events, requests)
-    });
-    PerfRow {
-        name: "sweep_dense",
-        seed,
-        requests,
-        events,
-        wall_ms,
-        events_per_sec: events as f64 / (wall_ms / 1e3),
+/// Seed lanes per port count in the dense sweep. Independent lanes make
+/// the job bag wide enough (6 ports × lanes) for the pool to balance
+/// across 8 workers; every lane is a pinned seed so the bag is one fixed
+/// workload whatever the thread count. The quick profile halves the bag
+/// to keep the CI thread sweep cheap.
+fn sweep_lanes(profile: Profile) -> u64 {
+    match profile {
+        Profile::Quick => 2,
+        Profile::Full => 4,
     }
 }
 
+/// The canonical name for each measured dense-sweep thread count. The
+/// 8-thread point keeps the bare `sweep_dense` name: it is the headline
+/// row PRs compare in `BENCH_PERF.json`.
+fn sweep_name(threads: usize) -> &'static str {
+    match threads {
+        1 => "sweep_dense@t1",
+        2 => "sweep_dense@t2",
+        4 => "sweep_dense@t4",
+        _ => "sweep_dense",
+    }
+}
+
+/// The dense port sweep: SmartDS 1–6 ports at high closed-loop depth,
+/// `SWEEP_LANES` pinned seed lanes each, run as a parallel job bag on
+/// `threads` pool workers (longest jobs first).
+fn sweep_dense(profile: Profile, seed: u64, threads: usize) -> PerfRow {
+    // Longest-processing-time order: high port counts carry the most
+    // simulated work, so schedule them first to keep the pool balanced.
+    let mut jobs: Vec<(usize, u64)> = Vec::new();
+    for ports in (1..=6usize).rev() {
+        for lane in 0..sweep_lanes(profile) {
+            jobs.push((ports, seed + lane));
+        }
+    }
+    let (wall_ms, outs) = timed(|| {
+        pool::run_parallel_n(jobs, threads, |&(ports, seed)| {
+            let mut cfg = windows(profile, RunConfig::saturating(Design::SmartDs { ports }));
+            cfg.outstanding = 256 * ports;
+            cfg.seed = seed;
+            // One engine thread per job: the pool is the parallelism here,
+            // so `threads` is the whole host budget for this row.
+            let (report, _, stats) = cluster::run_counted_stats(&cfg, |_| {}, Some(1));
+            (stats, report.writes_done)
+        })
+    });
+    let mut row = PerfRow {
+        name: sweep_name(threads),
+        seed,
+        threads,
+        requests: 0,
+        events: 0,
+        sync_rounds: 0,
+        sync_messages: 0,
+        wall_ms,
+        events_per_sec: 0.0,
+    };
+    for (stats, writes) in outs {
+        row.requests += writes;
+        row.events += stats.events;
+        row.sync_rounds += stats.rounds;
+        row.sync_messages += stats.messages;
+    }
+    row.events_per_sec = row.events as f64 / (wall_ms / 1e3);
+    row
+}
+
 /// A seeded chaos storm with the retry machinery armed.
-fn chaos(profile: Profile, seed: u64) -> PerfRow {
-    let (wall_ms, (events, requests)) = timed(|| {
+fn chaos(profile: Profile, seed: u64, threads: usize) -> PerfRow {
+    let (wall_ms, (stats, requests)) = timed(|| {
         let mut cfg = windows(profile, RunConfig::saturating(Design::SmartDs { ports: 1 }));
         let end = cfg.warmup + cfg.measure;
         let spec = ChaosSpec::new(cfg.warmup, end)
@@ -130,38 +185,44 @@ fn chaos(profile: Profile, seed: u64) -> PerfRow {
         let cfg = cfg
             .with_fault_plan(FaultPlan::chaos(seed, &spec))
             .with_request_timeout(Time::from_ms(1.0));
-        let (report, _, executed) = cluster::run_counted(&cfg, |_| {});
-        (executed, report.writes_done)
+        let (report, _, stats) = cluster::run_counted_stats(&cfg, |_| {}, Some(threads));
+        (stats, report.writes_done)
     });
     PerfRow {
         name: "chaos",
         seed,
+        threads,
         requests,
-        events,
+        events: stats.events,
+        sync_rounds: stats.rounds,
+        sync_messages: stats.messages,
         wall_ms,
-        events_per_sec: events as f64 / (wall_ms / 1e3),
+        events_per_sec: stats.events as f64 / (wall_ms / 1e3),
     }
 }
 
 /// A fully traced run: every request is sampled.
-fn breakdown(profile: Profile, seed: u64) -> PerfRow {
-    let (wall_ms, (events, requests)) = timed(|| {
+fn breakdown(profile: Profile, seed: u64, threads: usize) -> PerfRow {
+    let (wall_ms, (stats, requests)) = timed(|| {
         let mut cfg = windows(profile, RunConfig::saturating(Design::SmartDs { ports: 1 }));
         cfg.seed = seed;
         let cfg = cfg.with_trace(tracekit::TraceConfig {
             sample_one_in: 1,
             capacity: 1 << 17,
         });
-        let (report, _, executed) = cluster::run_counted(&cfg, |_| {});
-        (executed, report.writes_done)
+        let (report, _, stats) = cluster::run_counted_stats(&cfg, |_| {}, Some(threads));
+        (stats, report.writes_done)
     });
     PerfRow {
         name: "breakdown",
         seed,
+        threads,
         requests,
-        events,
+        events: stats.events,
+        sync_rounds: stats.rounds,
+        sync_messages: stats.messages,
         wall_ms,
-        events_per_sec: events as f64 / (wall_ms / 1e3),
+        events_per_sec: stats.events as f64 / (wall_ms / 1e3),
     }
 }
 
@@ -183,22 +244,38 @@ pub fn render(profile: Profile, rows: &[PerfRow]) -> String {
 /// Runs the perf suite and returns its rows.
 ///
 /// Pinned seeds match the repo's golden/chaos seeds (101/202/303) so the
-/// same schedules are exercised everywhere.
+/// same schedules are exercised everywhere. The dense sweep is measured
+/// at a sweep of thread counts — the full profile records the 1-thread
+/// baseline and the 8-thread headline; the quick profile walks
+/// 1/2/4/8 so CI gets a cheap scaling curve every run.
 pub fn run(profile: Profile) -> Vec<PerfRow> {
     println!("perf: simulator hot-path throughput ({profile:?} profile)");
-    let rows = vec![
-        sweep_dense(profile, 101),
-        chaos(profile, 202),
-        breakdown(profile, 303),
-    ];
+    let thread_points: &[usize] = match profile {
+        Profile::Quick => &[1, 2, 4, 8],
+        Profile::Full => &[1, 8],
+    };
+    let mut rows = Vec::new();
+    for &t in thread_points {
+        rows.push(sweep_dense(profile, 101, t));
+    }
+    rows.push(chaos(profile, 202, 8));
+    rows.push(breakdown(profile, 303, 8));
     println!(
-        "  {:>12} {:>6} {:>10} {:>12} {:>10} {:>14}",
-        "workload", "seed", "requests", "events", "wall(ms)", "events/sec"
+        "  {:>14} {:>6} {:>3} {:>10} {:>12} {:>9} {:>9} {:>10} {:>14}",
+        "workload", "seed", "thr", "requests", "events", "rounds", "msgs", "wall(ms)", "events/sec"
     );
     for r in &rows {
         println!(
-            "  {:>12} {:>6} {:>10} {:>12} {:>10.0} {:>14.0}",
-            r.name, r.seed, r.requests, r.events, r.wall_ms, r.events_per_sec
+            "  {:>14} {:>6} {:>3} {:>10} {:>12} {:>9} {:>9} {:>10.0} {:>14.0}",
+            r.name,
+            r.seed,
+            r.threads,
+            r.requests,
+            r.events,
+            r.sync_rounds,
+            r.sync_messages,
+            r.wall_ms,
+            r.events_per_sec
         );
     }
     rows
@@ -234,8 +311,11 @@ mod tests {
         let row = PerfRow {
             name: "sweep_dense",
             seed: 101,
+            threads: 8,
             requests: 10,
             events: 1000,
+            sync_rounds: 40,
+            sync_messages: 60,
             wall_ms: 5.0,
             events_per_sec: 200_000.0,
         };
@@ -245,6 +325,8 @@ mod tests {
         let w = v.get("workloads").and_then(|w| w.as_arr()).expect("array");
         assert_eq!(w.len(), 1);
         assert_eq!(w[0].get("events").and_then(|e| e.as_f64()), Some(1000.0));
+        assert_eq!(w[0].get("threads").and_then(|e| e.as_f64()), Some(8.0));
+        assert_eq!(w[0].get("sync_rounds").and_then(|e| e.as_f64()), Some(40.0));
     }
 
     #[test]
@@ -257,5 +339,51 @@ mod tests {
         let (_, _, b) = cluster::run_counted(&cfg, |_| {});
         assert_eq!(a, b, "same config, same event count");
         assert!(a > 10_000, "a saturating run executes real work: {a}");
+    }
+
+    #[test]
+    #[ignore = "manual probe"]
+    fn probe_single_run() {
+        println!("size_of Ev = {}", std::mem::size_of::<smartds::cluster::Ev>());
+        let (wall_ms, (stats, writes)) = timed(|| {
+            let mut cfg = windows(Profile::Full, RunConfig::saturating(Design::SmartDs { ports: 6 }));
+            cfg.outstanding = 256 * 6;
+            cfg.seed = 101;
+            let (report, _, stats) = cluster::run_counted_stats(&cfg, |_| {}, Some(1));
+            (stats, report.writes_done)
+        });
+        println!(
+            "ports=6 full t1: events={} rounds={} msgs={} writes={} wall={:.0}ms ev/s={:.0}",
+            stats.events,
+            stats.rounds,
+            stats.messages,
+            writes,
+            wall_ms,
+            stats.events as f64 / (wall_ms / 1e3)
+        );
+    }
+
+    #[test]
+    fn job_bag_outcome_is_identical_at_every_thread_count() {
+        // Wall time varies with threads; nothing simulated may. A tiny
+        // job bag keeps this cheap in debug builds — the full-size sweep
+        // invariance is exercised by the quick perf run in CI.
+        let run_bag = |threads: usize| {
+            let jobs: Vec<(usize, u64)> = vec![(2, 101), (1, 101), (1, 102)];
+            pool::run_parallel_n(jobs, threads, |&(ports, seed)| {
+                let mut cfg = RunConfig::saturating(Design::SmartDs { ports });
+                cfg.warmup = Time::from_ms(0.5);
+                cfg.measure = Time::from_ms(1.0);
+                cfg.pool_blocks = 16;
+                cfg.outstanding = 32 * ports;
+                cfg.seed = seed;
+                let (report, _, stats) = cluster::run_counted_stats(&cfg, |_| {}, Some(1));
+                (report.writes_done, stats)
+            })
+        };
+        let a = run_bag(1);
+        let b = run_bag(4);
+        assert_eq!(a, b, "pool width must never change simulated outcomes");
+        assert!(a.iter().all(|(w, s)| *w > 0 && s.events > 0));
     }
 }

@@ -32,11 +32,25 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
+    run_parallel_n(inputs, worker_count(), job)
+}
+
+/// [`run_parallel`] with an explicit worker count instead of the
+/// `SMARTDS_THREADS` / `available_parallelism` default.
+///
+/// The perf harness uses this to pin its thread-count sweep: each measured
+/// point must use exactly `workers` threads regardless of the environment.
+pub fn run_parallel_n<I, O, F>(inputs: Vec<I>, workers: usize, job: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
     let n = inputs.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = worker_count().min(n);
+    let workers = workers.max(1).min(n);
     // std::sync::mpsc receivers are single-consumer; a Mutex turns the work
     // queue into the multi-consumer channel crossbeam used to provide.
     let (in_tx, in_rx) = mpsc::channel::<(usize, I)>();
@@ -112,5 +126,18 @@ mod tests {
         let outputs = run_parallel(inputs, |&x| x + 1);
         assert_eq!(outputs.len(), 500);
         assert_eq!(outputs[499], 500);
+    }
+
+    #[test]
+    fn explicit_worker_count_is_deterministic() {
+        let inputs: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = inputs.iter().map(|x| x * 3).collect();
+        for workers in [1, 2, 5, 16] {
+            let outputs = run_parallel_n(inputs.clone(), workers, |&x| x * 3);
+            assert_eq!(outputs, expect, "workers={workers}");
+        }
+        // Zero clamps to one worker rather than deadlocking.
+        let outputs = run_parallel_n(vec![7u64], 0, |&x| x);
+        assert_eq!(outputs, vec![7]);
     }
 }

@@ -18,14 +18,23 @@ use crate::qos::TokenBucket;
 use crate::workload::Workload;
 use blockstore::{QuorumTracker, ReplicaSelector, Scrubber, ServerId, StorageServer, StoredBlock};
 use faultkit::{FaultKind, LinkTarget};
-use hwmodel::consts::PCIE_PROPAGATION;
+use hwmodel::consts::{NET_PROPAGATION, PCIE_PROPAGATION};
 use blockstore::DiskModel;
 use hwmodel::{CompressEngine, CpuPool, CpuWork, MlcInjector};
-use simkit::{FlowSpec, Scheduler, Simulation, Time, WakeCoalescer, World};
+use simkit::{
+    EngineStats, FlowSpec, Scheduler, ShardWorld, ShardedSim, Time, WakeCoalescer,
+    World,
+};
+use std::collections::BTreeMap;
 use tracekit::{SegmentAccum, SpanId, StageKind, TraceId, Tracer};
 
 /// Number of storage servers in the simulated cluster.
 pub const STORAGE_SERVERS: usize = 6;
+/// Conservative lookahead between the middle-tier hub and every storage
+/// server: the network propagation delay. Every storage RPC (and its ack)
+/// crosses the wire, so no cross-shard event can take effect sooner — which
+/// is exactly what lets the shards run in parallel windows of this width.
+pub const STORAGE_LOOKAHEAD: Time = NET_PROPAGATION;
 /// Compaction threshold per chunk (writes before the maintenance service
 /// compacts).
 pub const COMPACTION_THRESHOLD: u64 = 512;
@@ -50,8 +59,17 @@ pub enum Ev {
     CpuDone(u64),
     /// Engine `i` finished a block (token).
     EngDone(u8, u64),
-    /// Storage server `i`'s disk finished an I/O (token).
-    DiskDone(u32, u64),
+    /// A storage RPC arrived at its server (after wire propagation in the
+    /// sequential engine, or through the cross-shard mailbox when sharded).
+    StoreArrive(StoreMsg),
+    /// Storage server `i`'s disk finished the I/O for token `tok`.
+    StoreDiskDone(u32, u64),
+    /// A storage RPC's ack arrived back at the middle-tier hub.
+    StoreAck(AckMsg),
+    /// Barrier operation: scrub restarted server `i` against all shards.
+    GlobalScrub(u32),
+    /// Barrier operation: one round-robin snapshot across all shards.
+    GlobalSnapshot,
     /// A fixed delay (Wait step or PCIe propagation) elapsed.
     Delay(u64),
     /// Client slot issues its next request.
@@ -66,7 +84,7 @@ pub enum Ev {
     /// `gen` (stale once the slot was freed or reused).
     ReqTimeout(u32, u32),
     /// Backoff elapsed: re-issue a timed-out request.
-    Retry(RetryTicket),
+    Retry(Box<RetryTicket>),
     /// Periodic snapshot maintenance tick.
     SnapshotTick,
     /// Periodic throughput sample (transient visualisation).
@@ -125,6 +143,58 @@ pub struct RetryTicket {
     seg: SegmentAccum,
 }
 
+/// The functional payload of a write-path storage RPC: what to append.
+#[derive(Clone, Debug)]
+pub struct StorePayload {
+    chunk_key: (u64, u64),
+    block: u64,
+    stored: StoredBlock,
+}
+
+/// A storage RPC from the middle-tier hub to one storage server: a replica
+/// store (payload present) or a read fetch (payload absent). Carries the
+/// hub branch token so the ack resumes the right plan branch.
+#[derive(Clone, Debug)]
+pub struct StoreMsg {
+    server: u32,
+    tok: u64,
+    bytes: u32,
+    /// Disk queue depth observed at arrival (reported back for tracing).
+    depth: u32,
+    /// How many fail-over redirects this RPC has already taken.
+    redirects: u8,
+    // Boxed to keep `Ev` small: every event the binary heap moves pays
+    // for the largest variant, and the payload rides along on only two
+    // hops of the RPC.
+    payload: Option<Box<StorePayload>>,
+}
+
+/// What happened to a storage RPC on the server.
+#[derive(Clone, Copy, Debug)]
+pub enum AckOutcome {
+    /// The append landed; `compacted` reports whether it tripped the
+    /// chunk's LSM compaction threshold.
+    Stored {
+        /// Whether this append triggered a compaction.
+        compacted: bool,
+    },
+    /// The server was dead — the hub's fail-over service must re-replicate.
+    Dead,
+    /// A read fetch completed its disk I/O.
+    Fetched,
+}
+
+/// A storage RPC's reply, delivered back to the middle-tier hub.
+#[derive(Clone, Copy, Debug)]
+pub struct AckMsg {
+    server: u32,
+    tok: u64,
+    bytes: u32,
+    outcome: AckOutcome,
+    depth: u32,
+    redirects: u8,
+}
+
 /// Admission window in front of host memory: the I/O path acts as one
 /// memory agent with [`IO_MEM_WINDOW`] concurrent bursts, which is what
 /// allows background pressure to squeeze it (see `hwmodel::consts`).
@@ -147,6 +217,16 @@ pub struct Cluster {
     disks: Vec<DiskModel>,
     /// Storage servers holding the replicated chunks.
     pub servers: Vec<StorageServer>,
+    /// Per-server in-flight storage RPCs (arrival → disk completion), used
+    /// only when the storage side runs inside this world (sequential mode).
+    store_pending: Vec<BTreeMap<u64, StoreMsg>>,
+    /// True when the storage side lives in separate shards: storage RPCs
+    /// leave through the cross-shard mailbox and server/disk state is not
+    /// held here.
+    remote: bool,
+    /// Number of storage servers in the cluster (valid in both modes —
+    /// `servers.len()` is zero while sharded).
+    num_servers: usize,
     selector: ReplicaSelector,
     workload: Workload,
     /// Collected metrics.
@@ -262,6 +342,9 @@ impl Cluster {
             engines,
             disks,
             servers,
+            store_pending: (0..STORAGE_SERVERS).map(|_| BTreeMap::new()).collect(),
+            remote: false,
+            num_servers: STORAGE_SERVERS,
             selector,
             workload,
             metrics: Metrics::default(),
@@ -554,25 +637,70 @@ impl Cluster {
                     }
                     return;
                 }
-                Step::Disk(r, bytes) => {
-                    let server = {
+                Step::Store(r, bytes) => {
+                    let (pool_idx, b, chunk_key, block, server) = {
                         let req = self.reqs[key as usize].as_ref().unwrap();
-                        req.replicas[r as usize]
+                        (
+                            req.pool_idx,
+                            req.b,
+                            req.chunk_key,
+                            req.block,
+                            req.replicas[r as usize],
+                        )
                     };
-                    let sid = self.open_step_span(
+                    self.open_step_span(
                         key,
                         branch,
                         StageKind::DiskIo,
-                        "disk-io",
+                        "storage-rpc",
                         bytes as u64,
                         now,
                     );
-                    let depth = self.disks[server as usize].queued() as u32;
-                    self.tracer.span_set_queue(sid, depth);
-                    let disk = &mut self.disks[server as usize];
-                    if let Some(js) = disk.submit(now, bytes as usize, tok) {
-                        sched.schedule_at(js.finish_at, Ev::DiskDone(server, js.token));
-                    }
+                    let data = self.workload.compressed(pool_idx);
+                    let stored = StoredBlock::lz4(data, b);
+                    // Record the placement *intent*, not just the landed
+                    // append: if the server is down right now, it stays on
+                    // the holder list, and the post-restart scrub
+                    // re-replicates the version it missed.
+                    self.scrubber
+                        .record_on(chunk_key, block, ServerId(server), &stored);
+                    let msg = StoreMsg {
+                        server,
+                        tok,
+                        bytes,
+                        depth: 0,
+                        redirects: 0,
+                        payload: Some(Box::new(StorePayload {
+                            chunk_key,
+                            block,
+                            stored,
+                        })),
+                    };
+                    self.send_store(msg, sched);
+                    return;
+                }
+                Step::Fetch(bytes) => {
+                    let server = {
+                        let req = self.reqs[key as usize].as_ref().unwrap();
+                        req.replicas[0]
+                    };
+                    self.open_step_span(
+                        key,
+                        branch,
+                        StageKind::DiskIo,
+                        "storage-rpc",
+                        bytes as u64,
+                        now,
+                    );
+                    let msg = StoreMsg {
+                        server,
+                        tok,
+                        bytes,
+                        depth: 0,
+                        redirects: 0,
+                        payload: None,
+                    };
+                    self.send_store(msg, sched);
                     return;
                 }
                 Step::Wait(d) => {
@@ -585,10 +713,6 @@ impl Cluster {
                     // time was charged by the Cpu/Engine step.
                     let idx = self.reqs[key as usize].as_ref().unwrap().pool_idx;
                     let _ = self.workload.compressed(idx);
-                    continue;
-                }
-                Step::StoreReplica(r) => {
-                    self.store_replica(key, r, now);
                     continue;
                 }
                 Step::Mark(kind) => {
@@ -606,76 +730,106 @@ impl Cluster {
         }
     }
 
-    /// Functionally appends the compressed block to replica `r`'s server,
-    /// running LSM compaction when the chunk's threshold fires. Successful
-    /// appends ack the request's write quorum and record placement with
-    /// the scrubber (so post-restart recovery knows who should hold what).
-    fn store_replica(&mut self, key: u32, r: u8, now: Time) {
-        let (pool_idx, b, chunk_key, block, server, request_id, trace, root) = {
-            let req = self.reqs[key as usize].as_ref().unwrap();
+    /// Dispatches a storage RPC: through the cross-shard mailbox when the
+    /// storage side runs as separate shards, or as a local event after the
+    /// same wire-propagation delay sequentially. The delay equals the
+    /// engine's conservative lookahead, so the sharded send is always legal.
+    fn send_store(&mut self, msg: StoreMsg, sched: &mut Scheduler<Ev>) {
+        if self.remote {
+            sched.send(1 + msg.server, STORAGE_LOOKAHEAD, Ev::StoreArrive(msg));
+        } else {
+            sched.schedule_in(STORAGE_LOOKAHEAD, Ev::StoreArrive(msg));
+        }
+    }
+
+    /// A storage RPC's ack landed back at the hub: account the outcome
+    /// (quorum ack, compaction, fail-over redirect) and resume the plan
+    /// branch that was blocked on the RPC.
+    fn store_ack(&mut self, ack: AckMsg, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        // Physical effects on the server count whether or not the issuing
+        // attempt is still live — the append really happened.
+        if let AckOutcome::Stored { compacted: true } = ack.outcome {
+            self.metrics.compactions += 1;
+        }
+        let (key, branch, gen) = untoken(ack.tok);
+        if self.gens.get(key as usize).copied() != Some(gen) {
+            return; // the attempt timed out or completed; drop the late ack
+        }
+        let (request_id, trace, root, pool_idx, b, chunk_key, block) = {
+            let Some(req) = self.reqs[key as usize].as_ref() else {
+                return;
+            };
             (
+                req.request_id,
+                req.trace,
+                req.root,
                 req.pool_idx,
                 req.b,
                 req.chunk_key,
                 req.block,
-                req.replicas[r as usize],
-                req.request_id,
-                req.trace,
-                req.root,
             )
         };
-        let data = self.workload.compressed(pool_idx);
-        let stored = StoredBlock::lz4(data, b);
-        // Record the placement *intent*, not just the landed append: if the
-        // server is down right now, it stays on the holder list, and the
-        // post-restart scrub re-replicates the version it missed.
-        self.scrubber
-            .record_on(chunk_key, block, ServerId(server), &stored);
-        let srv = &mut self.servers[server as usize];
-        match srv.append_traced(chunk_key, block, stored.clone(), &mut self.tracer, trace, root, now)
-        {
-            Some(wants_compaction) => {
-                self.quorum.ack(request_id, ServerId(server));
-                self.tracer.instant(trace, root, StageKind::QuorumAck, "replica-ack", 0, now);
-                if wants_compaction {
-                    if let Some(chunk) = srv.chunk_mut(chunk_key) {
-                        chunk.compact();
-                        self.metrics.compactions += 1;
-                    }
-                }
+        if let Some(req) = self.reqs[key as usize].as_ref() {
+            self.tracer
+                .span_set_queue(req.step_span[branch as usize], ack.depth);
+        }
+        match ack.outcome {
+            AckOutcome::Fetched => {}
+            AckOutcome::Stored { .. } => {
+                self.tracer.instant(
+                    trace,
+                    root,
+                    StageKind::Append,
+                    "replica-append",
+                    ack.bytes as u64,
+                    now,
+                );
+                // The redirect may land on a server that already acked this
+                // request; duplicate acks never double-count, so the quorum
+                // stays honest.
+                self.quorum.ack(request_id, ServerId(ack.server));
+                let label = if ack.redirects > 0 {
+                    "failover-ack"
+                } else {
+                    "replica-ack"
+                };
+                self.tracer
+                    .instant(trace, root, StageKind::QuorumAck, label, 0, now);
             }
-            None => {
+            AckOutcome::Dead => {
                 // The replica target died mid-write: the fail-over service
                 // re-replicates onto another healthy server so the block
                 // keeps its replication factor.
                 self.metrics.failovers += 1;
                 self.tracer
                     .instant(trace, root, StageKind::Failover, "replica-failover", 0, now);
-                if let Some(alt) = self.selector.choose(1) {
-                    let alt = alt[0];
-                    if self.servers[alt.0 as usize]
-                        .append_traced(
-                            chunk_key,
-                            block,
-                            stored.clone(),
-                            &mut self.tracer,
-                            trace,
-                            root,
-                            now,
-                        )
-                        .is_some()
-                    {
+                if ack.redirects == 0 {
+                    if let Some(alt) = self.selector.choose(1) {
+                        let alt = alt[0];
+                        let data = self.workload.compressed(pool_idx);
+                        let stored = StoredBlock::lz4(data, b);
                         self.scrubber.record_on(chunk_key, block, alt, &stored);
-                        // The redirect may land on a server that already
-                        // acked this request; duplicate acks never
-                        // double-count, so the quorum stays honest.
-                        self.quorum.ack(request_id, alt);
-                        self.tracer
-                            .instant(trace, root, StageKind::QuorumAck, "failover-ack", 0, now);
+                        let msg = StoreMsg {
+                            server: alt.0,
+                            tok: ack.tok,
+                            bytes: ack.bytes,
+                            depth: 0,
+                            redirects: 1,
+                            payload: Some(Box::new(StorePayload {
+                                chunk_key,
+                                block,
+                                stored,
+                            })),
+                        };
+                        self.send_store(msg, sched);
+                        return; // the branch stays blocked on the redirect
                     }
                 }
             }
         }
+        self.pending.push(ack.tok);
+        self.pump(sched);
     }
 
     fn complete_request(&mut self, key: u32, sched: &mut Scheduler<Ev>) {
@@ -919,7 +1073,7 @@ impl Cluster {
         let shift = ticket.attempt.saturating_sub(1).min(16);
         let backoff =
             (self.cfg.retry_backoff * (1u64 << shift)).min(self.cfg.retry_backoff_cap);
-        sched.schedule_in(backoff, Ev::Retry(ticket));
+        sched.schedule_in(backoff, Ev::Retry(Box::new(ticket)));
     }
 
     /// The per-request timer fired: if the slot still holds the same
@@ -995,8 +1149,11 @@ impl Cluster {
         }
     }
 
-    /// Applies one scheduled fault. Out-of-range server ids are ignored so
-    /// chaos plans compose with any cluster size.
+    /// Applies one scheduled fault at the hub. Out-of-range server ids are
+    /// ignored so chaos plans compose with any cluster size. When the
+    /// storage side runs as separate shards, the hub keeps only placement
+    /// health and tracing; the server/disk effects are applied by the
+    /// target shard, which receives the same fault event at the same time.
     fn apply_fault(&mut self, kind: FaultKind, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
         if self.tracer.enabled() {
@@ -1005,26 +1162,38 @@ impl Cluster {
         }
         match kind {
             FaultKind::ServerCrash { server } => {
-                if let Some(srv) = self.servers.get_mut(server as usize) {
-                    srv.set_alive(false);
+                if (server as usize) < self.num_servers {
                     self.selector.set_healthy(ServerId(server), false);
+                    if !self.remote {
+                        self.servers[server as usize].set_alive(false);
+                    }
                 }
             }
             FaultKind::ServerRestart { server } => {
-                if (server as usize) < self.servers.len() {
-                    self.servers[server as usize].set_alive(true);
+                if (server as usize) < self.num_servers {
                     self.selector.set_healthy(ServerId(server), true);
-                    self.restart_scrub(server as usize, now);
+                    if self.remote {
+                        // Scrub needs every shard's chunk store: defer to
+                        // the window barrier, where all shards are in scope.
+                        sched.defer_global(Ev::GlobalScrub(server));
+                    } else {
+                        self.servers[server as usize].set_alive(true);
+                        self.restart_scrub(server as usize, now);
+                    }
                 }
             }
             FaultKind::ServerSlow { server, factor } => {
-                if let Some(disk) = self.disks.get_mut(server as usize) {
-                    disk.set_slow_factor(factor);
+                if !self.remote {
+                    if let Some(disk) = self.disks.get_mut(server as usize) {
+                        disk.set_slow_factor(factor);
+                    }
                 }
             }
             FaultKind::ServerNormal { server } => {
-                if let Some(disk) = self.disks.get_mut(server as usize) {
-                    disk.set_slow_factor(1.0);
+                if !self.remote {
+                    if let Some(disk) = self.disks.get_mut(server as usize) {
+                        disk.set_slow_factor(1.0);
+                    }
                 }
             }
             FaultKind::LinkDegrade { link, fraction } => {
@@ -1137,12 +1306,35 @@ impl World for Cluster {
                 self.pending.push(tok);
                 self.pump(sched);
             }
-            Ev::DiskDone(srv, tok) => {
-                if let Some(next) = self.disks[srv as usize].complete(sched.now()) {
-                    sched.schedule_at(next.finish_at, Ev::DiskDone(srv, next.token));
+            Ev::StoreArrive(msg) => {
+                // Sequential mode only: the hub hosts the storage side too.
+                let srv = msg.server as usize;
+                let now = sched.now();
+                if let Some(js) =
+                    store_submit(&mut self.disks[srv], &mut self.store_pending[srv], msg, now)
+                {
+                    sched.schedule_at(js.finish_at, Ev::StoreDiskDone(srv as u32, js.token));
                 }
-                self.pending.push(tok);
-                self.pump(sched);
+            }
+            Ev::StoreDiskDone(srv, tok) => {
+                let now = sched.now();
+                if let Some(next) = self.disks[srv as usize].complete(now) {
+                    sched.schedule_at(next.finish_at, Ev::StoreDiskDone(srv, next.token));
+                }
+                if let Some(ack) = store_finish(
+                    &mut self.servers[srv as usize],
+                    &mut self.store_pending[srv as usize],
+                    tok,
+                ) {
+                    sched.schedule_in(STORAGE_LOOKAHEAD, Ev::StoreAck(ack));
+                }
+            }
+            Ev::StoreAck(ack) => {
+                self.store_ack(ack, sched);
+            }
+            Ev::GlobalScrub(_) | Ev::GlobalSnapshot => {
+                // Barrier operations: executed by `ClusterShard::handle_global`
+                // between windows, never as ordinary events.
             }
             Ev::Delay(tok) => {
                 self.pending.push(tok);
@@ -1159,10 +1351,16 @@ impl World for Cluster {
                     let verb = if alive { "server-restart" } else { "server-crash" };
                     self.tracer.fault_mark(sched.now(), format!("{verb} s{i}"));
                 }
-                self.servers[i as usize].set_alive(alive);
                 self.selector.set_healthy(ServerId(i), alive);
-                if alive {
-                    self.restart_scrub(i as usize, sched.now());
+                if self.remote {
+                    if alive {
+                        sched.defer_global(Ev::GlobalScrub(i));
+                    }
+                } else {
+                    self.servers[i as usize].set_alive(alive);
+                    if alive {
+                        self.restart_scrub(i as usize, sched.now());
+                    }
                 }
             }
             Ev::Fault(kind) => {
@@ -1174,12 +1372,12 @@ impl World for Cluster {
             Ev::Retry(ticket) => {
                 if sched.now() < self.stop_issuing_at {
                     match self.selector.choose(self.cfg.replication) {
-                        Some(replicas) => self.spawn_attempt(replicas, ticket, sched),
+                        Some(replicas) => self.spawn_attempt(replicas, *ticket, sched),
                         None => {
                             // Still no healthy quorum: burn an attempt so
                             // an extended outage converges to an explicit
                             // failure instead of retrying forever.
-                            let mut t = ticket;
+                            let mut t = *ticket;
                             t.attempt += 1;
                             self.fail_or_retry(t, sched);
                         }
@@ -1187,7 +1385,13 @@ impl World for Cluster {
                 }
             }
             Ev::SnapshotTick => {
-                self.take_snapshot(sched.now());
+                if self.remote {
+                    // The chunk stores live in other shards: snapshot at
+                    // the window barrier where all of them are in scope.
+                    sched.defer_global(Ev::GlobalSnapshot);
+                } else {
+                    self.take_snapshot(sched.now());
+                }
                 if let Some(period) = self.cfg.snapshot_period {
                     sched.schedule_in(period, Ev::SnapshotTick);
                 }
@@ -1216,6 +1420,261 @@ impl World for Cluster {
             }
         }
         self.arm_touched(sched);
+    }
+}
+
+/// Server-side arrival of a storage RPC: record the disk queue depth and
+/// submit the disk I/O. Shared verbatim between the sequential world and
+/// the per-server shard, so both execute the identical schedule.
+fn store_submit(
+    disk: &mut DiskModel,
+    pending: &mut BTreeMap<u64, StoreMsg>,
+    mut msg: StoreMsg,
+    now: Time,
+) -> Option<simkit::JobStart> {
+    msg.depth = disk.queued() as u32;
+    let tok = msg.tok;
+    let bytes = msg.bytes as usize;
+    pending.insert(tok, msg);
+    disk.submit(now, bytes, tok)
+}
+
+/// Server-side completion of a storage RPC's disk I/O: perform the
+/// functional append (with local LSM compaction when the chunk's threshold
+/// fires) and build the ack for the hub.
+fn store_finish(
+    server: &mut StorageServer,
+    pending: &mut BTreeMap<u64, StoreMsg>,
+    tok: u64,
+) -> Option<AckMsg> {
+    let msg = pending.remove(&tok)?;
+    let outcome = match msg.payload {
+        None => AckOutcome::Fetched,
+        Some(p) => match server.append(p.chunk_key, p.block, p.stored) {
+            Some(wants_compaction) => {
+                let mut compacted = false;
+                if wants_compaction {
+                    if let Some(chunk) = server.chunk_mut(p.chunk_key) {
+                        chunk.compact();
+                        compacted = true;
+                    }
+                }
+                AckOutcome::Stored { compacted }
+            }
+            None => AckOutcome::Dead,
+        },
+    };
+    Some(AckMsg {
+        server: msg.server,
+        tok,
+        bytes: msg.bytes,
+        outcome,
+        depth: msg.depth,
+        redirects: msg.redirects,
+    })
+}
+
+/// One storage server's shard: its NVMe disk, its chunk store, and the
+/// in-flight storage RPCs between arrival and disk completion. Everything
+/// a server does locally lives here; cluster-wide operations (restart
+/// scrub, snapshots) run as barrier operations with all shards in scope.
+#[derive(Debug)]
+pub struct StoreShard {
+    id: u32,
+    disk: DiskModel,
+    server: StorageServer,
+    pending: BTreeMap<u64, StoreMsg>,
+}
+
+impl World for StoreShard {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        match ev {
+            Ev::StoreArrive(msg) => {
+                if let Some(js) = store_submit(&mut self.disk, &mut self.pending, msg, now) {
+                    sched.schedule_at(js.finish_at, Ev::StoreDiskDone(self.id, js.token));
+                }
+            }
+            Ev::StoreDiskDone(_, tok) => {
+                if let Some(next) = self.disk.complete(now) {
+                    sched.schedule_at(next.finish_at, Ev::StoreDiskDone(self.id, next.token));
+                }
+                if let Some(ack) = store_finish(&mut self.server, &mut self.pending, tok) {
+                    sched.send(0, STORAGE_LOOKAHEAD, Ev::StoreAck(ack));
+                }
+            }
+            Ev::ServerAlive(_, alive) => {
+                self.server.set_alive(alive);
+            }
+            Ev::Fault(kind) => match kind {
+                FaultKind::ServerCrash { .. } => self.server.set_alive(false),
+                FaultKind::ServerRestart { .. } => self.server.set_alive(true),
+                FaultKind::ServerSlow { factor, .. } => self.disk.set_slow_factor(factor),
+                FaultKind::ServerNormal { .. } => self.disk.set_slow_factor(1.0),
+                FaultKind::LinkDegrade { .. } => {}
+            },
+            _ => {}
+        }
+    }
+}
+
+/// A shard of the sharded cluster simulation: the middle-tier hub (shard 0)
+/// or one storage server (shard `1 + i`).
+#[derive(Debug)]
+pub enum ClusterShard {
+    /// The middle-tier hub: clients, fabric, CPU/engines, request logic.
+    Hub(Box<Cluster>),
+    /// One storage server's disk and chunk store.
+    Store(StoreShard),
+}
+
+impl World for ClusterShard {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match self {
+            ClusterShard::Hub(c) => c.handle(ev, sched),
+            ClusterShard::Store(s) => s.handle(ev, sched),
+        }
+    }
+}
+
+impl ShardWorld for ClusterShard {
+    fn handle_global(shards: &mut [&mut Self], at: Time, ev: Ev) {
+        match ev {
+            Ev::GlobalScrub(server) => scrub_global(shards, at, server),
+            Ev::GlobalSnapshot => snapshot_global(shards, at),
+            _ => {}
+        }
+    }
+}
+
+/// Barrier operation: post-restart recovery of `server`, scrubbing its
+/// chunk store against the hub's checksum index and restoring blocks from
+/// any live replica — the sharded twin of [`Cluster::restart_scrub`].
+fn scrub_global(shards: &mut [&mut ClusterShard], at: Time, server: u32) {
+    let (hub_slice, stores) = shards.split_at_mut(1);
+    let ClusterShard::Hub(hub) = &mut *hub_slice[0] else {
+        return;
+    };
+    let idx = server as usize;
+    if idx >= stores.len() {
+        return;
+    }
+    let mut srv = {
+        let ClusterShard::Store(target) = &mut *stores[idx] else {
+            return;
+        };
+        std::mem::replace(
+            &mut target.server,
+            StorageServer::new(ServerId(server), COMPACTION_THRESHOLD),
+        )
+    };
+    let (stats, _findings) = hub.scrubber.scrub_with(&mut srv, |chunk, block, want| {
+        stores.iter().find_map(|s| {
+            let ClusterShard::Store(p) = &**s else {
+                return None;
+            };
+            let good = p.server.fetch(chunk, block)?;
+            (blockstore::crc32(&good.data) == want).then(|| good.clone())
+        })
+    });
+    if let ClusterShard::Store(target) = &mut *stores[idx] {
+        target.server = srv;
+    }
+    hub.metrics.scrub_repairs += stats.repaired as u64;
+    let maint = hub.tracer.maint();
+    hub.tracer.instant(
+        maint,
+        SpanId::NULL,
+        StageKind::Scrub,
+        "restart-scrub",
+        stats.repaired as u64,
+        at,
+    );
+}
+
+/// Barrier operation: one round-robin snapshot tick — the sharded twin of
+/// [`Cluster::take_snapshot`].
+fn snapshot_global(shards: &mut [&mut ClusterShard], at: Time) {
+    let (hub_slice, stores) = shards.split_at_mut(1);
+    let ClusterShard::Hub(hub) = &mut *hub_slice[0] else {
+        return;
+    };
+    let n = stores.len();
+    for off in 0..n {
+        let idx = (hub.snapshot_cursor + off) % n;
+        let ClusterShard::Store(srv) = &*stores[idx] else {
+            continue;
+        };
+        if let Some((&key, chunk)) = srv.server.chunks().next() {
+            hub.snapshots.push((at, key, chunk.snapshot()));
+            hub.snapshot_cursor = idx + 1;
+            return;
+        }
+    }
+}
+
+impl Cluster {
+    /// Splits this cluster into shard worlds: the hub (this world, with the
+    /// storage-side state removed and `remote` set) plus one
+    /// [`StoreShard`] per storage server.
+    fn split_for_shards(mut self) -> Vec<ClusterShard> {
+        self.remote = true;
+        let disks = std::mem::take(&mut self.disks);
+        let servers = std::mem::take(&mut self.servers);
+        let pending = std::mem::take(&mut self.store_pending);
+        let mut shards: Vec<ClusterShard> = Vec::with_capacity(1 + disks.len());
+        shards.push(ClusterShard::Hub(Box::new(self)));
+        for (i, ((disk, server), pending)) in
+            disks.into_iter().zip(servers).zip(pending).enumerate()
+        {
+            shards.push(ClusterShard::Store(StoreShard {
+                id: i as u32,
+                disk,
+                server,
+                pending,
+            }));
+        }
+        shards
+    }
+
+    /// Reassembles a cluster from its shards after a run, so callers can
+    /// audit servers, snapshots, and stored blocks exactly as in the
+    /// sequential mode.
+    fn absorb_shards(shards: Vec<ClusterShard>) -> Cluster {
+        let mut hub: Option<Box<Cluster>> = None;
+        let mut stores: Vec<StoreShard> = Vec::new();
+        for s in shards {
+            match s {
+                ClusterShard::Hub(c) => hub = Some(c),
+                ClusterShard::Store(st) => stores.push(st),
+            }
+        }
+        let Some(mut cluster) = hub else {
+            unreachable!("split_for_shards always emits the hub shard");
+        };
+        stores.sort_by_key(|s| s.id);
+        for st in stores {
+            cluster.disks.push(st.disk);
+            cluster.servers.push(st.server);
+            cluster.store_pending.push(st.pending);
+        }
+        cluster.remote = false;
+        *cluster
+    }
+}
+
+/// The server index a fault targets, when it targets one.
+fn fault_server(kind: &FaultKind) -> Option<u32> {
+    match kind {
+        FaultKind::ServerCrash { server }
+        | FaultKind::ServerRestart { server }
+        | FaultKind::ServerSlow { server, .. }
+        | FaultKind::ServerNormal { server } => Some(*server),
+        FaultKind::LinkDegrade { .. } => None,
     }
 }
 
@@ -1252,6 +1711,24 @@ pub fn run_counted(
     cfg: &RunConfig,
     setup: impl FnOnce(&mut Cluster),
 ) -> (RunReport, Cluster, u64) {
+    let (report, cluster, stats) = run_counted_stats(cfg, setup, None);
+    (report, cluster, stats.events)
+}
+
+/// Like [`run_counted`], but returns the engine's full payload/sync
+/// accounting and takes an explicit worker-thread count (`None` = the
+/// `SMARTDS_THREADS` environment default).
+///
+/// Every run — whatever the thread count — executes on the sharded engine
+/// (hub shard 0, one shard per storage server), so the simulated schedule
+/// is one fixed function of the configuration; threads change wall time
+/// only. Tests that compare thread counts pass `Some(n)` to stay immune to
+/// environment races.
+pub fn run_counted_stats(
+    cfg: &RunConfig,
+    setup: impl FnOnce(&mut Cluster),
+    threads: Option<usize>,
+) -> (RunReport, Cluster, EngineStats) {
     let mut cluster = Cluster::new(cfg.clone());
     setup(&mut cluster);
     let warmup = cfg.warmup;
@@ -1264,34 +1741,49 @@ pub fn run_counted(
     }
     let faults = cfg.faults.clone();
     let plan = cfg.fault_plan.clone();
-    let mut sim = Simulation::new(cluster);
+    let num_servers = cluster.num_servers;
+    let mut sim = ShardedSim::new(cluster.split_for_shards(), STORAGE_LOOKAHEAD);
+    if let Some(t) = threads {
+        sim = sim.with_threads(t);
+    }
+    // A server-targeted fault is delivered twice at the same instant: the
+    // hub updates placement health and tracing, the target shard applies
+    // the server/disk effect. Both sides see it deterministically.
+    let store_shard =
+        |server: u32| ((server as usize) < num_servers).then(|| 1 + server as usize);
     for (at, server, alive) in faults {
-        sim.schedule_at(at, Ev::ServerAlive(server, alive));
+        sim.schedule_at(0, at, Ev::ServerAlive(server, alive));
+        if let Some(s) = store_shard(server) {
+            sim.schedule_at(s, at, Ev::ServerAlive(server, alive));
+        }
     }
     for e in plan.events() {
-        sim.schedule_at(e.at, Ev::Fault(e.kind));
+        sim.schedule_at(0, e.at, Ev::Fault(e.kind));
+        if let Some(s) = fault_server(&e.kind).and_then(store_shard) {
+            sim.schedule_at(s, e.at, Ev::Fault(e.kind));
+        }
     }
     if let Some(period) = cfg.snapshot_period {
-        sim.schedule_at(period, Ev::SnapshotTick);
+        sim.schedule_at(0, period, Ev::SnapshotTick);
     }
     if let Some(period) = cfg.sample_period {
-        sim.schedule_at(period, Ev::SampleTick);
+        sim.schedule_at(0, period, Ev::SampleTick);
     }
     if cfg.open_loop_gbps.is_some() {
         // Open loop: a single Poisson arrival process drives issue.
-        sim.schedule_at(Time::from_ps(1), Ev::Arrival);
+        sim.schedule_at(0, Time::from_ps(1), Ev::Arrival);
     } else {
         // Stagger the initial closed-loop issues over the first microseconds.
         for slot in 0..cfg.outstanding as u32 {
-            sim.schedule_at(Time::from_ps(200_000u64 * slot as u64 + 1), Ev::Issue(slot));
+            sim.schedule_at(0, Time::from_ps(200_000u64 * slot as u64 + 1), Ev::Issue(slot));
         }
     }
-    sim.schedule_at(warmup, Ev::WarmupEnd);
-    sim.schedule_at(end, Ev::RunEnd);
+    sim.schedule_at(0, warmup, Ev::WarmupEnd);
+    sim.schedule_at(0, end, Ev::RunEnd);
     sim.run();
-    let end_time = sim.now().max(end);
-    let executed = sim.executed();
-    let cluster = sim.into_world();
+    let end_time = sim.now(0).max(end);
+    let stats = sim.stats();
+    let cluster = Cluster::absorb_shards(sim.into_worlds());
     let delta = cluster.fabric.traffic() - cluster.warmup_traffic;
     let report = RunReport::build(
         cfg.design.label(),
@@ -1302,12 +1794,13 @@ pub fn run_counted(
         warmup,
         end_time,
     );
-    (report, cluster, executed)
+    (report, cluster, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simkit::Simulation;
 
     fn quick(design: Design) -> RunConfig {
         let mut c = RunConfig::saturating(design);

@@ -54,15 +54,23 @@ pub enum Step {
     Cpu(CpuWork),
     /// Run `bytes` through hardware compression engine `i`.
     Engine(u8, u32),
-    /// An I/O of `bytes` on replica `r`'s storage-server disk.
-    Disk(u8, u32),
+    /// Replicate the (compressed) block of `bytes` to replica `r`'s storage
+    /// server: one storage RPC covering the network propagation to the
+    /// server, the disk I/O, the functional append, and the ack's
+    /// propagation back. Executed as a cross-shard message exchange when the
+    /// simulation runs sharded (the propagation is exactly the engine's
+    /// conservative lookahead), or as local events sequentially — the
+    /// simulated schedule is identical either way.
+    Store(u8, u32),
+    /// Fetch a block of `bytes` (compressed size) from replica 0's storage
+    /// server: propagation out, disk read, propagation back. The storage-RPC
+    /// counterpart of [`Step::Store`] for the read path.
+    Fetch(u32),
     /// Fixed delay (network propagation).
     Wait(Time),
     /// Functional: LZ4-compress the request payload (time is charged by the
     /// accompanying `Cpu(Compress)` / `Engine` step).
     CompressPayload,
-    /// Functional: append the (compressed) block to replica `r`'s server.
-    StoreReplica(u8),
     /// Functional: a latency-segment boundary. The time since the previous
     /// mark (or issue) is charged to `kind`'s segment in the per-request
     /// [`tracekit::SegmentAccum`], so consecutive marks exactly partition
@@ -216,10 +224,7 @@ fn write_cpu_only(b: u32, c: u32, rep: u8) -> Plan {
             vec![
                 Step::Xfer(Res::NicH2D, H + c),
                 Step::Xfer(Res::PortTx(0), w(H + c)),
-                Step::Wait(NET_PROPAGATION),
-                Step::Disk(r, c),
-                Step::StoreReplica(r),
-                Step::Wait(NET_PROPAGATION),
+                Step::Store(r, c),
                 Step::Xfer(Res::PortRx(0), w(H)),
                 Step::Xfer(Res::NicD2H, H),
                 Step::Xfer(Res::MemWrite, H),
@@ -293,10 +298,7 @@ fn write_acc(b: u32, c: u32, ddio: bool, rep: u8) -> Plan {
             vec![
                 Step::Xfer(Res::NicH2D, H + c),
                 Step::Xfer(Res::PortTx(0), w(H + c)),
-                Step::Wait(NET_PROPAGATION),
-                Step::Disk(r, c),
-                Step::StoreReplica(r),
-                Step::Wait(NET_PROPAGATION),
+                Step::Store(r, c),
                 Step::Xfer(Res::PortRx(0), w(H)),
                 Step::Xfer(Res::NicD2H, H),
                 Step::Xfer(Res::MemWrite, H),
@@ -357,10 +359,7 @@ fn write_bf2(port: u8, b: u32, c: u32, rep: u8) -> Plan {
             vec![
                 Step::Xfer(Res::DevMem, c),
                 Step::Xfer(Res::PortTx(port), w(H + c)),
-                Step::Wait(NET_PROPAGATION),
-                Step::Disk(r, c),
-                Step::StoreReplica(r),
-                Step::Wait(NET_PROPAGATION),
+                Step::Store(r, c),
                 Step::Xfer(Res::PortRx(port), w(H)),
                 Step::Xfer(Res::DevMem, H),
             ]
@@ -427,10 +426,7 @@ fn write_smartds(port: u8, b: u32, c: u32, rep: u8) -> Plan {
             vec![
                 Step::Xfer(Res::Hbm, c),
                 Step::Xfer(Res::PortTx(port), w(H + c)),
-                Step::Wait(NET_PROPAGATION),
-                Step::Disk(r, c),
-                Step::StoreReplica(r),
-                Step::Wait(NET_PROPAGATION),
+                Step::Store(r, c),
                 Step::Xfer(Res::PortRx(port), w(H)),
             ]
         })
@@ -479,9 +475,7 @@ pub fn read_plan(design: Design, port: u8, b: u32, c: u32) -> Plan {
     // ② Fetch from one storage server.
     p.phases.push(Phase::seq(vec![
         Step::Xfer(Res::PortTx(port), w(H)),
-        Step::Wait(NET_PROPAGATION),
-        Step::Disk(0, c),
-        Step::Wait(NET_PROPAGATION),
+        Step::Fetch(c),
         Step::Xfer(Res::PortRx(port), w(H + c)),
     ]));
     // ③ Land the reply, decompress, ④ return to the VM.
@@ -679,7 +673,7 @@ mod tests {
                 .collect();
             let stores = steps
                 .iter()
-                .filter(|s| matches!(s, Step::StoreReplica(_)))
+                .filter(|s| matches!(s, Step::Store(_, _)))
                 .count();
             let compresses = steps
                 .iter()
@@ -704,17 +698,17 @@ mod tests {
                 .iter()
                 .flat_map(|ph| ph.branches.iter())
                 .flatten()
-                .any(|s| matches!(s, Step::StoreReplica(_)));
+                .any(|s| matches!(s, Step::Store(_, _)));
             assert!(!has_store, "{d}");
             // Exactly one disk fetch.
-            let disks = p
+            let fetches = p
                 .phases
                 .iter()
                 .flat_map(|ph| ph.branches.iter())
                 .flatten()
-                .filter(|s| matches!(s, Step::Disk(_, _)))
+                .filter(|s| matches!(s, Step::Fetch(_)))
                 .count();
-            assert_eq!(disks, 1, "{d}");
+            assert_eq!(fetches, 1, "{d}");
         }
     }
 }

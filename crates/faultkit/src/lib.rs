@@ -25,7 +25,12 @@
 //! scaling a `FluidResource`'s capacity — belongs to the layer that owns
 //! the faulted object, which keeps this crate dependency-light and the
 //! fault taxonomy reusable across the cluster simulation, protocol tests,
-//! and the bench sweeps.
+//! and the bench sweeps. Under the sharded engine
+//! (`simkit::ShardedSim`) that ownership is per shard: the cluster
+//! driver schedules a server-targeted [`FaultEvent`] on both the hub
+//! shard (placement health, tracing) and the owning store shard (alive
+//! bit, disk slow factor) at the same timestamp, so fault delivery stays
+//! deterministic — and byte-identical — at every worker-thread count.
 //!
 //! # Examples
 //!

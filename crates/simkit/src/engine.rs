@@ -51,16 +51,32 @@ pub trait World {
     fn handle(&mut self, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
+/// Tie-break class for same-timestamp events: cross-shard deliveries sort
+/// before locally scheduled events, making the merged order independent of
+/// the synchronization-window boundaries (see `simkit::shard`). Purely
+/// local simulations only ever use `CLASS_LOCAL`, so their FIFO semantics
+/// are untouched.
+pub(crate) const CLASS_DELIVERED: u8 = 0;
+pub(crate) const CLASS_LOCAL: u8 = 1;
+
 #[derive(Debug)]
-struct Scheduled<E> {
-    at: Time,
+pub(crate) struct Scheduled<E> {
+    pub(crate) at: Time,
+    /// `CLASS_DELIVERED` for cross-shard mailbox deliveries, `CLASS_LOCAL`
+    /// for events scheduled by this shard.
+    class: u8,
+    /// Sending shard id (deliveries) or 0 (local events).
+    src: u32,
+    /// Local FIFO sequence (local events) or the sender's per-message
+    /// sequence (deliveries).
     seq: u64,
-    event: E,
+    pub(crate) event: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        (self.at, self.class, self.src, self.seq)
+            == (other.at, other.class, other.src, other.seq)
     }
 }
 impl<E> Eq for Scheduled<E> {}
@@ -71,8 +87,23 @@ impl<E> PartialOrd for Scheduled<E> {
 }
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.class, self.src, self.seq).cmp(&(
+            other.at,
+            other.class,
+            other.src,
+            other.seq,
+        ))
     }
+}
+
+/// A cross-shard message parked in a sender's outbox until the engine's
+/// synchronization barrier merges it into the destination queue.
+#[derive(Debug)]
+pub(crate) struct Outgoing<E> {
+    pub(crate) dst: u32,
+    pub(crate) at: Time,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
 }
 
 /// The scheduling interface handed to [`World::handle`].
@@ -84,15 +115,29 @@ pub struct Scheduler<E> {
     seq: u64,
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
     stopped: bool,
+    /// This shard's id and conservative lookahead, set by the sharded
+    /// engine. `None` in plain sequential simulations, where [`Scheduler::send`]
+    /// and [`Scheduler::defer_global`] are misuse.
+    remote: Option<(u32, Time)>,
+    /// Cross-shard messages sent during the current window.
+    outbox: Vec<Outgoing<E>>,
+    /// Per-sender message sequence: the deterministic mailbox tie-break.
+    msg_seq: u64,
+    /// Barrier operations deferred to the end of the current window.
+    globals: Vec<E>,
 }
 
 impl<E> Scheduler<E> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Scheduler {
             now: Time::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
             stopped: false,
+            remote: None,
+            outbox: Vec::new(),
+            msg_seq: 0,
+            globals: Vec::new(),
         }
     }
 
@@ -115,12 +160,112 @@ impl<E> Scheduler<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq, event }));
+        self.heap.push(Reverse(Scheduled {
+            at,
+            class: CLASS_LOCAL,
+            src: 0,
+            seq,
+            event,
+        }));
     }
 
     /// Schedules `event` after a relative delay from now.
     pub fn schedule_in(&mut self, delay: Time, event: E) {
         self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Sends `event` to shard `dst`, arriving `delay` after now.
+    ///
+    /// Only meaningful under the sharded engine (`simkit::shard`): the
+    /// message is parked in this shard's outbox and merged into `dst`'s
+    /// queue at the next synchronization barrier. Deliveries are ordered by
+    /// `(arrival time, sending shard, send sequence)` and sort *before*
+    /// same-timestamp local events, so the merged execution is independent
+    /// of where the engine's window boundaries fall.
+    ///
+    /// # Panics
+    ///
+    /// Panics in a plain sequential [`Simulation`] (no shard engine to
+    /// drain the outbox), when `dst` is this shard itself, or when `delay`
+    /// is below the engine's conservative lookahead — the lookahead bound
+    /// is exactly what makes windowed parallel execution exact, so a too-
+    /// short delay is a model bug, not a tolerable approximation.
+    pub fn send(&mut self, dst: u32, delay: Time, event: E) {
+        let Some((me, lookahead)) = self.remote else {
+            panic!("Scheduler::send outside the sharded engine (see simkit::shard)");
+        };
+        assert!(dst != me, "shard {me} sending to itself: use schedule_in");
+        assert!(
+            delay >= lookahead,
+            "cross-shard delay {delay:?} below lookahead {lookahead:?}"
+        );
+        let seq = self.msg_seq;
+        self.msg_seq += 1;
+        self.outbox.push(Outgoing {
+            dst,
+            at: self.now.saturating_add(delay),
+            seq,
+            event,
+        });
+    }
+
+    /// Defers `event` as a *barrier operation*: at the end of the current
+    /// synchronization window the sharded engine hands it to
+    /// `ShardWorld::handle_global` with mutable access to every shard, in
+    /// deterministic (shard id, defer order) order. For rare cross-shard
+    /// state operations (scrub, snapshot) that cannot be expressed as
+    /// messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics in a plain sequential [`Simulation`].
+    pub fn defer_global(&mut self, event: E) {
+        assert!(
+            self.remote.is_some(),
+            "Scheduler::defer_global outside the sharded engine"
+        );
+        self.globals.push(event);
+    }
+
+    /// Whether this scheduler runs under the sharded engine (true) or a
+    /// plain sequential [`Simulation`] (false). Worlds that support both
+    /// modes use this to choose between [`Scheduler::send`] and a local
+    /// [`Scheduler::schedule_in`].
+    pub fn is_sharded(&self) -> bool {
+        self.remote.is_some()
+    }
+
+    pub(crate) fn enable_remote(&mut self, shard: u32, lookahead: Time) {
+        self.remote = Some((shard, lookahead));
+    }
+
+    /// Pushes a cross-shard delivery (class 0: before same-time locals).
+    pub(crate) fn deliver(&mut self, at: Time, src: u32, seq: u64, event: E) {
+        debug_assert!(at >= self.now, "delivery into the past");
+        self.heap.push(Reverse(Scheduled {
+            at,
+            class: CLASS_DELIVERED,
+            src,
+            seq,
+            event,
+        }));
+    }
+
+    pub(crate) fn take_outbox(&mut self) -> Vec<Outgoing<E>> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    pub(crate) fn take_globals(&mut self) -> Vec<E> {
+        std::mem::take(&mut self.globals)
+    }
+
+    pub(crate) fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    pub(crate) fn set_now(&mut self, at: Time) {
+        debug_assert!(at >= self.now);
+        self.now = at;
     }
 
     /// Reserves the next sequence number without pushing an event.
@@ -150,7 +295,13 @@ impl<E> Scheduler<E> {
             self.now
         );
         assert!(seq < self.seq, "sequence {seq} was never reserved");
-        self.heap.push(Reverse(Scheduled { at, seq, event }));
+        self.heap.push(Reverse(Scheduled {
+            at,
+            class: CLASS_LOCAL,
+            src: 0,
+            seq,
+            event,
+        }));
     }
 
     /// Requests that the executor stop after the current event.
@@ -168,7 +319,7 @@ impl<E> Scheduler<E> {
         self.heap.peek().map(|Reverse(s)| s.at)
     }
 
-    fn pop(&mut self) -> Option<Scheduled<E>> {
+    pub(crate) fn pop(&mut self) -> Option<Scheduled<E>> {
         self.heap.pop().map(|Reverse(s)| s)
     }
 }

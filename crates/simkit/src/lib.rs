@@ -7,6 +7,8 @@
 //! * [`Simulation`] / [`World`] / [`Scheduler`] — the event loop. A world is a
 //!   single state machine owning all model objects; events at equal
 //!   timestamps fire in FIFO order, so runs are exactly reproducible.
+//! * [`ShardedSim`] / [`ShardWorld`] — conservative-lookahead parallel
+//!   execution of several worlds, deterministic for any `SMARTDS_THREADS`.
 //! * [`Time`] — integer-picosecond instants and durations.
 //! * [`FluidResource`] — weighted max-min fair bandwidth sharing
 //!   (links, PCIe, memory channels, HBM, compression engines).
@@ -77,11 +79,13 @@ pub mod json;
 mod meter;
 mod rng;
 mod server;
+pub mod shard;
 mod time;
 pub mod wake;
 
 pub use bytes::Bytes;
 pub use engine::{Scheduler, Simulation, World};
+pub use shard::{env_threads, EngineStats, ShardWorld, ShardedSim};
 pub use fluid::{FlowEnd, FlowId, FlowSpec, FluidResource};
 pub use wake::{WakeCoalescer, WakeEmit};
 pub use hist::Histogram;

@@ -1,0 +1,766 @@
+//! Conservative sharded parallel execution of a discrete-event simulation.
+//!
+//! A [`ShardedSim`] runs a set of [`ShardWorld`]s — one event queue, one
+//! world each — in lockstep *synchronization windows*. Every round the
+//! engine computes the global minimum next-event time `T` and lets each
+//! shard execute its local events in `[T, T + L)` where `L` is the
+//! *conservative lookahead*: the minimum latency of any cross-shard
+//! interaction. Because a message sent at time `t ≥ T` arrives no earlier
+//! than `t + L ≥ T + L`, nothing sent during a window can land inside it,
+//! so the shards are causally independent within the window and may run on
+//! different threads. This is the classic barrier-epoch variant of
+//! conservative parallel discrete-event simulation (Chandy–Misra–Bryant
+//! lookahead, with a global window instead of per-link null messages).
+//!
+//! # Determinism
+//!
+//! The merged execution is a pure function of the initial schedule — the
+//! thread count changes wall-clock time only. The argument:
+//!
+//! 1. **Within a shard**, events execute in heap order
+//!    `(time, class, src, seq)`. Local events carry `class = 1` and the
+//!    shard's own FIFO sequence; deliveries carry `class = 0`, the sending
+//!    shard id, and the sender's message sequence. All components are
+//!    assigned by simulation logic, never by thread timing.
+//! 2. **Across shards**, a delivery's heap key is fixed at *send* time.
+//!    Whichever window it is merged in, it sorts identically against every
+//!    other event — deliveries cannot race with same-time local events
+//!    because `class` orders them first, deterministically. Hence the
+//!    execution order is independent of where window boundaries fall, and
+//!    in particular equals the windowless sequential merge (the reference
+//!    oracle in this module's tests executes exactly that merge).
+//! 3. **Window boundaries themselves** are a function of queue contents
+//!    only (`T` = global min, horizon = `T + L`), so rounds, barrier
+//!    operations, and message counts are also thread-invariant.
+//! 4. Threads only decide *which core* executes a shard's window; shards
+//!    share no state (barrier operations run single-threaded between
+//!    windows), so the final state is identical for any thread count.
+//!
+//! # Costs
+//!
+//! Each round is two barrier crossings plus one outbox merge; the engine
+//! reports [`EngineStats`] (payload events vs. synchronization rounds and
+//! messages) so perf budgets can cap protocol overhead separately from
+//! model work.
+
+use crate::engine::{Outgoing, Scheduler, World};
+use crate::time::Time;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
+
+/// A world that can run as one shard of a [`ShardedSim`].
+///
+/// `handle` (from [`World`]) services this shard's own events and may call
+/// [`Scheduler::send`] / [`Scheduler::defer_global`]; `handle_global`
+/// services deferred barrier operations with every shard in scope.
+pub trait ShardWorld: World + Send {
+    /// Executes one barrier operation at the end of a window, with
+    /// exclusive access to all shards (`shards[i]` is shard `i`'s world).
+    /// Runs single-threaded at simulated time `at` (the window horizon);
+    /// operations execute in deterministic (shard id, defer order) order.
+    fn handle_global(shards: &mut [&mut Self], at: Time, ev: Self::Event)
+    where
+        Self: Sized,
+    {
+        let _ = (shards, at, ev);
+    }
+}
+
+/// Engine-work accounting split into model payload and sync protocol.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Payload events executed by shard worlds (the model's work).
+    pub events: u64,
+    /// Synchronization rounds (windows / barrier epochs).
+    pub rounds: u64,
+    /// Cross-shard messages merged through the deterministic mailboxes.
+    pub messages: u64,
+}
+
+/// Thread count from `SMARTDS_THREADS`, defaulting to 1 (sequential).
+///
+/// Parallel execution is opt-in: tiny simulations are dominated by barrier
+/// wake-ups, so the engine never silently fans out.
+pub fn env_threads() -> usize {
+    std::env::var("SMARTDS_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+struct Cell<W: ShardWorld> {
+    world: W,
+    sched: Scheduler<W::Event>,
+    executed: u64,
+}
+
+/// A sharded simulation: per-shard event queues synchronized by
+/// conservative lookahead windows. See the module docs for the protocol
+/// and determinism argument.
+pub struct ShardedSim<W: ShardWorld> {
+    cells: Vec<Mutex<Cell<W>>>,
+    lookahead: Time,
+    threads: usize,
+    rounds: u64,
+    messages: u64,
+    /// Every window horizon, in round order — the epoch sequence the
+    /// property suite asserts is thread-invariant.
+    #[cfg(test)]
+    epoch_log: Vec<u64>,
+}
+
+fn lock<W: ShardWorld>(cell: &Mutex<Cell<W>>) -> MutexGuard<'_, Cell<W>> {
+    // A poisoned lock means a worker panicked mid-window; the panic is
+    // already propagating through the thread scope, so recovering the
+    // guard here only serves unwinding code.
+    cell.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn get_mut<W: ShardWorld>(cell: &mut Mutex<Cell<W>>) -> &mut Cell<W> {
+    cell.get_mut().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Executes one shard's events strictly below `horizon`.
+fn run_window<W: ShardWorld>(cell: &mut Cell<W>, horizon: Time) {
+    while !cell.sched.is_stopped() {
+        match cell.sched.next_time() {
+            Some(t) if t < horizon => {}
+            _ => break,
+        }
+        let Some(s) = cell.sched.pop() else { break };
+        cell.sched.set_now(s.at);
+        cell.executed += 1;
+        cell.world.handle(s.event, &mut cell.sched);
+    }
+}
+
+impl<W: ShardWorld> ShardedSim<W>
+where
+    W::Event: Send,
+{
+    /// Builds an engine over `worlds` (shard `i` = `worlds[i]`) with the
+    /// given conservative lookahead. Thread count defaults to
+    /// [`env_threads`]; override with [`ShardedSim::with_threads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `worlds` is empty or `lookahead` is zero (a zero
+    /// lookahead admits same-window causality and would serialize every
+    /// event anyway).
+    pub fn new(worlds: Vec<W>, lookahead: Time) -> Self {
+        assert!(!worlds.is_empty(), "a sharded sim needs at least one shard");
+        assert!(lookahead > Time::ZERO, "lookahead must be positive");
+        let cells = worlds
+            .into_iter()
+            .enumerate()
+            .map(|(i, world)| {
+                let mut sched = Scheduler::new();
+                sched.enable_remote(i as u32, lookahead);
+                Mutex::new(Cell {
+                    world,
+                    sched,
+                    executed: 0,
+                })
+            })
+            .collect();
+        ShardedSim {
+            cells,
+            lookahead,
+            threads: env_threads(),
+            rounds: 0,
+            messages: 0,
+            #[cfg(test)]
+            epoch_log: Vec::new(),
+        }
+    }
+
+    /// Sets the worker-thread count (1 = run every shard inline). The
+    /// simulated outcome is identical for any value; only wall time moves.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Schedules an event on shard `shard` before the run starts.
+    pub fn schedule_at(&mut self, shard: usize, at: Time, event: W::Event) {
+        get_mut(&mut self.cells[shard]).sched.schedule_at(at, event);
+    }
+
+    /// Shard `shard`'s current simulated time.
+    pub fn now(&mut self, shard: usize) -> Time {
+        get_mut(&mut self.cells[shard]).sched.now()
+    }
+
+    /// Exclusive access to shard `shard`'s world.
+    pub fn world_mut(&mut self, shard: usize) -> &mut W {
+        &mut get_mut(&mut self.cells[shard]).world
+    }
+
+    /// Consumes the engine, returning the shard worlds in shard order.
+    pub fn into_worlds(self) -> Vec<W> {
+        self.cells
+            .into_iter()
+            .map(|c| c.into_inner().unwrap_or_else(PoisonError::into_inner).world)
+            .collect()
+    }
+
+    /// Total payload events executed across all shards.
+    pub fn executed(&mut self) -> u64 {
+        (0..self.cells.len())
+            .map(|i| get_mut(&mut self.cells[i]).executed)
+            .sum()
+    }
+
+    /// Payload / synchronization accounting for the run so far.
+    pub fn stats(&mut self) -> EngineStats {
+        EngineStats {
+            events: self.executed(),
+            rounds: self.rounds,
+            messages: self.messages,
+        }
+    }
+
+    /// Runs to completion: until every queue drains past its horizon or a
+    /// shard calls [`Scheduler::stop`] (the run ends after that window).
+    pub fn run(&mut self) {
+        let n = self.cells.len();
+        let threads = self.threads.min(n).max(1);
+        // One barrier party per worker, coordinator included. With a single
+        // thread the waits are free and the loop degenerates to an inline
+        // sweep over the shards — same code path, same outcome.
+        let barrier = Barrier::new(threads);
+        let horizon_ps = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        let cells = &self.cells;
+        let mut rounds = 0u64;
+        let mut messages = 0u64;
+        let lookahead = self.lookahead;
+        #[cfg(test)]
+        let mut epochs: Vec<u64> = Vec::new();
+        std::thread::scope(|scope| {
+            for w in 1..threads {
+                let barrier = &barrier;
+                let horizon_ps = &horizon_ps;
+                let done = &done;
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let h = Time::from_ps(horizon_ps.load(Ordering::Acquire));
+                    for i in (w..n).step_by(threads) {
+                        run_window(&mut lock(&cells[i]), h);
+                    }
+                    barrier.wait();
+                });
+            }
+            loop {
+                let Some(t) = min_next(cells) else { break };
+                let horizon = t.saturating_add(lookahead);
+                rounds += 1;
+                #[cfg(test)]
+                epochs.push(horizon.as_ps());
+                horizon_ps.store(horizon.as_ps(), Ordering::Release);
+                barrier.wait();
+                for i in (0..n).step_by(threads) {
+                    run_window(&mut lock(&cells[i]), horizon);
+                }
+                barrier.wait();
+                if merge_windows(cells, horizon, &mut messages) {
+                    break;
+                }
+            }
+            done.store(true, Ordering::Release);
+            barrier.wait();
+        });
+        self.rounds += rounds;
+        self.messages += messages;
+        #[cfg(test)]
+        self.epoch_log.append(&mut epochs);
+    }
+}
+
+/// Global minimum next-event time across shards.
+fn min_next<W: ShardWorld>(cells: &[Mutex<Cell<W>>]) -> Option<Time> {
+    cells.iter().filter_map(|c| lock(c).sched.next_time()).min()
+}
+
+/// Post-window barrier work: merge outboxes into destination queues, run
+/// deferred barrier operations, and report whether any shard requested a
+/// stop. Single-threaded; fully deterministic (shards are visited in shard
+/// order, operations keep defer order).
+fn merge_windows<W: ShardWorld>(
+    cells: &[Mutex<Cell<W>>],
+    horizon: Time,
+    messages: &mut u64,
+) -> bool {
+    let n = cells.len();
+    let mut stop = false;
+    let mut msgs: Vec<(u32, Outgoing<W::Event>)> = Vec::new();
+    let mut globals: Vec<W::Event> = Vec::new();
+    for (src, cell) in cells.iter().enumerate() {
+        let mut c = lock(cell);
+        for m in c.sched.take_outbox() {
+            msgs.push((src as u32, m));
+        }
+        globals.append(&mut c.sched.take_globals());
+        stop |= c.sched.is_stopped();
+    }
+    for (src, m) in msgs {
+        assert!((m.dst as usize) < n, "message to unknown shard {}", m.dst);
+        assert!(
+            m.at >= horizon,
+            "lookahead violation: arrival {:?} inside window ending {horizon:?}",
+            m.at
+        );
+        *messages += 1;
+        lock(&cells[m.dst as usize])
+            .sched
+            .deliver(m.at, src, m.seq, m.event);
+    }
+    if !globals.is_empty() {
+        let mut guards: Vec<MutexGuard<'_, Cell<W>>> = cells.iter().map(lock).collect();
+        let mut worlds: Vec<&mut W> = guards.iter_mut().map(|g| &mut g.world).collect();
+        for ev in globals {
+            W::handle_global(&mut worlds, horizon, ev);
+        }
+    }
+    stop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Toy cross-shard RPC model: shard 0 ("hub") issues requests to store
+    /// shards, each serves after a service delay and acks back. Mirrors
+    /// the cluster's hub/storage decomposition with none of its weight.
+    #[derive(Clone, Debug)]
+    enum TEv {
+        /// Hub: issue request `id` to shard `dst` (service time in ps).
+        Issue { id: u64, dst: u32, service: u64 },
+        /// Store shard: request arrived.
+        Serve { id: u64 },
+        /// Store shard: service finished.
+        Done { id: u64 },
+        /// Hub: ack for `id` arrived.
+        Ack { id: u64 },
+        /// Local no-op, for tie-break stress.
+        Tick(u64),
+    }
+
+    const LOOKAHEAD: Time = Time::from_ps(1_000);
+
+    #[derive(Default)]
+    struct Node {
+        /// Execution log: `(time ps, discriminant, id)` per handled event.
+        log: Vec<(u64, u8, u64)>,
+        /// Hub only: completion time per request id.
+        completions: BTreeMap<u64, u64>,
+        /// Store only: in-service backlog → deterministic extra delay.
+        backlog: u64,
+    }
+
+    fn disc(ev: &TEv) -> (u8, u64) {
+        match ev {
+            TEv::Issue { id, .. } => (0, *id),
+            TEv::Serve { id } => (1, *id),
+            TEv::Done { id } => (2, *id),
+            TEv::Ack { id } => (3, *id),
+            TEv::Tick(id) => (4, *id),
+        }
+    }
+
+    impl World for Node {
+        type Event = TEv;
+        fn handle(&mut self, ev: TEv, sched: &mut Scheduler<TEv>) {
+            let (d, id) = disc(&ev);
+            self.log.push((sched.now().as_ps(), d, id));
+            match ev {
+                TEv::Issue { id, dst, service } => {
+                    sched.send(dst, LOOKAHEAD, TEv::Serve { id });
+                    // Service time rides in the id map via backlog on the
+                    // store side; stash it through the id (tests use
+                    // id-derived service below), so nothing else needed.
+                    let _ = service;
+                }
+                TEv::Serve { id } => {
+                    // Deterministic service: id-derived plus backlog skew.
+                    let service = 500 + (id % 7) * 131 + self.backlog * 17;
+                    self.backlog += 1;
+                    sched.schedule_in(Time::from_ps(service), TEv::Done { id });
+                }
+                TEv::Done { id } => {
+                    self.backlog = self.backlog.saturating_sub(1);
+                    sched.send(0, LOOKAHEAD, TEv::Ack { id });
+                }
+                TEv::Ack { id } => {
+                    self.completions.insert(id, sched.now().as_ps());
+                }
+                TEv::Tick(_) => {}
+            }
+        }
+    }
+
+    impl ShardWorld for Node {}
+
+    /// A seeded op script: `(shard, at ps, event)` pre-run schedule.
+    type Script = Vec<(usize, u64, TEv)>;
+
+    /// The single-shard reference engine: a windowless sequential merge.
+    /// Repeatedly executes the globally minimal event (per-shard heaps
+    /// compare by the same `(time, class, src, seq)` key; cross-shard ties
+    /// cannot interact, broken by shard id) and delivers any messages it
+    /// sent immediately. No lookahead, no windows — the oracle the
+    /// windowed engine must match exactly.
+    fn run_reference(stores: usize, script: &Script) -> (Vec<Node>, Vec<u64>) {
+        let mut cells: Vec<(Node, Scheduler<TEv>, u64)> = build_worlds(stores)
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let mut s = Scheduler::new();
+                s.enable_remote(i as u32, LOOKAHEAD);
+                (w, s, 0u64)
+            })
+            .collect();
+        for (shard, at, ev) in script {
+            cells[*shard].1.schedule_at(Time::from_ps(*at), ev.clone());
+        }
+        loop {
+            // Peek every shard's head key by popping and re-delivering is
+            // invasive; instead compare next_time and, on ties, pop the
+            // candidate with the smallest full key via a two-phase peek.
+            let next: Option<(Time, usize)> = cells
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.1.next_time().map(|t| (t, i)))
+                .min();
+            let Some((_, shard)) = next else { break };
+            // Cross-shard same-time ties: shards only interact through
+            // messages ≥ lookahead away, so any execution order of a
+            // same-time tie across *different* shards yields the same
+            // state; shard-id order keeps the oracle itself deterministic.
+            let (w, s, ex) = &mut cells[shard];
+            let Some(ev) = s.pop() else { continue };
+            s.set_now(ev.at);
+            *ex += 1;
+            w.handle(ev.event, s);
+            let out = s.take_outbox();
+            for m in out {
+                let src = shard as u32;
+                cells[m.dst as usize].1.deliver(m.at, src, m.seq, m.event);
+            }
+        }
+        let counts = cells.iter().map(|c| c.2).collect();
+        (cells.into_iter().map(|c| c.0).collect(), counts)
+    }
+
+    /// The fixed seeded op script: issues with deliberate time collisions
+    /// (same issue instants, acks converging on the hub at equal times)
+    /// to stress the deterministic mailbox tie-breaks.
+    fn fixed_script(stores: usize) -> Script {
+        let mut script: Script = Vec::new();
+        for id in 0..40u64 {
+            // Bursts of 4 issues share one timestamp.
+            let at = 10 + (id / 4) * 700;
+            let dst = (id % stores as u64) as u32 + 1;
+            script.push((
+                0,
+                at,
+                TEv::Issue {
+                    id,
+                    dst,
+                    service: 0,
+                },
+            ));
+        }
+        // Same-time local ticks on the hub collide with ack deliveries.
+        for k in 0..30u64 {
+            script.push((0, 1_510 + k * 100, TEv::Tick(k)));
+        }
+        // Ticks on a store shard collide with serve deliveries.
+        for k in 0..10u64 {
+            script.push((1, 1_010 + k * 700, TEv::Tick(100 + k)));
+        }
+        script
+    }
+
+    const STORES: usize = 3;
+
+    fn build_worlds(stores: usize) -> Vec<Node> {
+        (0..stores + 1).map(|_| Node::default()).collect()
+    }
+
+    /// Runs the windowed engine; returns worlds, stats, per-shard executed
+    /// counts, and the epoch (window-horizon) sequence.
+    fn run_sharded(
+        stores: usize,
+        script: &Script,
+        threads: usize,
+    ) -> (Vec<Node>, EngineStats, Vec<u64>, Vec<u64>) {
+        let mut sim =
+            ShardedSim::new(build_worlds(stores), LOOKAHEAD).with_threads(threads);
+        for (shard, at, ev) in script {
+            sim.schedule_at(*shard, Time::from_ps(*at), ev.clone());
+        }
+        sim.run();
+        let stats = sim.stats();
+        let counts: Vec<u64> = (0..stores + 1)
+            .map(|i| get_mut(&mut sim.cells[i]).executed)
+            .collect();
+        let epochs = sim.epoch_log.clone();
+        (sim.into_worlds(), stats, counts, epochs)
+    }
+
+    /// Core property: for a given topology and script, the windowed engine
+    /// at every thread count matches the windowless oracle event-for-event,
+    /// and the sync protocol (epoch sequence, message/round counts) is
+    /// thread-invariant.
+    fn assert_matches_oracle(stores: usize, script: &Script) {
+        let (ref_worlds, ref_counts) = run_reference(stores, script);
+        let mut first: Option<(EngineStats, Vec<u64>)> = None;
+        for threads in [1, 2, 4] {
+            let (worlds, stats, counts, epochs) = run_sharded(stores, script, threads);
+            assert_eq!(
+                counts, ref_counts,
+                "threads={threads}: per-shard executed-event counts drifted"
+            );
+            for (i, (w, r)) in worlds.iter().zip(&ref_worlds).enumerate() {
+                assert_eq!(
+                    w.log, r.log,
+                    "threads={threads}: shard {i} execution log drifted from oracle"
+                );
+                assert_eq!(
+                    w.completions, r.completions,
+                    "threads={threads}: shard {i} completion times drifted"
+                );
+            }
+            match &first {
+                None => first = Some((stats, epochs)),
+                Some((s1, e1)) => {
+                    assert_eq!(&stats, s1, "threads={threads}: stats drifted");
+                    assert_eq!(&epochs, e1, "threads={threads}: epoch sequence drifted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_execution_matches_windowless_reference_oracle() {
+        assert_matches_oracle(STORES, &fixed_script(STORES));
+    }
+
+    #[test]
+    fn thread_count_never_changes_outcome_or_sync_protocol() {
+        let script = fixed_script(STORES);
+        let (base, stats1, counts1, epochs1) = run_sharded(STORES, &script, 1);
+        for threads in [2, 3, 4, 8] {
+            let (worlds, stats, counts, epochs) = run_sharded(STORES, &script, threads);
+            assert_eq!(stats, stats1, "threads={threads}: stats drifted");
+            assert_eq!(counts, counts1, "threads={threads}");
+            assert_eq!(epochs, epochs1, "threads={threads}: epoch sequence drifted");
+            for (w, b) in worlds.iter().zip(&base) {
+                assert_eq!(w.log, b.log, "threads={threads}");
+            }
+        }
+        assert!(stats1.messages > 0 && stats1.rounds > 0);
+    }
+
+    // Random topologies (1–6 store shards) and seeded op scripts, shrunk by
+    // testkit on failure. Times are quantized to quarter-lookahead slots so
+    // same-instant collisions (the tie-break stress) are common, and every
+    // store gets both cross-shard traffic and colliding local ticks.
+    testkit::prop! {
+        cases = 32;
+
+        fn random_topology_and_script_match_reference_oracle(
+            stores in testkit::gen::u64s(1..=6),
+            issues in testkit::gen::vecs(
+                (testkit::gen::u64s(0..40), testkit::gen::u64s(0..6)),
+                1..=60,
+            ),
+            ticks in testkit::gen::vecs(
+                (testkit::gen::u64s(0..80), testkit::gen::u64s(0..7)),
+                0..=30,
+            ),
+        ) {
+            let stores = stores as usize;
+            let slot = LOOKAHEAD.as_ps() / 4;
+            let mut script: Script = Vec::new();
+            for (id, (at_slot, dst)) in issues.iter().enumerate() {
+                script.push((
+                    0,
+                    10 + at_slot * slot,
+                    TEv::Issue {
+                        id: id as u64,
+                        dst: (dst % stores as u64) as u32 + 1,
+                        service: 0,
+                    },
+                ));
+            }
+            for (k, (at_slot, shard)) in ticks.iter().enumerate() {
+                let shard = (*shard as usize) % (stores + 1);
+                script.push((shard, at_slot * slot, TEv::Tick(1_000 + k as u64)));
+            }
+            assert_matches_oracle(stores, &script);
+        }
+    }
+
+    #[test]
+    fn deliveries_order_by_src_then_seq_and_before_same_time_locals() {
+        // Two stores ack at the same instant; the hub also has a local
+        // tick at exactly that time. Canonical order: delivery from shard
+        // 1, delivery from shard 2, then the local tick.
+        #[derive(Default)]
+        struct Probe {
+            order: Vec<(u8, u64)>,
+        }
+        #[derive(Clone, Debug)]
+        enum PEv {
+            Fire { id: u64 },
+            Note { id: u64 },
+        }
+        impl World for Probe {
+            type Event = PEv;
+            fn handle(&mut self, ev: PEv, sched: &mut Scheduler<PEv>) {
+                match ev {
+                    PEv::Fire { id } => sched.send(0, LOOKAHEAD, PEv::Note { id }),
+                    PEv::Note { id } => self.order.push((0, id)),
+                }
+            }
+        }
+        impl ShardWorld for Probe {}
+        let mut sim = ShardedSim::new(
+            vec![Probe::default(), Probe::default(), Probe::default()],
+            LOOKAHEAD,
+        )
+        .with_threads(2);
+        // Both fires happen at t=10 → both notes arrive at t=1010. Shard 2
+        // fires *first* in wall order, but src order must win.
+        sim.schedule_at(2, Time::from_ps(10), PEv::Fire { id: 20 });
+        sim.schedule_at(1, Time::from_ps(10), PEv::Fire { id: 10 });
+        // A local hub event at the exact arrival instant: sorts after.
+        sim.schedule_at(0, Time::from_ps(1_010), PEv::Note { id: 99 });
+        sim.run();
+        let worlds = sim.into_worlds();
+        assert_eq!(
+            worlds[0].order,
+            vec![(0, 10), (0, 20), (0, 99)],
+            "mailbox merge order must be (time, src shard, seq), before locals"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "below lookahead")]
+    fn short_cross_shard_delay_panics() {
+        #[derive(Clone, Debug)]
+        struct Bad;
+        struct BadWorld;
+        impl World for BadWorld {
+            type Event = Bad;
+            fn handle(&mut self, _: Bad, sched: &mut Scheduler<Bad>) {
+                sched.send(1, Time::from_ps(1), Bad);
+            }
+        }
+        impl ShardWorld for BadWorld {}
+        let mut sim = ShardedSim::new(vec![BadWorld, BadWorld], LOOKAHEAD);
+        sim.schedule_at(0, Time::from_ps(5), Bad);
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the sharded engine")]
+    fn send_under_plain_simulation_panics() {
+        struct SendWorld;
+        impl World for SendWorld {
+            type Event = u32;
+            fn handle(&mut self, _: u32, sched: &mut Scheduler<u32>) {
+                sched.send(1, LOOKAHEAD, 0);
+            }
+        }
+        let mut sim = crate::Simulation::new(SendWorld);
+        sim.schedule_at(Time::from_ps(1), 0);
+        sim.run();
+    }
+
+    #[test]
+    fn stop_ends_the_run_after_the_current_window() {
+        struct Stopper {
+            seen: Vec<u64>,
+        }
+        #[derive(Clone, Debug)]
+        enum SEv {
+            Stop,
+            Later(u64),
+        }
+        impl World for Stopper {
+            type Event = SEv;
+            fn handle(&mut self, ev: SEv, sched: &mut Scheduler<SEv>) {
+                match ev {
+                    SEv::Stop => sched.stop(),
+                    SEv::Later(i) => self.seen.push(i),
+                }
+            }
+        }
+        impl ShardWorld for Stopper {}
+        let mut sim =
+            ShardedSim::new(vec![Stopper { seen: vec![] }], Time::from_ps(100));
+        sim.schedule_at(0, Time::from_ps(10), SEv::Stop);
+        // Far beyond the stop window: must never run.
+        sim.schedule_at(0, Time::from_ps(100_000), SEv::Later(1));
+        sim.run();
+        assert!(sim.into_worlds()[0].seen.is_empty());
+    }
+
+    #[test]
+    fn global_ops_run_at_the_horizon_with_all_shards() {
+        #[derive(Clone, Debug)]
+        enum GEv {
+            Defer,
+            Bump,
+        }
+        #[derive(Default)]
+        struct GNode {
+            bumped: u64,
+            global_at: Vec<u64>,
+        }
+        impl World for GNode {
+            type Event = GEv;
+            fn handle(&mut self, ev: GEv, sched: &mut Scheduler<GEv>) {
+                match ev {
+                    GEv::Defer => sched.defer_global(GEv::Bump),
+                    GEv::Bump => {}
+                }
+            }
+        }
+        impl ShardWorld for GNode {
+            fn handle_global(shards: &mut [&mut Self], at: Time, ev: GEv) {
+                if matches!(ev, GEv::Bump) {
+                    for s in shards.iter_mut() {
+                        s.bumped += 1;
+                        s.global_at.push(at.as_ps());
+                    }
+                }
+            }
+        }
+        let mut sim = ShardedSim::new(
+            vec![GNode::default(), GNode::default()],
+            Time::from_ps(1_000),
+        )
+        .with_threads(2);
+        sim.schedule_at(0, Time::from_ps(42), GEv::Defer);
+        sim.run();
+        for w in sim.into_worlds() {
+            assert_eq!(w.bumped, 1);
+            // Horizon of the window containing t=42: 42 + 1000.
+            assert_eq!(w.global_at, vec![1_042]);
+        }
+    }
+}

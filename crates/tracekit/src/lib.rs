@@ -11,7 +11,12 @@
 //! 1. **Determinism.** Sampling is a pure function of `(seed, request
 //!    ordinal)`; span ids are sequential; spans retire in close order. Two
 //!    runs of the same seed export byte-identical traces, so traces diff
-//!    cleanly across code changes and chaos replays.
+//!    cleanly across code changes and chaos replays. Under the sharded
+//!    engine the tracer is a hub-shard resource: every span event is
+//!    emitted from the hub's deterministic event sequence (storage-side
+//!    work is traced at RPC send/ack instants), so exports stay
+//!    byte-identical at every `SMARTDS_THREADS` value — the golden suite
+//!    pins this.
 //! 2. **Bounded memory.** Closed spans land in a ring sink
 //!    ([`TraceConfig::capacity`]); the oldest are evicted and counted, never
 //!    silently lost.

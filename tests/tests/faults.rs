@@ -36,6 +36,35 @@ fn assert_no_corruption(cluster: &cluster::Cluster, scenario: &str) {
     assert!(ok > 0, "{scenario}: no blocks stored at all");
 }
 
+/// Runs every chaos scenario twice — single-threaded and on 4 worker
+/// threads — and asserts byte-identical outcomes before handing the run
+/// back for scenario-specific assertions. Faults are delivered across
+/// shard boundaries (a crash lands on the hub's placement view *and* on
+/// the target store shard), so this is the regression gate for the
+/// cross-shard fault-delivery path under real parallel execution.
+fn run_invariant(
+    cfg: &RunConfig,
+    scenario: &str,
+) -> (smartds::RunReport, cluster::Cluster) {
+    let (report, cluster, stats) = cluster::run_counted_stats(cfg, |_| {}, Some(1));
+    let (report4, cluster4, stats4) = cluster::run_counted_stats(cfg, |_| {}, Some(4));
+    assert_eq!(
+        report.to_json(),
+        report4.to_json(),
+        "{scenario}: metrics must be byte-identical at 1 and 4 threads"
+    );
+    assert_eq!(
+        stats, stats4,
+        "{scenario}: payload/sync event accounting must not depend on threads"
+    );
+    assert_eq!(
+        cluster.verify_stored(),
+        cluster4.verify_stored(),
+        "{scenario}: stored-state audit must not depend on threads"
+    );
+    (report, cluster)
+}
+
 #[test]
 fn replica_crash_mid_quorum_fails_over_without_loss() {
     // Server 2 dies mid-run and never comes back: appends aimed at it are
@@ -43,7 +72,7 @@ fn replica_crash_mid_quorum_fails_over_without_loss() {
     // hanging resolve via retry — not by acking under-replicated data.
     let plan = FaultPlan::new().at(at_ms(4.0), FaultKind::ServerCrash { server: 2 });
     let cfg = chaos_base(Design::SmartDs { ports: 1 }).with_fault_plan(plan);
-    let (report, cluster) = cluster::run_full(&cfg, |_| {});
+    let (report, cluster) = run_invariant(&cfg, "replica-crash");
     assert!(report.failovers > 0, "dead-server appends must fail over");
     assert!(report.writes_done > 1_000, "service must keep completing");
     assert_eq!(report.write_failures, 0, "five healthy servers remain");
@@ -60,7 +89,7 @@ fn link_flap_during_split_transfer_retries_and_recovers() {
         .at(at_ms(4.0), FaultKind::link_down(LinkTarget::PortRx(0)))
         .at(at_ms(6.0), FaultKind::link_up(LinkTarget::PortRx(0)));
     let cfg = chaos_base(Design::SmartDs { ports: 1 }).with_fault_plan(plan);
-    let (report, cluster) = cluster::run_full(&cfg, |_| {});
+    let (report, cluster) = run_invariant(&cfg, "link-flap");
     assert!(report.timeouts > 0, "a 2 ms dark link must trip 1 ms timers");
     assert!(report.retries > 0, "timed-out requests must be retried");
     assert!(
@@ -84,7 +113,7 @@ fn slow_replica_times_out_and_placement_drifts_away() {
     let cfg = chaos_base(Design::SmartDs { ports: 1 })
         .with_fault_plan(plan)
         .with_request_timeout(Time::from_us(500.0));
-    let (report, cluster) = cluster::run_full(&cfg, |_| {});
+    let (report, cluster) = run_invariant(&cfg, "slow-replica");
     assert!(report.timeouts > 0, "the slow replica must trip timeouts");
     assert!(report.retries > 0, "and the requests must be retried");
     assert!(report.aborts > 0, "abandoned quorums are aborted");
@@ -106,7 +135,7 @@ fn crash_then_restart_scrub_repairs_lost_blocks() {
         .at(at_ms(3.0), FaultKind::ServerCrash { server: 3 })
         .at(at_ms(6.0), FaultKind::ServerRestart { server: 3 });
     let cfg = chaos_base(Design::SmartDs { ports: 1 }).with_fault_plan(plan);
-    let (report, cluster) = cluster::run_full(&cfg, |_| {});
+    let (report, cluster) = run_invariant(&cfg, "crash-restart");
     assert!(
         report.scrub_repairs > 0,
         "restart recovery must restore blocks written while the server was down"
@@ -141,7 +170,7 @@ fn all_replicas_down_is_an_explicit_error_not_a_hang() {
         .with_fault_plan(plan)
         .with_request_timeout(Time::from_us(500.0))
         .with_retry_policy(2, Time::from_us(100.0), Time::from_us(400.0));
-    let (report, cluster) = cluster::run_full(&cfg, |_| {});
+    let (report, cluster) = run_invariant(&cfg, "all-down");
     assert!(
         report.write_failures > 0,
         "a total outage must produce explicit quorum failures"
@@ -177,8 +206,8 @@ fn seeded_fault_storm_is_bounded_and_replayable() {
     let plan = FaultPlan::chaos(seed, &spec);
     assert!(!plan.is_empty(), "the spec must generate fault events");
     let cfg = chaos_base(Design::SmartDs { ports: 1 }).with_fault_plan(plan);
-    let (a, cluster_a) = cluster::run_full(&cfg, |_| {});
-    let (b, _) = cluster::run_full(&cfg, |_| {});
+    let (a, cluster_a) = run_invariant(&cfg, "fault-storm");
+    let (b, _) = run_invariant(&cfg, "fault-storm-replay");
     assert_eq!(
         a.to_json(),
         b.to_json(),

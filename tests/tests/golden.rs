@@ -19,6 +19,12 @@
 //! Metrics fixtures are stored verbatim. The trace export is a few MB, so
 //! its fixture stores `length + crc32 + fnv64` — equality of all three is
 //! byte-identity for any realistic regression.
+//!
+//! Since the engine went parallel (`simkit::ShardedSim`), this suite is
+//! also the thread-invariance gate: each pinned seed runs at 1/2/4/8
+//! worker threads and every run must produce the same bytes — metrics
+//! JSON, trace export, and the engine's payload/sync event accounting.
+//! A schedule that depends on `SMARTDS_THREADS` fails here first.
 
 use faultkit::{ChaosSpec, FaultPlan};
 use simkit::Time;
@@ -111,6 +117,80 @@ fn metrics_json_matches_golden_fixtures() {
         let mut text = report.to_json();
         text.push('\n');
         check_or_write(&format!("metrics_{seed}.json"), &text);
+    }
+}
+
+/// Thread-invariance gate for the sharded engine: the *same* metrics
+/// bytes and the *same* sync-protocol accounting must come out at every
+/// worker-thread count — and they must equal the frozen fixture, so a
+/// thread-dependent schedule cannot hide behind a fixture regeneration.
+#[test]
+fn metrics_json_is_byte_identical_across_thread_counts() {
+    for seed in [101u64, 202, 303] {
+        let cfg = golden_cfg(seed);
+        let mut baseline: Option<(String, simkit::EngineStats)> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let (report, _, stats) = cluster::run_counted_stats(&cfg, |_| {}, Some(threads));
+            let mut text = report.to_json();
+            text.push('\n');
+            match &baseline {
+                None => {
+                    // The 1-thread run must itself match the frozen fixture.
+                    check_or_write(&format!("metrics_{seed}.json"), &text);
+                    baseline = Some((text, stats));
+                }
+                Some((want, want_stats)) => {
+                    assert_eq!(
+                        want, &text,
+                        "seed {seed}: metrics drifted between 1 and {threads} threads"
+                    );
+                    assert_eq!(
+                        want_stats, &stats,
+                        "seed {seed}: engine payload/sync accounting drifted \
+                         between 1 and {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The full Chrome trace export — every span, every timestamp, every
+/// ordering decision — must be byte-identical at every thread count.
+#[test]
+fn trace_export_is_byte_identical_across_thread_counts() {
+    let cfg = golden_cfg(303).with_trace(TraceConfig {
+        sample_one_in: 16,
+        capacity: 1 << 17,
+    });
+    let mut baseline: Option<String> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let (_, cluster, _) = cluster::run_counted_stats(&cfg, |_| {}, Some(threads));
+        let export = cluster.tracer.export_chrome();
+        match &baseline {
+            None => {
+                // Pin the 1-thread export to the frozen digest too.
+                let digest = format!(
+                    "len:{} crc32:{:08x} fnv64:{:016x}\n",
+                    export.len(),
+                    blockstore::crc32(export.as_bytes()),
+                    fnv64(export.as_bytes()),
+                );
+                check_or_write("trace_303.digest", &digest);
+                baseline = Some(export);
+            }
+            Some(want) => {
+                assert_eq!(
+                    want.len(),
+                    export.len(),
+                    "trace export length drifted at {threads} threads"
+                );
+                assert!(
+                    want == &export,
+                    "trace export bytes drifted at {threads} threads"
+                );
+            }
+        }
     }
 }
 

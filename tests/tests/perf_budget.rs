@@ -11,11 +11,25 @@
 //!
 //! Each pinned seed runs a small quick-profile workload mirroring one
 //! `perf` experiment shape (dense sweep / chaos storm / fully traced) and
-//! asserts `Simulation::executed()` — total and per completed request —
-//! does not exceed a recorded baseline. Baselines were recorded with the
-//! coalescing driver in place and carry ~12 % headroom, so legitimate
-//! *semantic* changes (new events in the model) have room to land; a
-//! hot-path regression (which typically multiplies wakeups) does not.
+//! asserts the engine's event accounting — total and per completed
+//! request — does not exceed a recorded baseline. Baselines carry ~12 %
+//! headroom, so legitimate *semantic* changes (new events in the model)
+//! have room to land; a hot-path regression (which typically multiplies
+//! wakeups) does not.
+//!
+//! Since the engine went sharded, the budget is split in two and both
+//! halves are capped independently:
+//!
+//! - **payload events** (`EngineStats::events`) — model work: fluid
+//!   wakeups, CPU/engine completions, storage RPCs, timers;
+//! - **synchronization events** (`EngineStats::rounds` barrier epochs +
+//!   `EngineStats::messages` cross-shard mailbox deliveries) — the cost
+//!   of the conservative-lookahead protocol itself.
+//!
+//! The split means sync-protocol churn (e.g. a lookahead bug collapsing
+//! window sizes, or a chatty shard boundary) cannot hide behind a
+//! loosened total, and payload regressions cannot hide behind a quiet
+//! protocol.
 //!
 //! If a deliberate model change moves the counts, re-record: run with
 //! `--nocapture`, read the printed `executed=…` lines, and set each
@@ -33,22 +47,55 @@ fn quick(mut cfg: RunConfig) -> RunConfig {
     cfg
 }
 
-/// Runs a config and checks its event budget.
-fn assert_budget(name: &str, cfg: &RunConfig, max_events: u64, max_per_request: f64) {
-    let (report, _, executed) = cluster::run_counted(cfg, |_| {});
+/// One workload's ceilings: payload events (total and per completed
+/// request) and synchronization events (barrier rounds + mailbox
+/// messages, also total and per request).
+struct Budget {
+    max_payload: u64,
+    max_payload_per_request: f64,
+    max_sync: u64,
+    max_sync_per_request: f64,
+}
+
+/// Runs a config single-threaded and checks both halves of its budget.
+/// (The thread count cannot change any of these counts — golden.rs pins
+/// that — so one thread keeps the gate cheap.)
+fn assert_budget(name: &str, cfg: &RunConfig, budget: &Budget) {
+    let (report, _, stats) = cluster::run_counted_stats(cfg, |_| {}, Some(1));
     let requests = report.writes_done;
     assert!(requests > 0, "{name}: no requests completed");
-    let per_request = executed as f64 / requests as f64;
-    println!("{name}: executed={executed} requests={requests} per_request={per_request:.1}");
-    assert!(
-        executed <= max_events,
-        "{name}: executed {executed} events, budget {max_events} — the hot path regressed \
-         (or a semantic change landed; see module docs to re-record)"
+    let payload = stats.events;
+    let sync = stats.rounds + stats.messages;
+    let payload_per_request = payload as f64 / requests as f64;
+    let sync_per_request = sync as f64 / requests as f64;
+    println!(
+        "{name}: payload={payload} sync={sync} (rounds={} messages={}) requests={requests} \
+         payload/req={payload_per_request:.1} sync/req={sync_per_request:.1}",
+        stats.rounds, stats.messages
     );
     assert!(
-        per_request <= max_per_request,
-        "{name}: {per_request:.1} events/request, budget {max_per_request} — the hot path \
-         regressed (or a semantic change landed; see module docs to re-record)"
+        payload <= budget.max_payload,
+        "{name}: executed {payload} payload events, budget {} — the hot path regressed \
+         (or a semantic change landed; see module docs to re-record)",
+        budget.max_payload
+    );
+    assert!(
+        payload_per_request <= budget.max_payload_per_request,
+        "{name}: {payload_per_request:.1} payload events/request, budget {} — the hot \
+         path regressed (or a semantic change landed; see module docs to re-record)",
+        budget.max_payload_per_request
+    );
+    assert!(
+        sync <= budget.max_sync,
+        "{name}: {sync} sync events (rounds+messages), budget {} — the lookahead \
+         protocol churned (window collapse or a chatty shard boundary)",
+        budget.max_sync
+    );
+    assert!(
+        sync_per_request <= budget.max_sync_per_request,
+        "{name}: {sync_per_request:.1} sync events/request, budget {} — the lookahead \
+         protocol churned (window collapse or a chatty shard boundary)",
+        budget.max_sync_per_request
     );
 }
 
@@ -58,8 +105,17 @@ fn events_budget_sweep_seed_101() {
     let mut cfg = quick(RunConfig::saturating(Design::SmartDs { ports: 2 }));
     cfg.outstanding = 512;
     cfg.seed = 101;
-    // Recorded: executed=711_043, 54.4 events/request.
-    assert_budget("sweep/101", &cfg, 800_000, 61.0);
+    // Recorded: payload=711_073 (54.4/req), sync=105_218 (8.0/req).
+    assert_budget(
+        "sweep/101",
+        &cfg,
+        &Budget {
+            max_payload: 800_000,
+            max_payload_per_request: 61.0,
+            max_sync: 118_000,
+            max_sync_per_request: 9.0,
+        },
+    );
 }
 
 /// Chaos shape: a seeded fault storm with timeouts armed (epoch churn).
@@ -80,8 +136,17 @@ fn events_budget_chaos_seed_202() {
     let cfg = cfg
         .with_fault_plan(FaultPlan::chaos(202, &spec))
         .with_request_timeout(Time::from_ms(1.0));
-    // Recorded: executed=183_212, 72.3 events/request.
-    assert_budget("chaos/202", &cfg, 206_000, 81.0);
+    // Recorded: payload=182_714 (72.4/req), sync=28_422 (11.3/req).
+    assert_budget(
+        "chaos/202",
+        &cfg,
+        &Budget {
+            max_payload: 205_000,
+            max_payload_per_request: 81.0,
+            max_sync: 32_000,
+            max_sync_per_request: 12.7,
+        },
+    );
 }
 
 /// Breakdown shape: every request traced (span pipeline on each event).
@@ -93,6 +158,15 @@ fn events_budget_traced_seed_303() {
         sample_one_in: 1,
         capacity: 1 << 17,
     });
-    // Recorded: executed=307_911, 55.0 events/request.
-    assert_budget("traced/303", &cfg, 345_000, 62.0);
+    // Recorded: payload=307_911 (55.0/req), sync=47_138 (8.4/req).
+    assert_budget(
+        "traced/303",
+        &cfg,
+        &Budget {
+            max_payload: 345_000,
+            max_payload_per_request: 62.0,
+            max_sync: 53_000,
+            max_sync_per_request: 9.5,
+        },
+    );
 }
