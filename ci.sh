@@ -11,10 +11,20 @@ cd "$(dirname "$0")"
 cargo build --release --offline
 
 # Static analysis first: simlint (crates/lintkit) enforces the
-# determinism and zero-dependency invariants; exit 1 on any violation.
+# determinism, zero-dependency, and shard-safety invariants; exit 1 on any
+# violation. The second invocation smoke-tests the machine-readable output
+# consumed by external tooling (same exit codes, JSON on stdout).
 cargo run -p lintkit --release --offline
+cargo run -q -p lintkit --release --offline -- --json > /dev/null
 
 cargo test -q --offline
+
+# shardsan smoke: the runtime shard-ownership sanitizer only compiles in
+# debug builds (cargo test's default profile). Drive the sharded engine
+# with every ownership check live at a parallel worker count: the injected
+# cross-shard mutation must panic with both shard ids, and the clean run
+# must stay thread-invariant. (Seed 101 is baked into the test.)
+SMARTDS_THREADS=4 cargo test -q --offline -p system-tests --test shardsan
 
 # Thread matrix: the sharded engine must produce identical results at any
 # worker count (golden.rs also pins 1/2/4/8 explicitly). Running the whole

@@ -62,6 +62,7 @@ where
     drop(in_tx);
     let job = &job;
     let in_rx = &in_rx;
+    // simlint: allow(shared-mutable, reason = "host-side bench worker pool: parallelizes whole independent simulations, never reaches inside one")
     thread::scope(|s| {
         for _ in 0..workers {
             let out_tx = out_tx.clone();

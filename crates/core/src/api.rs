@@ -20,6 +20,7 @@ use lz4kit::Level;
 use rocenet::{
     assemble_from, split_into, AamsError, Message, MemError, MemPool, RecvDesc, Region, SendDesc,
 };
+// simlint: allow(shared-mutable, reason = "RemotePeer is an explicitly single-threaded client mailbox handle (module docs); Rc<RefCell> cannot cross threads at all")
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::error::Error;
@@ -90,6 +91,7 @@ impl From<AamsError> for ApiError {
 /// example/test code drives.
 #[derive(Clone, Debug, Default)]
 pub struct RemotePeer {
+    // simlint: allow(shared-mutable, reason = "single-threaded client mailbox handle; Rc makes it !Send by construction")
     inner: Rc<RefCell<PeerInner>>,
 }
 

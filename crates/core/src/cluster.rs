@@ -268,6 +268,15 @@ pub struct Cluster {
     in_flight: usize,
     /// Arrivals shed because the overload cap was reached (open loop only).
     pub dropped: u64,
+    /// `shardsan` ownership tag: every hub structure above is shard 0
+    /// state once the cluster is split (`split_for_shards`), and
+    /// `Cluster::handle` checks the tag before touching any of it.
+    tag: simkit::ShardTag,
+    /// Test-only sabotage hook (`shardsan_inject_cross_shard_touch`):
+    /// when set, the next handled event deliberately touches state tagged
+    /// as owned by this shard id, so tests can assert the sanitizer
+    /// catches a cross-shard mutation. `None` in every real run.
+    shardsan_probe: Option<u32>,
 }
 
 fn token(key: u32, branch: u8, gen: u32) -> u64 {
@@ -373,8 +382,21 @@ impl Cluster {
             samples: Vec::new(),
             in_flight: 0,
             dropped: 0,
+            // The hub is shard 0 by construction (`split_for_shards`).
+            tag: simkit::ShardTag::new(0),
+            shardsan_probe: None,
             cfg,
         }
+    }
+
+    /// Test-only sabotage hook for the `shardsan` self-test: makes the
+    /// hub deliberately touch state tagged as owned by `victim_shard`
+    /// while handling its next event inside a parallel window, which the
+    /// sanitizer must catch (debug builds panic with both shard ids, the
+    /// event time, and its seq). Never set outside tests.
+    #[doc(hidden)]
+    pub fn shardsan_inject_cross_shard_touch(&mut self, victim_shard: u32) {
+        self.shardsan_probe = Some(victim_shard);
     }
 
     /// Installs per-tenant rate limits (bytes/s of write payload). Client
@@ -394,6 +416,9 @@ impl Cluster {
     /// round-robin across servers (§2.2.3 lists snapshotting among the
     /// maintenance services every middle-tier server runs).
     fn take_snapshot(&mut self, now: Time) {
+        // Reads server chunk state the hub does not own while sharded:
+        // legal only sequentially (plain `Simulation`) or at a barrier.
+        simkit::sanitizer::assert_barrier("snapshot service (reads every server's chunks)");
         let n = self.servers.len();
         for off in 0..n {
             let idx = (self.snapshot_cursor + off) % n;
@@ -1213,6 +1238,9 @@ impl Cluster {
     /// cluster's checksum index, restoring blocks it should hold (written
     /// while it was down, or rotted) from any live replica.
     fn restart_scrub(&mut self, i: usize, now: Time) {
+        // Touches every server's chunk store (the returning one plus all
+        // repair donors): cluster-wide state, barrier-or-sequential only.
+        simkit::sanitizer::assert_barrier("restart scrub (cluster-wide repair)");
         let mut srv = std::mem::replace(
             &mut self.servers[i],
             StorageServer::new(ServerId(i as u32), COMPACTION_THRESHOLD),
@@ -1274,6 +1302,12 @@ impl World for Cluster {
     type Event = Ev;
 
     fn handle(&mut self, ev: Ev, sched: &mut Scheduler<Ev>) {
+        self.tag.check("middle-tier hub state");
+        if let Some(victim) = self.shardsan_probe {
+            // Test-only sabotage: pretend to touch the victim shard's
+            // state so the shardsan self-test can observe the panic.
+            simkit::ShardTag::new(victim).check("the victim shard's chunk store (injected)");
+        }
         match ev {
             Ev::Wake(key, epoch, serial) => {
                 // Sentinel bookkeeping first, under the pre-processing
@@ -1357,6 +1391,7 @@ impl World for Cluster {
                         sched.defer_global(Ev::GlobalScrub(i));
                     }
                 } else {
+                    // simlint: allow(cross-shard-access, reason = "sequential-mode branch: !remote means the servers still live in this world")
                     self.servers[i as usize].set_alive(alive);
                     if alive {
                         self.restart_scrub(i as usize, sched.now());
@@ -1484,12 +1519,16 @@ pub struct StoreShard {
     disk: DiskModel,
     server: StorageServer,
     pending: BTreeMap<u64, StoreMsg>,
+    /// `shardsan` ownership tag: this disk/chunk-store/RPC-table trio is
+    /// shard `1 + id` state, checked on every handled event.
+    tag: simkit::ShardTag,
 }
 
 impl World for StoreShard {
     type Event = Ev;
 
     fn handle(&mut self, ev: Ev, sched: &mut Scheduler<Ev>) {
+        self.tag.check("storage server shard state (disk, chunk store, RPC table)");
         let now = sched.now();
         match ev {
             Ev::StoreArrive(msg) => {
@@ -1555,6 +1594,7 @@ impl ShardWorld for ClusterShard {
 /// chunk store against the hub's checksum index and restoring blocks from
 /// any live replica — the sharded twin of [`Cluster::restart_scrub`].
 fn scrub_global(shards: &mut [&mut ClusterShard], at: Time, server: u32) {
+    simkit::sanitizer::assert_barrier("restart scrub (cluster-wide repair)");
     let (hub_slice, stores) = shards.split_at_mut(1);
     let ClusterShard::Hub(hub) = &mut *hub_slice[0] else {
         return;
@@ -1599,6 +1639,7 @@ fn scrub_global(shards: &mut [&mut ClusterShard], at: Time, server: u32) {
 /// Barrier operation: one round-robin snapshot tick — the sharded twin of
 /// [`Cluster::take_snapshot`].
 fn snapshot_global(shards: &mut [&mut ClusterShard], at: Time) {
+    simkit::sanitizer::assert_barrier("snapshot service (reads every server's chunks)");
     let (hub_slice, stores) = shards.split_at_mut(1);
     let ClusterShard::Hub(hub) = &mut *hub_slice[0] else {
         return;
@@ -1636,6 +1677,7 @@ impl Cluster {
                 disk,
                 server,
                 pending,
+                tag: simkit::ShardTag::new(1 + i as u32),
             }));
         }
         shards

@@ -99,11 +99,17 @@ impl CompressionPolicy {
 /// (§2.2.1's "compressed many times"). The result always decodes with
 /// [`lz4kit::decompress_exact`].
 pub fn best_of(data: &[u8]) -> Vec<u8> {
-    [Level::Fast, Level::High(8), Level::High(64)]
-        .into_iter()
-        .map(|l| lz4kit::compress_with(data, l))
-        .min_by_key(Vec::len)
-        .expect("non-empty level list")
+    // First-candidate-wins on ties, like `min_by_key` — written as a
+    // running minimum so no unwrap/expect is needed for the non-empty
+    // candidate list.
+    let mut best = lz4kit::compress_with(data, Level::Fast);
+    for level in [Level::High(8), Level::High(64)] {
+        let candidate = lz4kit::compress_with(data, level);
+        if candidate.len() < best.len() {
+            best = candidate;
+        }
+    }
+    best
 }
 
 /// Applies an [`Effort`] to a block, returning `(bytes, compressed?)`.

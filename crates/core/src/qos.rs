@@ -147,16 +147,16 @@ impl<T> WeightedScheduler<T> {
         let n = self.queues.len();
         loop {
             let t = self.cursor;
-            if self.queues[t].is_empty() {
+            let Some(&(head_cost, _)) = self.queues[t].front() else {
                 self.deficits[t] = 0.0;
                 self.cursor = (self.cursor + 1) % n;
                 continue;
-            }
-            let head_cost = self.queues[t].front().map(|(c, _)| *c).unwrap();
+            };
             if self.deficits[t] >= head_cost as f64 {
-                self.deficits[t] -= head_cost as f64;
-                let (_, item) = self.queues[t].pop_front().unwrap();
-                return Some((t, item));
+                if let Some((_, item)) = self.queues[t].pop_front() {
+                    self.deficits[t] -= head_cost as f64;
+                    return Some((t, item));
+                }
             }
             self.deficits[t] += self.quantum * self.weights[t];
             self.cursor = (self.cursor + 1) % n;

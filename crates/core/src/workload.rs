@@ -130,11 +130,12 @@ impl Workload {
 
     /// The memoized LZ4 stream of a pool block.
     pub fn compressed(&mut self, pool_idx: usize) -> Bytes {
-        if self.compressed[pool_idx].is_none() {
-            let packed = lz4kit::compress_with(self.pool.get(pool_idx), Level::Fast);
-            self.compressed[pool_idx] = Some(Bytes::from(packed));
+        if let Some(cached) = &self.compressed[pool_idx] {
+            return cached.clone();
         }
-        self.compressed[pool_idx].clone().unwrap()
+        let packed = Bytes::from(lz4kit::compress_with(self.pool.get(pool_idx), Level::Fast));
+        self.compressed[pool_idx] = Some(packed.clone());
+        packed
     }
 
     /// Exponential think time in picoseconds with the given mean in µs.

@@ -13,6 +13,10 @@
 //! | `lib-unwrap` | no `.unwrap()`/`.expect(` in sim-datapath library code (baselined) |
 //! | `lossy-time-cast` | no bare `as u64`/`as f64` in simkit time arithmetic |
 //! | `no-extern-dep` | every dependency is an in-repo path dependency |
+//! | `shared-mutable` | no shared-mutable-state types on the shard payload path |
+//! | `cross-shard-access` | shard-owned methods only from audited store/barrier code |
+//! | `float-fold-order` | float folds in the fluid solver stay slot-ordered |
+//! | `stale-allow` | every allow-annotation must still suppress something |
 //!
 //! It ships three ways: as `cargo run -p lintkit` (file:line:rule
 //! diagnostics, exit code 1 on violations), as a `#[test]` embedded in each
@@ -28,11 +32,14 @@
 //! narrow slice of TOML that `Cargo.toml` dependency tables use.
 
 pub mod baseline;
+pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod shardcfg;
 
 pub use baseline::Baseline;
-pub use rules::{lint_manifest, lint_rust_file, Diagnostic, RuleInfo, RULES};
+pub use rules::{lint_manifest, lint_rust_file, lint_rust_file_with, Diagnostic, RuleInfo, RULES};
+pub use shardcfg::ShardConfig;
 
 use std::fs;
 use std::io;
@@ -78,6 +85,56 @@ impl Report {
             ));
         }
         out
+    }
+
+    /// Renders the report as a single-line JSON object (for `--json`):
+    /// `{"files_scanned": …, "violations": […], "grandfathered": […],
+    /// "stale_baseline": […]}` — machine-readable findings for tooling.
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn diag_list(diags: &[Diagnostic]) -> String {
+            let items: Vec<String> = diags
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"msg\":\"{}\"}}",
+                        esc(&d.file),
+                        d.line,
+                        esc(d.rule),
+                        esc(&d.msg)
+                    )
+                })
+                .collect();
+            format!("[{}]", items.join(","))
+        }
+        let stale: Vec<String> = self
+            .stale_baseline
+            .iter()
+            .map(|(r, f)| format!("{{\"rule\":\"{}\",\"file\":\"{}\"}}", esc(r), esc(f)))
+            .collect();
+        format!(
+            "{{\"files_scanned\":{},\"clean\":{},\"violations\":{},\"grandfathered\":{},\
+             \"stale_baseline\":[{}]}}",
+            self.files_scanned,
+            self.is_clean(),
+            diag_list(&self.diagnostics),
+            diag_list(&self.grandfathered),
+            stale.join(","),
+        )
     }
 }
 
@@ -144,12 +201,32 @@ pub fn baseline_path(root: &Path) -> PathBuf {
 pub fn raw_scan(root: &Path) -> io::Result<(Vec<Diagnostic>, usize)> {
     let files = collect_files(root)?;
     let mut diags = Vec::new();
+    // Shard-domain config for cross-shard-access: the checked-in file
+    // when present (a malformed one is a violation, not a crash), the
+    // identical builtin otherwise.
+    let cfg_rel = "crates/lintkit/shard_owned.txt";
+    let shard_cfg = match fs::read_to_string(root.join(cfg_rel)) {
+        Ok(text) => match ShardConfig::parse(&text) {
+            Ok(cfg) => cfg,
+            Err(msg) => {
+                diags.push(Diagnostic {
+                    file: cfg_rel.to_string(),
+                    line: 1,
+                    rule: "cross-shard-access",
+                    msg: format!("malformed owned-symbol config: {msg}"),
+                });
+                ShardConfig::builtin()
+            }
+        },
+        Err(e) if e.kind() == io::ErrorKind::NotFound => ShardConfig::builtin(),
+        Err(e) => return Err(e),
+    };
     for rel in &files {
         let src = fs::read_to_string(root.join(rel))?;
         if rel.ends_with("Cargo.toml") {
             diags.extend(lint_manifest(rel, &src));
         } else {
-            diags.extend(lint_rust_file(rel, &src));
+            diags.extend(lint_rust_file_with(rel, &src, &shard_cfg));
         }
     }
     diags.sort();

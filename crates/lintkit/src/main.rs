@@ -5,6 +5,7 @@
 //! cargo run -p lintkit -- --list-rules     # print every rule with its rationale
 //! cargo run -p lintkit -- --baseline-write # regenerate crates/lintkit/baseline.txt
 //! cargo run -p lintkit -- --root <dir>     # lint a different workspace root
+//! cargo run -p lintkit -- --json           # machine-readable findings (one JSON object)
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
@@ -15,12 +16,14 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut list_rules = false;
     let mut baseline_write = false;
+    let mut json = false;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list-rules" => list_rules = true,
             "--baseline-write" => baseline_write = true,
+            "--json" => json = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
                      OPTIONS:\n  \
                      --list-rules       print every rule with its rationale\n  \
                      --baseline-write   regenerate crates/lintkit/baseline.txt (sorted)\n  \
+                     --json             print findings as one JSON object (for tooling)\n  \
                      --root <dir>       workspace root (default: found from cwd)\n  \
                      -h, --help         this message\n\n\
                      Suppress a single site with\n  \
@@ -89,7 +93,11 @@ fn main() -> ExitCode {
 
     match lintkit::scan(&root) {
         Ok(report) => {
-            print!("{}", report.render());
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render());
+            }
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {

@@ -8,7 +8,9 @@
 //! checked-in baseline (see [`crate::baseline`]) that grandfathers
 //! pre-existing sites while new ones are blocked.
 
+use crate::items::index_items;
 use crate::lexer::{lex_marked, Token, TokenKind};
+use crate::shardcfg::ShardConfig;
 
 /// A single finding, pointing at a file, line, and named rule.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -71,6 +73,30 @@ pub const RULES: &[RuleInfo] = &[
                   (an unclosed span never retires to the sink and leaks)",
     },
     RuleInfo {
+        name: "shared-mutable",
+        summary: "no shared-mutable-state types (Mutex/RwLock/Atomic*/Cell/RefCell/`static mut`) \
+                  in shard-payload-path crates, and no thread::spawn/scope outside simkit::shard \
+                  (shard state is single-owner by construction; ad-hoc sharing breaks the \
+                  determinism argument)",
+    },
+    RuleInfo {
+        name: "cross-shard-access",
+        summary: "core code may not call shard-owned storage methods except from audited \
+                  store-side/barrier functions (configured in crates/lintkit/shard_owned.txt); \
+                  cross-shard effects must travel as Scheduler::send messages or barrier globals",
+    },
+    RuleInfo {
+        name: "float-fold-order",
+        summary: "float accumulation (`+=`/`-=`/.sum()) fed from a non-slot-ordered iterator \
+                  in the fluid solver; fp addition is non-associative, so fold order must be \
+                  slot-ascending (live_idx/order/class_bytes) to keep results seed-pure",
+    },
+    RuleInfo {
+        name: "stale-allow",
+        summary: "a `// simlint: allow(…)` annotation that suppresses zero findings; \
+                  delete it (stale escape hatches hide real regressions when code moves)",
+    },
+    RuleInfo {
         name: "bad-allow",
         summary: "a `// simlint:` annotation that does not parse as \
                   allow(<rule>, reason = \"…\") with a known rule and non-empty reason",
@@ -96,6 +122,37 @@ pub const TIME_CAST_FILES: &[&str] = &[
 /// measures the host, not the simulation.
 pub const WALL_CLOCK_EXEMPT: &[&str] = &["crates/testkit/src/bench.rs"];
 
+/// The shard engine itself (and its sanitizer): the one place that may
+/// own threads, barriers, mutexes, and atomics — it *implements* the
+/// discipline `shared-mutable` enforces on everything above it.
+pub const SHARD_ENGINE_FILES: &[&str] = &[
+    "crates/simkit/src/shard.rs",
+    "crates/simkit/src/sanitizer.rs",
+];
+
+/// Files where `float-fold-order` applies: the fluid solver, whose float
+/// accumulation order is part of the determinism contract (PR 5's
+/// `live_idx` rewrite exists precisely to keep folds slot-ascending).
+pub const FLOAT_FOLD_FILES: &[&str] = &["crates/simkit/src/fluid.rs"];
+
+/// Iteration sources the fluid solver is allowed to fold floats over:
+/// dense slot-ascending structures (plus literal `..` ranges, handled
+/// separately). Anything else — a map's values, a hash-ordered view, a
+/// filtered scratch list — has no fixed fold order.
+const SLOT_ORDERED_SOURCES: &[&str] = &["live_idx", "order", "class_bytes", "flows"];
+
+/// Shared-mutable-state type names forbidden in shard-payload-path
+/// crates (`Atomic*` is matched by prefix).
+const FORBIDDEN_SHARED: &[&str] = &[
+    "Mutex", "RwLock", "Condvar", "Barrier", "RefCell", "Cell", "UnsafeCell", "OnceCell",
+    "OnceLock", "LazyCell", "LazyLock",
+];
+
+/// True when `name` names a shared-mutable-state type.
+fn is_shared_type(name: &str) -> bool {
+    FORBIDDEN_SHARED.contains(&name) || (name.starts_with("Atomic") && name.len() > "Atomic".len())
+}
+
 /// True when `rel` is non-test library code of a simulation-observable
 /// crate (i.e. under `crates/<sim crate>/src/`).
 pub fn is_sim_crate_lib(rel: &str) -> bool {
@@ -105,11 +162,14 @@ pub fn is_sim_crate_lib(rel: &str) -> bool {
 }
 
 /// A parsed allow-annotation: suppresses `rule` on the comment's line and
-/// the line directly below it.
+/// the line directly below it. `used` records whether it suppressed
+/// anything — an allow that never fires is itself a `stale-allow`
+/// violation.
 #[derive(Debug, PartialEq, Eq)]
 struct Allow {
     rule: String,
     line: u32,
+    used: std::cell::Cell<bool>,
 }
 
 /// Extracts `simlint:` annotations from comment tokens. Malformed
@@ -132,7 +192,11 @@ fn collect_allows(rel: &str, tokens: &[Token<'_>], diags: &mut Vec<Diagnostic>) 
         };
         let rest = rest.trim_start();
         match parse_allow(rest) {
-            Some(rule) => allows.push(Allow { rule, line: t.line }),
+            Some(rule) => allows.push(Allow {
+                rule,
+                line: t.line,
+                used: std::cell::Cell::new(false),
+            }),
             None => diags.push(Diagnostic {
                 file: rel.to_string(),
                 line: t.line,
@@ -167,14 +231,26 @@ fn parse_allow(s: &str) -> Option<String> {
 }
 
 fn allowed(allows: &[Allow], rule: &str, line: u32) -> bool {
-    allows
-        .iter()
-        .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    let mut hit = false;
+    for a in allows {
+        if a.rule == rule && (a.line == line || a.line + 1 == line) {
+            a.used.set(true);
+            hit = true;
+        }
+    }
+    hit
 }
 
-/// Lints one Rust source file. `rel` is the workspace-relative path with
-/// forward slashes; it determines which rules apply.
+/// Lints one Rust source file with the built-in shard-domain config.
+/// `rel` is the workspace-relative path with forward slashes; it
+/// determines which rules apply.
 pub fn lint_rust_file(rel: &str, src: &str) -> Vec<Diagnostic> {
+    lint_rust_file_with(rel, src, &ShardConfig::builtin())
+}
+
+/// Lints one Rust source file against an explicit shard-domain config
+/// (the workspace scan loads `crates/lintkit/shard_owned.txt`).
+pub fn lint_rust_file_with(rel: &str, src: &str, shard_cfg: &ShardConfig) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let tokens = match lex_marked(src) {
         Ok(t) => t,
@@ -298,6 +374,264 @@ pub fn lint_rust_file(rel: &str, src: &str) -> Vec<Diagnostic> {
         }
     }
 
+    // The shard-safety rules need item context (enclosing fn/impl, use
+    // declarations); index once.
+    let items = index_items(&code);
+    let engine_file = SHARD_ENGINE_FILES.contains(&rel);
+
+    // shared-mutable: shared-mutable-state types in shard-payload-path
+    // crate libraries. Shard state is single-owner by construction — the
+    // engine guarantees one worker per shard per window — so any
+    // Mutex/Atomic/Cell there is either dead weight or, worse, a side
+    // channel whose observed order depends on the thread schedule.
+    if sim_lib && !engine_file {
+        for (i, t) in code.iter().enumerate() {
+            if t.in_test || t.kind != TokenKind::Ident || items.in_use_decl(i) {
+                continue;
+            }
+            if t.text == "static" && code.get(i + 1).is_some_and(|n| n.text == "mut") {
+                push(
+                    "shared-mutable",
+                    t.line,
+                    "`static mut` is cross-shard shared mutable state; shard state must be \
+                     single-owner (move it into the owning World)"
+                        .to_string(),
+                    &mut diags,
+                );
+            }
+            if is_shared_type(t.text) {
+                push(
+                    "shared-mutable",
+                    t.line,
+                    format!(
+                        "`{}` is a shared-mutable-state type; shard-payload-path crates are \
+                         single-owner by construction (simkit::shard runs one worker per shard \
+                         per window), so sharing primitives either hide a cross-shard side \
+                         channel or serve no purpose",
+                        t.text
+                    ),
+                    &mut diags,
+                );
+            }
+        }
+        for u in &items.uses {
+            if u.in_test {
+                continue;
+            }
+            let last = u.path.rsplit("::").next().unwrap_or("");
+            let atomic_mod =
+                u.path == "std::sync::atomic" || u.path.starts_with("std::sync::atomic::");
+            if is_shared_type(last) || atomic_mod || u.path == "std::thread" {
+                push(
+                    "shared-mutable",
+                    u.line,
+                    format!(
+                        "`use {}` imports shared-mutable-state (or threading) machinery into a \
+                         shard-payload-path crate; shard state is single-owner — \
+                         see the shared-mutable rule",
+                        u.path
+                    ),
+                    &mut diags,
+                );
+            }
+        }
+    }
+    // thread::spawn / thread::scope anywhere outside the shard engine:
+    // the engine owns all threads; ad-hoc threads in any src/ tree can
+    // observe or mutate simulation state off-schedule.
+    if rel.contains("/src/") && !engine_file {
+        for (i, t) in code.iter().enumerate() {
+            if t.in_test || t.kind != TokenKind::Ident {
+                continue;
+            }
+            if (t.text == "spawn" || t.text == "scope")
+                && i >= 3
+                && code[i - 1].text == ":"
+                && code[i - 2].text == ":"
+                && code[i - 3].text == "thread"
+            {
+                push(
+                    "shared-mutable",
+                    t.line,
+                    format!(
+                        "thread::{} creates threads outside simkit::shard, the one sanctioned \
+                         parallel section; host-side parallelism must stay out of simulation \
+                         crates (annotate with a reason if this is bench harness code)",
+                        t.text
+                    ),
+                    &mut diags,
+                );
+            }
+        }
+    }
+
+    // cross-shard-access: calling a shard-owned method outside the
+    // audited store-side/barrier functions. The owned-symbol list and
+    // its exemptions live in crates/lintkit/shard_owned.txt.
+    for domain in shard_cfg.domains_for(rel) {
+        for (i, t) in code.iter().enumerate() {
+            if t.in_test || t.kind != TokenKind::Ident {
+                continue;
+            }
+            let is_method_call = i >= 1
+                && code[i - 1].kind == TokenKind::Punct
+                && code[i - 1].text == "."
+                && code.get(i + 1).is_some_and(|n| n.text == "(");
+            if !is_method_call || !domain.owned.iter().any(|m| m == t.text) {
+                continue;
+            }
+            let fn_name = items.enclosing_fn(i).map(|f| f.name.clone());
+            if fn_name
+                .as_ref()
+                .is_some_and(|n| domain.exempt_fns.contains(n))
+            {
+                continue;
+            }
+            if items
+                .enclosing_impl(i)
+                .is_some_and(|s| domain.exempt_impls.contains(&s.type_name))
+            {
+                continue;
+            }
+            push(
+                "cross-shard-access",
+                t.line,
+                format!(
+                    ".{}() touches `{}`-domain shard-owned state from `{}`; the hub must \
+                     reach it via Scheduler::send messages or Scheduler::defer_global \
+                     barrier operations (exemptions: crates/lintkit/shard_owned.txt)",
+                    t.text,
+                    domain.name,
+                    fn_name.as_deref().unwrap_or("<no enclosing fn>"),
+                ),
+                &mut diags,
+            );
+        }
+    }
+
+    // float-fold-order: float accumulation fed from a non-slot-ordered
+    // iterator in the fluid solver. fp addition is non-associative; the
+    // determinism contract requires folds to walk dense slot-ascending
+    // structures (live_idx / order / class_bytes / flows) or literal
+    // ranges, never a map view or filtered scratch collection.
+    if FLOAT_FOLD_FILES.contains(&rel) {
+        let sanctioned = |window: &[&Token<'_>]| {
+            window.iter().enumerate().any(|(k, t)| {
+                (t.kind == TokenKind::Ident && SLOT_ORDERED_SOURCES.contains(&t.text))
+                    || (t.text == "."
+                        && window.get(k + 1).is_some_and(|n| n.text == ".")
+                        && t.kind == TokenKind::Punct)
+            })
+        };
+        // (a) `for pat in <source> { … += … }` loops.
+        for (i, t) in code.iter().enumerate() {
+            if t.in_test || t.kind != TokenKind::Ident || t.text != "for" {
+                continue;
+            }
+            // Locate `in` and the body `{` at bracket depth 0; `impl …
+            // for …` blocks have no `in` and are skipped.
+            let mut depth = 0i32;
+            let mut in_idx = None;
+            let mut body_open = None;
+            for (j, u) in code.iter().enumerate().skip(i + 1) {
+                match (u.kind, u.text) {
+                    (TokenKind::Punct, "(") | (TokenKind::Punct, "[") => depth += 1,
+                    (TokenKind::Punct, ")") | (TokenKind::Punct, "]") => depth -= 1,
+                    (TokenKind::Ident, "in") if depth == 0 && in_idx.is_none() => {
+                        in_idx = Some(j)
+                    }
+                    (TokenKind::Punct, "{") if depth == 0 => {
+                        body_open = Some(j);
+                        break;
+                    }
+                    (TokenKind::Punct, ";") if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            let (Some(in_idx), Some(open)) = (in_idx, body_open) else {
+                continue;
+            };
+            if sanctioned(&code[in_idx + 1..open]) {
+                continue;
+            }
+            // Find the body's end and look for a compound float
+            // accumulation (`+=` / `-=`) directly inside it.
+            let mut braces = 0i32;
+            let mut end = open;
+            for (j, u) in code.iter().enumerate().skip(open) {
+                if u.kind == TokenKind::Punct {
+                    match u.text {
+                        "{" => braces += 1,
+                        "}" => {
+                            braces -= 1;
+                            if braces == 0 {
+                                end = j;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for k in open..end {
+                if code[k].kind == TokenKind::Punct
+                    && (code[k].text == "+" || code[k].text == "-")
+                    && code.get(k + 1).is_some_and(|n| n.text == "=")
+                    && code.get(k + 2).is_some_and(|n| n.text != "=")
+                {
+                    push(
+                        "float-fold-order",
+                        code[k].line,
+                        format!(
+                            "`{}=` accumulation inside a `for` over a non-slot-ordered \
+                             iterator; fp addition is non-associative, so fold over \
+                             live_idx/order/class_bytes (slot-ascending) instead",
+                            code[k].text
+                        ),
+                        &mut diags,
+                    );
+                    break;
+                }
+            }
+        }
+        // (b) `.sum()` / `.fold()` / `.product()` whose statement does
+        // not mention a slot-ordered source.
+        for (i, t) in code.iter().enumerate() {
+            if t.in_test
+                || t.kind != TokenKind::Ident
+                || !matches!(t.text, "sum" | "fold" | "product")
+            {
+                continue;
+            }
+            let dotted = i >= 1 && code[i - 1].kind == TokenKind::Punct && code[i - 1].text == ".";
+            let called = code.get(i + 1).is_some_and(|n| n.text == "(")
+                || (code.get(i + 1).is_some_and(|n| n.text == ":")
+                    && code.get(i + 2).is_some_and(|n| n.text == ":")
+                    && code.get(i + 3).is_some_and(|n| n.text == "<"));
+            if !dotted || !called {
+                continue;
+            }
+            let mut j = i;
+            while j > 0 && !matches!(code[j - 1].text, ";" | "{" | "}") {
+                j -= 1;
+            }
+            if sanctioned(&code[j..i]) {
+                continue;
+            }
+            push(
+                "float-fold-order",
+                t.line,
+                format!(
+                    ".{}() folds floats from a non-slot-ordered iterator; fp addition is \
+                     non-associative, so fold over live_idx/order/class_bytes \
+                     (slot-ascending) instead",
+                    t.text
+                ),
+                &mut diags,
+            );
+        }
+    }
+
     // span-balance: a span_open whose SpanId is discarded in statement
     // position opens a span nothing can ever close. Scan each non-test
     // function body; discarded opens beyond the body's span_close count are
@@ -406,6 +740,26 @@ pub fn lint_rust_file(rel: &str, src: &str) -> Vec<Diagnostic> {
                 );
             }
             f += 1;
+        }
+    }
+
+    // stale-allow: every surviving annotation must have suppressed at
+    // least one finding; one that fires on nothing is a stale escape
+    // hatch that will silently swallow the next real regression on that
+    // line. (Not itself suppressible — the fix is deleting the comment.)
+    for a in &allows {
+        if !a.used.get() {
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: a.line,
+                rule: "stale-allow",
+                msg: format!(
+                    "allow({}) suppresses nothing on line {} or {}; delete the annotation",
+                    a.rule,
+                    a.line,
+                    a.line + 1
+                ),
+            });
         }
     }
     diags

@@ -202,6 +202,181 @@ fn path_and_workspace_deps_are_fine() {
     assert!(lint_manifest("crates/core/Cargo.toml", src).is_empty());
 }
 
+// ------------------------------------------------------------ shared-mutable
+
+#[test]
+fn shared_mutable_types_flagged_in_sim_crate_libs() {
+    let src = "use std::sync::Mutex;\n\
+               pub struct S { m: Mutex<u64>, a: std::sync::atomic::AtomicU64 }\n\
+               static mut COUNTER: u64 = 0;\n";
+    let diags = lint_rust_file("crates/core/src/cluster.rs", src);
+    let rules = rules_of(&diags);
+    assert!(rules.iter().all(|r| *r == "shared-mutable"), "{diags:?}");
+    // use-decl, Mutex field, AtomicU64 field, static mut: four findings.
+    assert_eq!(rules.len(), 4, "{diags:?}");
+}
+
+#[test]
+fn shared_mutable_catches_aliased_imports() {
+    // Renaming on import must not dodge the rule: the use-path check sees
+    // the real path even when the local name is innocuous.
+    let src = "use std::cell::RefCell as Plain;\npub struct S { c: Plain }\n";
+    let diags = lint_rust_file("crates/blockstore/src/chunk.rs", src);
+    assert_eq!(rules_of(&diags), ["shared-mutable"], "{diags:?}");
+}
+
+#[test]
+fn thread_spawn_flagged_outside_the_shard_engine() {
+    let src = "pub fn go() { std::thread::spawn(|| {}); }\n";
+    // In a sim crate and in any other src/ tree (bench, testkit, …).
+    assert_eq!(
+        rules_of(&lint_rust_file("crates/core/src/agent.rs", src)),
+        ["shared-mutable"]
+    );
+    assert_eq!(
+        rules_of(&lint_rust_file("crates/bench/src/pool.rs", src)),
+        ["shared-mutable"]
+    );
+    // The shard engine itself is the sanctioned home for threads.
+    let scoped = "pub fn run() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+    assert!(lint_rust_file("crates/simkit/src/shard.rs", scoped).is_empty());
+}
+
+#[test]
+fn shared_mutable_allowed_and_clean_cases() {
+    // A justified single-owner cache suppresses with a reason.
+    let allowed = "// simlint: allow(shared-mutable, reason = \"single-owner memo cache\")\n\
+                   use std::cell::Cell;\n";
+    assert!(lint_rust_file("crates/simkit/src/fluid.rs", allowed).is_empty());
+    // Non-sim crates may use interior mutability freely.
+    let src = "use std::cell::Cell;\npub struct S { c: Cell<u32> }\n";
+    assert!(lint_rust_file("crates/testkit/src/runner.rs", src).is_empty());
+    // Test code inside a sim crate is exempt.
+    let test = "#[cfg(test)]\nmod tests { use std::sync::Mutex;\n fn f() { Mutex::new(0); } }\n";
+    assert!(lint_rust_file("crates/core/src/cluster.rs", test).is_empty());
+    // Arc alone is fine: immutable sharing is not shared *mutable* state.
+    let arc = "use std::sync::Arc;\npub struct S { b: Arc<[u8]> }\n";
+    assert!(lint_rust_file("crates/simkit/src/bytes.rs", arc).is_empty());
+}
+
+// -------------------------------------------------------- cross-shard-access
+
+#[test]
+fn owned_method_call_outside_exempt_context_is_flagged() {
+    let src = "impl Cluster {\n\
+                   fn sneaky(&mut self) { self.servers[0].set_alive(false); }\n\
+               }\n";
+    let diags = lint_rust_file("crates/core/src/cluster.rs", src);
+    assert_eq!(rules_of(&diags), ["cross-shard-access"], "{diags:?}");
+    assert_eq!(diags[0].line, 2);
+    assert!(diags[0].msg.contains("sneaky"), "{}", diags[0].msg);
+    assert!(diags[0].msg.contains("Scheduler::send"), "{}", diags[0].msg);
+}
+
+#[test]
+fn exempt_fns_and_impls_may_touch_owned_state() {
+    // The audited store-side helper by name…
+    let helper = "fn store_finish(server: &mut StorageServer) { server.append(b); }\n";
+    assert!(lint_rust_file("crates/core/src/cluster.rs", helper).is_empty());
+    // …and anything inside the shard world's own impl.
+    let shard = "impl World for StoreShard {\n\
+                     fn handle(&mut self) { self.server.set_alive(true); }\n\
+                 }\n";
+    assert!(lint_rust_file("crates/core/src/cluster.rs", shard).is_empty());
+    // Barrier operations are exempt fns too.
+    let global = "fn scrub_global(hub: &mut Cluster) { hub.scrubber.scrub_with(srv, f); }\n";
+    assert!(lint_rust_file("crates/core/src/cluster.rs", global).is_empty());
+}
+
+#[test]
+fn cross_shard_access_scoped_to_domain_files_and_calls() {
+    // The same call in a file outside the domain is out of scope.
+    let src = "impl Agent { fn f(&mut self) { self.peer.set_alive(false); } }\n";
+    assert!(lint_rust_file("crates/core/src/agent.rs", src).is_empty());
+    // The method *definition* is not a call site (no leading dot).
+    let def = "impl StorageServer { pub fn set_alive(&mut self, v: bool) {} }\n";
+    assert!(lint_rust_file("crates/core/src/cluster.rs", def).is_empty());
+    // An allow with a reason suppresses a justified sequential-mode site.
+    let allowed = "impl Cluster { fn f(&mut self) {\n\
+                   // simlint: allow(cross-shard-access, reason = \"sequential mode\")\n\
+                   self.servers[0].set_alive(false);\n} }\n";
+    assert!(lint_rust_file("crates/core/src/cluster.rs", allowed).is_empty());
+}
+
+// --------------------------------------------------------- float-fold-order
+
+#[test]
+fn float_fold_over_unordered_source_is_flagged() {
+    // .sum() over a map view: no fixed fold order.
+    let sum = "impl F { fn total(&self) -> f64 { self.by_class.values().sum() } }\n";
+    let diags = lint_rust_file("crates/simkit/src/fluid.rs", sum);
+    assert_eq!(rules_of(&diags), ["float-fold-order"], "{diags:?}");
+    // += accumulation inside a for over an unordered iterator.
+    let acc = "impl F { fn t(&mut self) { for f in self.scratch.iter() { self.acc += f.rate; } } }\n";
+    let diags = lint_rust_file("crates/simkit/src/fluid.rs", acc);
+    assert_eq!(rules_of(&diags), ["float-fold-order"], "{diags:?}");
+    // -= is order-sensitive too.
+    let sub = "impl F { fn t(&mut self) { for f in self.scratch.iter() { self.acc -= f.rate; } } }\n";
+    assert_eq!(
+        rules_of(&lint_rust_file("crates/simkit/src/fluid.rs", sub)),
+        ["float-fold-order"]
+    );
+}
+
+#[test]
+fn slot_ordered_folds_and_ranges_are_clean() {
+    let ok = "impl F {\n\
+              fn a(&self) -> f64 { self.live_idx.iter().map(|&i| self.flows[i].rate).sum() }\n\
+              fn b(&self) -> u64 { self.class_bytes.iter().sum() }\n\
+              fn c(&mut self) { for k in 0..self.live_idx.len() { self.acc += self.rates[k]; } }\n\
+              fn d(&mut self) { for &i in &order { self.acc += self.flows[i].w; } }\n\
+              }\n";
+    assert!(lint_rust_file("crates/simkit/src/fluid.rs", ok).is_empty());
+    // Outside the fluid solver the rule does not apply.
+    let other = "fn t(m: &M) -> f64 { m.values().sum() }\n";
+    assert!(lint_rust_file("crates/simkit/src/hist.rs", other).is_empty());
+    // Test code is exempt (the oracle folds however it likes).
+    let test = "#[cfg(test)]\nmod t { fn s(m: &M) -> f64 { m.values().sum() } }\n";
+    assert!(lint_rust_file("crates/simkit/src/fluid.rs", test).is_empty());
+}
+
+#[test]
+fn float_fold_allow_suppresses_with_reason() {
+    let src = "// simlint: allow(float-fold-order, reason = \"order-insensitive: integer counts\")\n\
+               fn t(m: &M) -> u64 { m.values().sum() }\n";
+    assert!(lint_rust_file("crates/simkit/src/fluid.rs", src).is_empty());
+}
+
+// -------------------------------------------------------------- stale-allow
+
+#[test]
+fn allow_that_suppresses_nothing_is_flagged() {
+    let src = "// simlint: allow(hash-order, reason = \"was needed once\")\n\
+               pub fn f() {}\n";
+    let diags = lint_rust_file("crates/simkit/src/engine.rs", src);
+    assert_eq!(rules_of(&diags), ["stale-allow"], "{diags:?}");
+    assert_eq!(diags[0].line, 1);
+}
+
+#[test]
+fn used_allow_is_not_stale_and_unknown_rule_is_bad() {
+    // A working allow produces no stale finding.
+    let used = "// simlint: allow(hash-order, reason = \"scratch, never iterated\")\n\
+                use std::collections::HashMap;\n";
+    assert!(lint_rust_file("crates/simkit/src/engine.rs", used).is_empty());
+    // An unknown rule is bad-allow (and cannot be stale: it never parsed).
+    let unknown = "// simlint: allow(no-such-rule, reason = \"x\")\npub fn f() {}\n";
+    let diags = lint_rust_file("crates/simkit/src/engine.rs", unknown);
+    assert_eq!(rules_of(&diags), ["bad-allow"], "{diags:?}");
+}
+
+#[test]
+fn one_allow_covering_two_findings_is_used_not_stale() {
+    let src = "// simlint: allow(hash-order, reason = \"both on the next line\")\n\
+               use std::collections::{HashMap, HashSet};\n";
+    assert!(lint_rust_file("crates/simkit/src/engine.rs", src).is_empty());
+}
+
 // ------------------------------------------------------- whole-repo self-test
 
 #[test]
@@ -229,6 +404,39 @@ fn workspace_scan_is_deterministic() {
     let a = lintkit::scan(&root).expect("scan").render();
     let b = lintkit::scan(&root).expect("scan").render();
     assert_eq!(a, b);
+}
+
+#[test]
+fn workspace_is_clean_under_the_shard_safety_rules() {
+    // The three concurrency rules (plus stale-allow) hold across the whole
+    // tree with no baseline entries: every legitimate exception carries an
+    // inline allow-with-reason, so the raw stream must be empty for them.
+    let root = lintkit::workspace_root_from(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let (diags, _) = lintkit::raw_scan(&root).expect("scan");
+    let shard: Vec<_> = diags
+        .iter()
+        .filter(|d| {
+            matches!(
+                d.rule,
+                "shared-mutable" | "cross-shard-access" | "float-fold-order" | "stale-allow"
+            )
+        })
+        .collect();
+    assert!(shard.is_empty(), "shard-safety violations crept in: {shard:?}");
+}
+
+#[test]
+fn checked_in_shard_config_matches_builtin() {
+    // shard_owned.txt is the editable source of truth; builtin() is the
+    // fallback when it is missing. Keep them identical so behaviour cannot
+    // silently fork between the two paths.
+    let root = lintkit::workspace_root_from(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let text = std::fs::read_to_string(root.join("crates/lintkit/shard_owned.txt"))
+        .expect("read shard_owned.txt");
+    let parsed = lintkit::ShardConfig::parse(&text).expect("parse shard_owned.txt");
+    assert_eq!(parsed, lintkit::ShardConfig::builtin());
 }
 
 // ------------------------------------------------------------------ properties

@@ -68,8 +68,9 @@ pub(crate) struct Scheduled<E> {
     /// Sending shard id (deliveries) or 0 (local events).
     src: u32,
     /// Local FIFO sequence (local events) or the sender's per-message
-    /// sequence (deliveries).
-    seq: u64,
+    /// sequence (deliveries). `pub(crate)` so the shard engine can stamp
+    /// it into shardsan violation reports.
+    pub(crate) seq: u64,
     pub(crate) event: E,
 }
 

@@ -65,6 +65,7 @@
 //! ```
 
 use crate::time::Time;
+// simlint: allow(shared-mutable, reason = "single-owner memo cache: Cell lets &self next_wake() memoize; a FluidResource never leaves its owning shard")
 use std::cell::Cell;
 
 /// Residual byte count below which a flow is considered complete.
@@ -180,6 +181,7 @@ pub struct FluidResource {
     /// Number of live flows with a finite rate cap.
     capped_live: usize,
     /// Memoized [`FluidResource::next_wake`]; `None` means "recompute".
+    // simlint: allow(shared-mutable, reason = "single-owner memo cache; never crosses a shard boundary")
     wake_cache: Cell<Option<Option<Time>>>,
 }
 
@@ -209,6 +211,7 @@ impl FluidResource {
             order: Vec::new(),
             order_valid: false,
             capped_live: 0,
+            // simlint: allow(shared-mutable, reason = "single-owner memo cache; never crosses a shard boundary")
             wake_cache: Cell::new(None),
         }
     }

@@ -78,6 +78,7 @@ mod hist;
 pub mod json;
 mod meter;
 mod rng;
+pub mod sanitizer;
 mod server;
 pub mod shard;
 mod time;
@@ -85,6 +86,7 @@ pub mod wake;
 
 pub use bytes::Bytes;
 pub use engine::{Scheduler, Simulation, World};
+pub use sanitizer::ShardTag;
 pub use shard::{env_threads, EngineStats, ShardWorld, ShardedSim};
 pub use fluid::{FlowEnd, FlowId, FlowSpec, FluidResource};
 pub use wake::{WakeCoalescer, WakeEmit};

@@ -44,6 +44,7 @@
 //! model work.
 
 use crate::engine::{Outgoing, Scheduler, World};
+use crate::sanitizer;
 use crate::time::Time;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
@@ -122,7 +123,14 @@ fn get_mut<W: ShardWorld>(cell: &mut Mutex<Cell<W>>) -> &mut Cell<W> {
 }
 
 /// Executes one shard's events strictly below `horizon`.
-fn run_window<W: ShardWorld>(cell: &mut Cell<W>, horizon: Time) {
+///
+/// `shard` is the cell's index in the world vector; each event is
+/// bracketed by a `shardsan` mode update so ownership checks inside
+/// `World::handle` know which shard the worker is executing (and can
+/// stamp time + seq into a violation report). The caller resets the
+/// worker's mode with [`sanitizer::exit_parallel`] once its shards for
+/// the window are done.
+fn run_window<W: ShardWorld>(shard: u32, cell: &mut Cell<W>, horizon: Time) {
     while !cell.sched.is_stopped() {
         match cell.sched.next_time() {
             Some(t) if t < horizon => {}
@@ -131,6 +139,7 @@ fn run_window<W: ShardWorld>(cell: &mut Cell<W>, horizon: Time) {
         let Some(s) = cell.sched.pop() else { break };
         cell.sched.set_now(s.at);
         cell.executed += 1;
+        sanitizer::enter_event(shard, s.at, s.seq);
         cell.world.handle(s.event, &mut cell.sched);
     }
 }
@@ -255,8 +264,9 @@ where
                     }
                     let h = Time::from_ps(horizon_ps.load(Ordering::Acquire));
                     for i in (w..n).step_by(threads) {
-                        run_window(&mut lock(&cells[i]), h);
+                        run_window(i as u32, &mut lock(&cells[i]), h);
                     }
+                    sanitizer::exit_parallel();
                     barrier.wait();
                 });
             }
@@ -269,8 +279,9 @@ where
                 horizon_ps.store(horizon.as_ps(), Ordering::Release);
                 barrier.wait();
                 for i in (0..n).step_by(threads) {
-                    run_window(&mut lock(&cells[i]), horizon);
+                    run_window(i as u32, &mut lock(&cells[i]), horizon);
                 }
+                sanitizer::exit_parallel();
                 barrier.wait();
                 if merge_windows(cells, horizon, &mut messages) {
                     break;
@@ -300,6 +311,11 @@ fn merge_windows<W: ShardWorld>(
     horizon: Time,
     messages: &mut u64,
 ) -> bool {
+    // Only the coordinator runs here, after the post-window barrier:
+    // Barrier mode lets ownership checks pass while `assert_barrier`
+    // call sites in `handle_global` paths verify they really are at a
+    // window boundary.
+    sanitizer::enter_barrier(horizon);
     let n = cells.len();
     let mut stop = false;
     let mut msgs: Vec<(u32, Outgoing<W::Event>)> = Vec::new();
@@ -331,6 +347,7 @@ fn merge_windows<W: ShardWorld>(
             W::handle_global(&mut worlds, horizon, ev);
         }
     }
+    sanitizer::exit_barrier();
     stop
 }
 
