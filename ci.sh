@@ -45,6 +45,14 @@ SMARTDS_CHAOS_SEED=202 cargo test -q --offline -p system-tests --test faults
 # in-repo JSON parser, is non-empty, and has balanced (open == close) spans.
 SMARTDS_CHAOS_SEED=303 cargo test -q --offline -p system-tests --test tracing
 
+# Rack-scale smoke, quick profile: the fabric topology + open-loop tenant
+# generator + admission-control path end-to-end at a pinned seed, on 4
+# worker threads (the outcome is thread-invariant — golden.rs pins the
+# bytes; this run proves the experiment itself stays healthy offline).
+# Appends the per-class rows to BENCH_PERF.quick.json next to the perf
+# snapshot below.
+SMARTDS_THREADS=4 cargo run -q -p smartds-bench --release --offline --bin experiments -- scale --quick
+
 # Simulator perf snapshot, quick profile, report-only: prints the dense
 # sweep at 1/2/4/8 worker threads (identical simulated outcomes, wall time
 # scaling with the host's real parallelism) and writes BENCH_PERF.quick.json

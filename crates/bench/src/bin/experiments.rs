@@ -7,8 +7,8 @@
 //! ```
 
 use smartds_bench::{
-    breakdown, csv, curve, degraded, fig4, json, loc, perf, reads, sec55, soc, stages, sweeps,
-    table1, table3, tco, Profile,
+    breakdown, csv, curve, degraded, fig4, json, loc, perf, reads, scale, sec55, soc, stages,
+    sweeps, table1, table3, tco, Profile,
 };
 use std::path::PathBuf;
 
@@ -129,6 +129,14 @@ fn main() {
         println!();
         ran = true;
     }
+    if which == "scale" || which == "all" {
+        let rows = scale::run(profile);
+        if let Err(e) = scale::write_json(&PathBuf::from("."), profile, &rows) {
+            eprintln!("scale export failed: {e}");
+        }
+        println!();
+        ran = true;
+    }
     // Not part of `all`: perf measures the simulator itself, and its wall
     // times would be skewed by whatever other experiments just ran.
     if which == "perf" {
@@ -143,7 +151,7 @@ fn main() {
         eprintln!(
             "unknown experiment '{which}'; expected one of: \
              table1 table3 fig4 fig7 fig8 fig9 fig10 sec55 soc curve tco stages breakdown reads \
-             degraded loc perf all"
+             degraded loc perf scale all"
         );
         std::process::exit(2);
     }

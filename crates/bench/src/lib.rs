@@ -24,6 +24,7 @@
 //! | degraded | extension: faults & degraded mode     | [`degraded::run`] |
 //! | loc    | programmability (lines of code)         | [`loc::run`] |
 //! | perf   | simulator hot-path throughput           | [`perf::run`] |
+//! | scale  | extension: rack fabric + open-loop tenants | [`scale::run`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +39,7 @@ pub mod loc;
 pub mod perf;
 pub mod pool;
 pub mod reads;
+pub mod scale;
 pub mod sec55;
 pub mod soc;
 pub mod stages;

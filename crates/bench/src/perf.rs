@@ -285,7 +285,8 @@ pub fn run(profile: Profile) -> Vec<PerfRow> {
 /// `ci.sh` or from the workspace directory). The full profile writes the
 /// tracked `BENCH_PERF.json` baseline; the quick profile writes
 /// `BENCH_PERF.quick.json` (untracked scratch) so a CI quick pass never
-/// clobbers the committed full-profile reference.
+/// clobbers the committed full-profile reference. A `scale` array the
+/// scale experiment already put in the file is carried over verbatim.
 ///
 /// # Errors
 ///
@@ -295,8 +296,17 @@ pub fn write_json(dir: &Path, profile: Profile, rows: &[PerfRow]) -> std::io::Re
         Profile::Quick => "BENCH_PERF.quick.json",
         Profile::Full => "BENCH_PERF.json",
     });
+    let mut text = render(profile, rows);
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    if let Some(scale) = crate::scale::extract_array(&existing, "scale") {
+        // Splice the preserved scale rows in before the closing brace.
+        text.truncate(text.len() - 1);
+        text.push_str(",\"scale\":");
+        text.push_str(&scale);
+        text.push('}');
+    }
     let mut f = std::fs::File::create(&path)?;
-    f.write_all(render(profile, rows).as_bytes())?;
+    f.write_all(text.as_bytes())?;
     f.write_all(b"\n")?;
     println!("  wrote {}", path.display());
     Ok(())

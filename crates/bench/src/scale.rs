@@ -1,0 +1,274 @@
+//! `scale` experiment: rack-scale fabric under open-loop multi-tenant
+//! load — tail latency vs offered load, per traffic class.
+//!
+//! The paper evaluates one cell (a middle tier and six servers on one
+//! switch). This experiment grows the testbed to a multi-rack fabric
+//! (oversubscribed ToR uplinks and a spine trunk) and replaces the
+//! closed-loop driver with the seeded open-loop tenant generator:
+//! zipfian popularity over ~10⁶ tenant ids, diurnal + burst arrival
+//! schedules, per-tenant QoS mapped onto the 8 traffic classes, and
+//! SmartNIC-side admission control in front of the datapath.
+//!
+//! Two scenarios per profile:
+//!
+//! - **fanout** — replicated writes from the hub's rack across the spine:
+//!   the outbound `HubUp`/`SpineUp` links carry the 3-way replication
+//!   fan-out.
+//! - **incast** — a read-heavy mix on a more oversubscribed fabric:
+//!   fetched payloads from every rack converge on the hub's ToR downlink
+//!   (`HubDown`), the classic incast hotspot.
+//!
+//! Each offered-load point reports per-class p50/p99/p999 latency plus
+//! deferred/rejected admission counts, and the rows are appended to
+//! `BENCH_PERF.json` (full profile) / `BENCH_PERF.quick.json` (quick)
+//! alongside the perf workloads, preserving whatever the other experiment
+//! already wrote there.
+
+use crate::Profile;
+use simkit::json::{array_raw, Object};
+use simkit::Time;
+use smartds::{cluster, AdmissionSpec, Design, LoadSpec, RunConfig, Topology};
+use std::io::Write as _;
+use std::path::Path;
+
+/// The pinned seed for every scale run (the golden rack fixture uses its
+/// own seed; this one only feeds `BENCH_PERF` rows).
+pub const SCALE_SEED: u64 = 404;
+
+/// One offered-load point of one scenario.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// Scenario id (`fanout` or `incast`).
+    pub scenario: &'static str,
+    /// Nominal open-loop offered load (Gbps of payload before the diurnal
+    /// and burst multipliers).
+    pub offered_gbps: f64,
+    /// The pinned workload seed.
+    pub seed: u64,
+    /// Worker threads the run executed at (outcome-invariant).
+    pub threads: usize,
+    /// Achieved payload throughput over the measurement window.
+    pub throughput_gbps: f64,
+    /// Writes completed in the window.
+    pub writes_done: u64,
+    /// Per-class tails and admission counters (rendered JSON).
+    pub stats_json: String,
+}
+
+impl ScaleRow {
+    fn to_json(&self) -> String {
+        Object::new()
+            .field("scenario", self.scenario)
+            .field("offered_gbps", self.offered_gbps)
+            .field("seed", self.seed)
+            .field("threads", self.threads as u64)
+            .field("throughput_gbps", self.throughput_gbps)
+            .field("writes_done", self.writes_done)
+            .field_raw("stats", &self.stats_json)
+            .finish()
+    }
+}
+
+fn windows(profile: Profile, mut cfg: RunConfig) -> RunConfig {
+    match profile {
+        Profile::Quick => {
+            cfg.warmup = Time::from_ms(2.0);
+            cfg.measure = Time::from_ms(6.0);
+            cfg.pool_blocks = 64;
+        }
+        Profile::Full => {
+            cfg.warmup = Time::from_ms(4.0);
+            cfg.measure = Time::from_ms(16.0);
+        }
+    }
+    cfg
+}
+
+/// The fabrics under test: `(scenario, topology, read_fraction)`.
+fn scenarios(profile: Profile) -> Vec<(&'static str, Topology, f64)> {
+    let (racks, per_rack) = match profile {
+        Profile::Quick => (3, 4),
+        Profile::Full => (4, 8),
+    };
+    vec![
+        // Replication fan-out over the default 3:1 ToR / 2:1 spine fabric.
+        ("fanout", Topology::new(racks, per_rack), 0.0),
+        // Read-heavy incast on a thinner fabric: every fetched payload
+        // funnels through the hub rack's ToR downlink.
+        (
+            "incast",
+            Topology::new(racks, per_rack).with_oversubscription(6.0, 3.0),
+            0.5,
+        ),
+    ]
+}
+
+fn load_points(profile: Profile) -> &'static [f64] {
+    match profile {
+        Profile::Quick => &[10.0, 20.0],
+        Profile::Full => &[10.0, 20.0, 30.0],
+    }
+}
+
+fn run_point(
+    profile: Profile,
+    scenario: &'static str,
+    topo: &Topology,
+    read_fraction: f64,
+    offered_gbps: f64,
+) -> ScaleRow {
+    let mut cfg = windows(
+        profile,
+        RunConfig::saturating(Design::SmartDs { ports: 1 }),
+    );
+    cfg.seed = SCALE_SEED;
+    let horizon = cfg.warmup + cfg.measure;
+    let cfg = cfg
+        .with_topology(topo.clone())
+        .with_load(LoadSpec::rack_default(offered_gbps, horizon))
+        .with_admission(AdmissionSpec::new(48, 192));
+    let threads = simkit::env_threads();
+    let (report, cl, _stats) =
+        cluster::run_counted_stats(&cfg, |c| c.set_read_fraction(read_fraction), None);
+    let ss = cl.scale_stats();
+    ScaleRow {
+        scenario,
+        offered_gbps,
+        seed: SCALE_SEED,
+        threads,
+        throughput_gbps: report.throughput_gbps,
+        writes_done: report.writes_done,
+        stats_json: ss.to_json(),
+    }
+}
+
+/// Runs the scale sweep and prints per-class tail-latency tables.
+pub fn run(profile: Profile) -> Vec<ScaleRow> {
+    println!("scale: rack fabric, open-loop tenants, admission control ({profile:?} profile)");
+    let mut rows = Vec::new();
+    for (scenario, topo, read_fraction) in scenarios(profile) {
+        println!(
+            "  {scenario}: {}x{} servers, ToR {:.0} Gbps, spine {:.0} Gbps, reads {:.0}%",
+            topo.racks,
+            topo.servers_per_rack,
+            topo.tor_uplink_gbps,
+            topo.spine_gbps,
+            read_fraction * 100.0
+        );
+        println!(
+            "    {:>8} {:>9} {:>7} | per-class p99 µs (deferred/rejected)",
+            "offered", "achieved", "writes"
+        );
+        for &offered in load_points(profile) {
+            let row = run_point(profile, scenario, &topo, read_fraction, offered);
+            let ss = parse_p99(&row.stats_json);
+            println!(
+                "    {:>7.1}G {:>8.2}G {:>7} | {}",
+                row.offered_gbps, row.throughput_gbps, row.writes_done, ss
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Compact per-class summary for the console table, pulled back out of the
+/// rendered stats JSON (the structured data lives in the JSON itself).
+fn parse_p99(stats_json: &str) -> String {
+    let mut out = String::new();
+    let Ok(v) = simkit::json::parse(stats_json) else {
+        return out;
+    };
+    let Some(classes) = v.get("classes").and_then(|c| c.as_arr()) else {
+        return out;
+    };
+    for (c, obj) in classes.iter().enumerate() {
+        let num = |k: &str| obj.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&format!(
+            "c{c}:{:.0}({:.0}/{:.0})",
+            num("p99_us"),
+            num("deferred"),
+            num("rejected")
+        ));
+    }
+    out
+}
+
+/// Extracts the raw text of the `"key": [...]` array from rendered JSON by
+/// bracket counting, so it can be re-emitted verbatim (the tiny
+/// `simkit::json` writer has no value-to-text serializer).
+pub(crate) fn extract_array(text: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":");
+    let at = text.find(&tag)?;
+    let rest = &text[at + tag.len()..];
+    let open = rest.find('[')?;
+    let mut depth = 0usize;
+    for (i, ch) in rest[open..].char_indices() {
+        match ch {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[open..open + i + 1].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Merges the scale rows into the profile's `BENCH_PERF` file, keeping any
+/// `workloads` array the perf experiment already wrote there (and vice
+/// versa: `perf::write_json` preserves an existing `scale` array).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json(dir: &Path, profile: Profile, rows: &[ScaleRow]) -> std::io::Result<()> {
+    let path = dir.join(match profile {
+        Profile::Quick => "BENCH_PERF.quick.json",
+        Profile::Full => "BENCH_PERF.json",
+    });
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let workloads = extract_array(&existing, "workloads").unwrap_or_else(|| "[]".into());
+    let items: Vec<String> = rows.iter().map(ScaleRow::to_json).collect();
+    let text = Object::new()
+        .field(
+            "profile",
+            match profile {
+                Profile::Quick => "quick",
+                Profile::Full => "full",
+            },
+        )
+        .field_raw("workloads", &workloads)
+        .field_raw("scale", &array_raw(&items))
+        .finish();
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(text.as_bytes())?;
+    f.write_all(b"\n")?;
+    println!("  wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_helpers_round_trip() {
+        let txt = r#"{"profile":"quick","workloads":[{"a":1},{"b":[2,3]}],"scale":[]}"#;
+        assert_eq!(
+            extract_array(txt, "workloads").as_deref(),
+            Some(r#"[{"a":1},{"b":[2,3]}]"#)
+        );
+        assert_eq!(extract_array(txt, "scale").as_deref(), Some("[]"));
+        assert_eq!(extract_array("", "workloads"), None);
+        let summary =
+            parse_p99(r#"{"classes":[{"p99_us":12.0,"deferred":3,"rejected":1}]}"#);
+        assert_eq!(summary, "c0:12(3/1)");
+    }
+}

@@ -1,0 +1,265 @@
+//! SmartNIC-side admission control and backpressure for the open-loop
+//! tenant stream: bounded per-class in-flight windows with bounded
+//! per-class ingress queues behind them.
+//!
+//! A closed-loop driver self-limits; an open-loop tenant population does
+//! not. The middle-tier hub therefore bounds what it accepts: each of
+//! the 8 traffic classes gets an in-flight window (requests admitted into
+//! the datapath) and an ingress queue (arrivals waiting for a window
+//! slot). An arrival that finds both full is *rejected* — determinstically,
+//! no randomized early drop — so rejected/deferred counts are a pure
+//! function of the arrival and completion sequence. Completions release
+//! window slots and pull deferred arrivals through in FIFO order, which
+//! is what drains the backlog once load drops.
+//!
+//! This module owns only occupancy state; the cluster counts verdicts
+//! into its [`crate::Metrics`] so the warm-up reset applies to them.
+
+use crate::loadgen::CLASSES;
+use std::collections::VecDeque;
+
+/// Admission limits, applied per traffic class.
+#[derive(Copy, Clone, Debug)]
+pub struct AdmissionSpec {
+    /// In-flight window per class: requests admitted into the datapath.
+    pub in_flight: usize,
+    /// Ingress queue bound per class: arrivals deferred while the window
+    /// is full. Beyond this, arrivals are rejected.
+    pub queue: usize,
+}
+
+impl AdmissionSpec {
+    /// Limits of `in_flight` datapath slots and `queue` deferred slots
+    /// per class.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a zero in-flight window (nothing could ever be
+    /// admitted).
+    pub fn new(in_flight: usize, queue: usize) -> Self {
+        assert!(in_flight > 0, "in-flight window must be positive");
+        AdmissionSpec { in_flight, queue }
+    }
+}
+
+/// A deferred arrival waiting in an ingress queue.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Deferred {
+    /// Tenant id of the deferred arrival.
+    pub tenant: u64,
+    /// Its traffic class (== queue index; kept for symmetry).
+    pub class: u8,
+}
+
+/// Outcome of presenting one arrival to the admission stage.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// A window slot was free: issue now.
+    Admitted,
+    /// Window full, queue had room: parked; a later release pulls it.
+    Deferred,
+    /// Window and queue both full: shed, counted, never issued.
+    Rejected,
+}
+
+/// Per-class admission state for the hub.
+#[derive(Debug)]
+pub struct Admission {
+    spec: AdmissionSpec,
+    in_flight: [usize; CLASSES],
+    queues: [VecDeque<Deferred>; CLASSES],
+}
+
+impl Admission {
+    /// Empty admission state under `spec`.
+    pub fn new(spec: AdmissionSpec) -> Self {
+        Admission {
+            spec,
+            in_flight: [0; CLASSES],
+            queues: Default::default(),
+        }
+    }
+
+    /// The configured limits.
+    pub fn spec(&self) -> AdmissionSpec {
+        self.spec
+    }
+
+    /// Presents one arrival; occupies a window slot on [`Verdict::Admitted`]
+    /// or a queue slot on [`Verdict::Deferred`].
+    pub fn on_arrival(&mut self, tenant: u64, class: u8) -> Verdict {
+        let c = class as usize & (CLASSES - 1);
+        if self.in_flight[c] < self.spec.in_flight {
+            self.in_flight[c] += 1;
+            Verdict::Admitted
+        } else if self.queues[c].len() < self.spec.queue {
+            self.queues[c].push_back(Deferred { tenant, class });
+            Verdict::Deferred
+        } else {
+            Verdict::Rejected
+        }
+    }
+
+    /// Releases one window slot of `class` (a request completed or
+    /// terminally failed). Does *not* pull from the queue — callers
+    /// decide whether re-issue is still allowed (e.g. not after the
+    /// issue-stop boundary) via [`Admission::pop_ready`].
+    pub fn release(&mut self, class: u8) {
+        let c = class as usize & (CLASSES - 1);
+        assert!(self.in_flight[c] > 0, "release without admission, class {class}");
+        self.in_flight[c] -= 1;
+    }
+
+    /// Pulls the oldest deferred arrival of `class` into a free window
+    /// slot, if both exist.
+    pub fn pop_ready(&mut self, class: u8) -> Option<Deferred> {
+        let c = class as usize & (CLASSES - 1);
+        if self.in_flight[c] >= self.spec.in_flight {
+            return None;
+        }
+        let d = self.queues[c].pop_front()?;
+        self.in_flight[c] += 1;
+        Some(d)
+    }
+
+    /// Occupied window slots in `class`.
+    pub fn in_flight_in(&self, class: u8) -> usize {
+        self.in_flight[class as usize & (CLASSES - 1)]
+    }
+
+    /// Queued (deferred) arrivals in `class`.
+    pub fn queued_in(&self, class: u8) -> usize {
+        self.queues[class as usize & (CLASSES - 1)].len()
+    }
+
+    /// Total deferred arrivals across classes — the ingress backlog.
+    pub fn queued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testkit::gen;
+
+    #[test]
+    fn admit_defer_reject_in_order() {
+        let mut a = Admission::new(AdmissionSpec::new(2, 1));
+        assert_eq!(a.on_arrival(10, 3), Verdict::Admitted);
+        assert_eq!(a.on_arrival(11, 3), Verdict::Admitted);
+        assert_eq!(a.on_arrival(12, 3), Verdict::Deferred);
+        assert_eq!(a.on_arrival(13, 3), Verdict::Rejected);
+        // Other classes are independent.
+        assert_eq!(a.on_arrival(14, 0), Verdict::Admitted);
+        assert_eq!(a.in_flight_in(3), 2);
+        assert_eq!(a.queued_in(3), 1);
+        assert_eq!(a.queued(), 1);
+    }
+
+    #[test]
+    fn release_then_pop_pulls_fifo() {
+        let mut a = Admission::new(AdmissionSpec::new(1, 4));
+        assert_eq!(a.on_arrival(1, 5), Verdict::Admitted);
+        assert_eq!(a.on_arrival(2, 5), Verdict::Deferred);
+        assert_eq!(a.on_arrival(3, 5), Verdict::Deferred);
+        // No free slot: pop refuses.
+        assert_eq!(a.pop_ready(5), None);
+        a.release(5);
+        assert_eq!(a.pop_ready(5), Some(Deferred { tenant: 2, class: 5 }));
+        // The pop re-occupied the slot.
+        assert_eq!(a.pop_ready(5), None);
+        a.release(5);
+        assert_eq!(a.pop_ready(5), Some(Deferred { tenant: 3, class: 5 }));
+        a.release(5);
+        assert_eq!(a.pop_ready(5), None);
+        assert_eq!(a.queued(), 0);
+        assert_eq!(a.in_flight_in(5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without admission")]
+    fn release_without_admission_panics() {
+        Admission::new(AdmissionSpec::new(1, 1)).release(0);
+    }
+
+    // Satellite property: occupancy never exceeds the configured bounds,
+    // and verdict counts are a pure function of the operation sequence.
+    testkit::prop! {
+        cases = 48;
+        fn occupancy_never_exceeds_bounds(
+            seed in gen::u64s(..),
+            win in gen::u64s(1..=6),
+            q in gen::u64s(0..=6),
+            ops in gen::vecs(gen::u64s(..), 1..400)
+        ) {
+            let spec = AdmissionSpec::new(win as usize, q as usize);
+            let mut a = Admission::new(spec);
+            let mut b = Admission::new(spec);
+            let mut rng = simkit::Rng::new(seed);
+            let mut verdicts_a = Vec::new();
+            let mut verdicts_b = Vec::new();
+            for &op in &ops {
+                let class = (op % 8) as u8;
+                if rng.gen_bool(0.6) {
+                    verdicts_a.push(a.on_arrival(op, class));
+                    verdicts_b.push(b.on_arrival(op, class));
+                } else if a.in_flight_in(class) > 0 {
+                    a.release(class);
+                    b.release(class);
+                    let pa = a.pop_ready(class);
+                    assert_eq!(pa, b.pop_ready(class));
+                }
+                for c in 0..8u8 {
+                    assert!(a.in_flight_in(c) <= spec.in_flight, "window bound broken");
+                    assert!(a.queued_in(c) <= spec.queue, "queue bound broken");
+                }
+            }
+            // Same sequence → same verdicts: determinism by construction.
+            assert_eq!(verdicts_a, verdicts_b);
+        }
+    }
+
+    // Satellite property: backpressure drains fully once load stops —
+    // releasing everything in flight pulls every deferred arrival through.
+    testkit::prop! {
+        cases = 48;
+        fn backlog_drains_fully_after_load_drops(
+            arrivals in gen::vecs(gen::u64s(..), 1..300),
+            win in gen::u64s(1..=4),
+            q in gen::u64s(1..=8)
+        ) {
+            let spec = AdmissionSpec::new(win as usize, q as usize);
+            let mut a = Admission::new(spec);
+            let mut live = [0usize; 8];
+            for &t in &arrivals {
+                let c = (t % 8) as u8;
+                if a.on_arrival(t, c) == Verdict::Admitted {
+                    live[c as usize] += 1;
+                }
+            }
+            // Load drops to zero: complete everything, pulling deferred
+            // arrivals as slots free, exactly as the cluster does.
+            loop {
+                let mut progressed = false;
+                for c in 0..8u8 {
+                    if live[c as usize] > 0 {
+                        live[c as usize] -= 1;
+                        a.release(c);
+                        if a.pop_ready(c).is_some() {
+                            live[c as usize] += 1;
+                        }
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            assert_eq!(a.queued(), 0, "stranded deferred arrivals");
+            for c in 0..8u8 {
+                assert_eq!(a.in_flight_in(c), 0, "stranded in-flight slot");
+            }
+        }
+    }
+}

@@ -10,20 +10,23 @@
 //! histograms, and per-resource bandwidths are collected over a
 //! post-warm-up measurement window.
 
+use crate::admission::{Admission, Verdict};
 use crate::design::{Design, RunConfig};
 use crate::fabric::{res_route, Fabric, FluidKey};
-use crate::metrics::{Metrics, RunReport};
+use crate::loadgen::LoadGen;
+use crate::metrics::{Metrics, RunReport, ScaleStats};
 use crate::plan::{read_plan, write_plan_replicated, Plan, Res, Step};
 use crate::qos::TokenBucket;
+use crate::topology::{class_weight, TopoLink, Topology};
 use crate::workload::Workload;
 use blockstore::{QuorumTracker, ReplicaSelector, Scrubber, ServerId, StorageServer, StoredBlock};
 use faultkit::{FaultKind, LinkTarget};
-use hwmodel::consts::{NET_PROPAGATION, PCIE_PROPAGATION};
+use hwmodel::consts::{HEADER_SIZE, NET_PROPAGATION, PCIE_PROPAGATION};
 use blockstore::DiskModel;
 use hwmodel::{CompressEngine, CpuPool, CpuWork, MlcInjector};
 use simkit::{
-    EngineStats, FlowSpec, Scheduler, ShardWorld, ShardedSim, Time, WakeCoalescer,
-    World,
+    EngineStats, FlowSpec, FluidResource, Scheduler, ShardWorld, ShardedSim, Time,
+    WakeCoalescer, World,
 };
 use std::collections::BTreeMap;
 use tracekit::{SegmentAccum, SpanId, StageKind, TraceId, Tracer};
@@ -85,6 +88,18 @@ pub enum Ev {
     ReqTimeout(u32, u32),
     /// Backoff elapsed: re-issue a timed-out request.
     Retry(Box<RetryTicket>),
+    /// Rack-fabric fluid wakeup (link slab index, epoch at arming time,
+    /// coalescer serial identifying the armed sentinel).
+    TopoWake(u16, u64, u64),
+    /// A rack-fabric link's capacity is scaled to the given fraction of
+    /// nominal (0.0 = killed, 1.0 = restored).
+    TopoFault(u16, f64),
+    /// Open-loop tenant arrival from the seeded load generator
+    /// `(tenant rank, traffic class)`.
+    TenantArrival(u64, u8),
+    /// Deferred issue of a classed request (tenant-bucket pacing or a
+    /// fail-over stall) for client slot `slot` at traffic class `class`.
+    IssueClass(u32, u8),
     /// Periodic snapshot maintenance tick.
     SnapshotTick,
     /// Periodic throughput sample (transient visualisation).
@@ -109,6 +124,10 @@ struct InFlight {
     issued_at: Time,
     slot: u32,
     is_read: bool,
+    /// Traffic class (0 = most latency-sensitive … 7 = bulk). Closed-loop
+    /// and Poisson drivers issue everything at class 0; the tenant load
+    /// generator maps tenants onto all 8.
+    class: u8,
     /// Quorum-tracker id of this attempt (fresh per retry).
     request_id: u64,
     /// How many timeouts this logical request has already eaten.
@@ -136,6 +155,8 @@ pub struct RetryTicket {
     attempt: u32,
     first_issued_at: Time,
     is_read: bool,
+    /// Traffic class; retries keep the class they were admitted under.
+    class: u8,
     /// Trace identity survives retries: every attempt of a logical request
     /// lands under the same root span, so a trace shows the whole story.
     trace: TraceId,
@@ -163,6 +184,9 @@ pub struct StoreMsg {
     depth: u32,
     /// How many fail-over redirects this RPC has already taken.
     redirects: u8,
+    /// Traffic class of the issuing request: rack-fabric links schedule
+    /// this RPC's bytes under the class's weight.
+    class: u8,
     // Boxed to keep `Ev` small: every event the binary heap moves pays
     // for the largest variant, and the payload rides along on only two
     // hops of the RPC.
@@ -193,6 +217,9 @@ pub struct AckMsg {
     outcome: AckOutcome,
     depth: u32,
     redirects: u8,
+    /// Traffic class, copied from the RPC so the ack's return hops are
+    /// scheduled under the same weight.
+    class: u8,
 }
 
 /// Admission window in front of host memory: the I/O path acts as one
@@ -202,6 +229,65 @@ pub struct AckMsg {
 struct MemGate {
     active: usize,
     queue: std::collections::VecDeque<(f64, u8, u64)>,
+}
+
+/// A storage RPC (or its ack) in transit across the rack fabric.
+#[derive(Debug)]
+enum TopoPayload {
+    /// Hub → server: a store or fetch RPC.
+    Out(StoreMsg),
+    /// Server → hub: the RPC's ack.
+    In(AckMsg),
+}
+
+/// One message working its way through its hop sequence of fabric links.
+#[derive(Debug)]
+struct TopoTransfer {
+    payload: TopoPayload,
+    /// Link slab indices of the remaining path ([`TopoLink::index`]).
+    hops: [u16; 3],
+    nhops: u8,
+    /// Next entry of `hops` to traverse (the flow currently in the air is
+    /// `hops[hop]`).
+    hop: u8,
+    /// Wire bytes (payload for stores/fetched data, header otherwise).
+    bytes: u32,
+    class: u8,
+}
+
+/// The rack-scale fabric: ToR and spine fluid links (hub-owned — storage
+/// RPCs serialize through them before the cross-shard hand-off, so the
+/// shard engine's lookahead still covers the residual propagation).
+#[derive(Debug)]
+struct TopoNet {
+    /// Fluid links indexed by [`TopoLink::index`].
+    links: Vec<FluidResource>,
+    /// Per-link wakeup coalescers, mirroring the fabric's.
+    coal: Vec<WakeCoalescer>,
+    /// Bitmask of links touched since the last arming pass.
+    touched: u64,
+    /// In-transit messages keyed by transfer token.
+    transfers: BTreeMap<u64, TopoTransfer>,
+    next_tok: u64,
+}
+
+impl TopoNet {
+    fn new(t: &Topology) -> TopoNet {
+        let n = TopoLink::count(t.racks);
+        assert!(n <= 64, "topo touched bitmask holds at most 64 links");
+        TopoNet {
+            links: (0..n)
+                .map(|i| {
+                    let l = TopoLink::from_index(i);
+                    FluidResource::new(l.name(), t.capacity(l))
+                })
+                .collect(),
+            coal: (0..n).map(|_| WakeCoalescer::new()).collect(),
+            touched: 0,
+            transfers: BTreeMap::new(),
+            next_tok: 0,
+        }
+    }
 }
 
 /// The simulated cluster (a [`simkit::World`]).
@@ -268,6 +354,12 @@ pub struct Cluster {
     in_flight: usize,
     /// Arrivals shed because the overload cap was reached (open loop only).
     pub dropped: u64,
+    /// Rack-scale fabric links (present iff `cfg.topology` is set).
+    topo: Option<TopoNet>,
+    /// Seeded open-loop tenant load generator (present iff `cfg.load`).
+    loadgen: Option<LoadGen>,
+    /// SmartNIC-side admission control (present iff `cfg.admission`).
+    admission: Option<Admission>,
     /// `shardsan` ownership tag: every hub structure above is shard 0
     /// state once the cluster is split (`split_for_shards`), and
     /// `Cluster::handle` checks the tag before touching any of it.
@@ -328,14 +420,35 @@ impl Cluster {
                 .map(|_| CompressEngine::smartds("smartds-engine"))
                 .collect(),
         };
-        let disks = (0..STORAGE_SERVERS)
+        let num_servers = cfg
+            .topology
+            .as_ref()
+            .map(Topology::num_servers)
+            .unwrap_or(STORAGE_SERVERS);
+        assert!(
+            cfg.replication <= num_servers,
+            "replication factor exceeds the server count"
+        );
+        assert!(
+            cfg.load.is_none() || cfg.open_loop_gbps.is_none(),
+            "the tenant load generator and open_loop_gbps are mutually exclusive drivers"
+        );
+        assert!(
+            cfg.admission.is_none() || cfg.load.is_some(),
+            "admission control requires the open-loop tenant load generator"
+        );
+        assert!(
+            cfg.topo_faults.is_empty() || cfg.topology.is_some(),
+            "topo faults require a topology"
+        );
+        let disks = (0..num_servers)
             .map(|_| DiskModel::nvme("storage-disk"))
             .collect();
-        let servers = (0..STORAGE_SERVERS)
+        let servers = (0..num_servers)
             .map(|i| StorageServer::new(ServerId(i as u32), COMPACTION_THRESHOLD))
             .collect();
         let selector =
-            ReplicaSelector::new((0..STORAGE_SERVERS as u32).map(ServerId).collect());
+            ReplicaSelector::new((0..num_servers as u32).map(ServerId).collect());
         let mut workload = Workload::new(hwmodel::consts::BLOCK_SIZE, cfg.pool_blocks, cfg.seed);
         if let Some(theta) = cfg.zipf_theta {
             workload.set_zipf(theta);
@@ -351,9 +464,9 @@ impl Cluster {
             engines,
             disks,
             servers,
-            store_pending: (0..STORAGE_SERVERS).map(|_| BTreeMap::new()).collect(),
+            store_pending: (0..num_servers).map(|_| BTreeMap::new()).collect(),
             remote: false,
-            num_servers: STORAGE_SERVERS,
+            num_servers,
             selector,
             workload,
             metrics: Metrics::default(),
@@ -382,6 +495,9 @@ impl Cluster {
             samples: Vec::new(),
             in_flight: 0,
             dropped: 0,
+            topo: cfg.topology.as_ref().map(TopoNet::new),
+            loadgen: cfg.load.clone().map(|s| LoadGen::new(s, cfg.seed)),
+            admission: cfg.admission.map(Admission::new),
             // The hub is shard 0 by construction (`split_for_shards`).
             tag: simkit::ShardTag::new(0),
             shardsan_probe: None,
@@ -466,6 +582,170 @@ impl Cluster {
                     None => sched.schedule_at(e.at, Ev::Wake(key, e.epoch, e.serial)),
                 }
             }
+        }
+    }
+
+    /// Mirrors [`arm_touched`](Self::arm_touched) for the rack-fabric
+    /// links: one coalesced wakeup per touched link.
+    fn arm_topo(&mut self, sched: &mut Scheduler<Ev>) {
+        let Some(tn) = self.topo.as_mut() else {
+            return;
+        };
+        let mut bits = std::mem::take(&mut tn.touched);
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let want = tn.links[i].next_wake().map(|at| at.max(sched.now()));
+            let epoch = tn.links[i].epoch();
+            let (a, b) = tn.coal[i].arm(want, epoch, || sched.reserve_seq());
+            for e in [a, b].into_iter().flatten() {
+                match e.seq {
+                    Some(seq) => {
+                        sched.schedule_at_seq(e.at, seq, Ev::TopoWake(i as u16, e.epoch, e.serial))
+                    }
+                    None => sched.schedule_at(e.at, Ev::TopoWake(i as u16, e.epoch, e.serial)),
+                }
+            }
+        }
+    }
+
+    /// Hub ↔ `server` propagation delay: the topology's path latency when a
+    /// fabric is configured, the flat wire constant otherwise. Never below
+    /// the engine lookahead ([`RunConfig::lookahead`] is the minimum over
+    /// all servers), so cross-shard sends at this delay are always legal.
+    fn rpc_latency(&self, server: u32) -> Time {
+        match &self.cfg.topology {
+            Some(t) => t.rpc_latency(server as usize),
+            None => STORAGE_LOOKAHEAD,
+        }
+    }
+
+    /// The link hop sequence a message to/from `server` serializes through
+    /// (empty for in-rack traffic, which only pays propagation).
+    fn topo_hops(&self, server: u32, inbound: bool) -> ([u16; 3], u8) {
+        let Some(t) = &self.cfg.topology else {
+            return ([0; 3], 0);
+        };
+        if !t.cross_rack(server as usize) {
+            return ([0; 3], 0);
+        }
+        let r = t.rack_of(server as usize) as u16;
+        let mut hops = [0u16; 3];
+        let mut n = 0u8;
+        let path: [Option<TopoLink>; 3] = if inbound {
+            [
+                Some(TopoLink::RackUp(r)),
+                Some(TopoLink::SpineDown),
+                t.hub_rack.map(|_| TopoLink::HubDown),
+            ]
+        } else {
+            [
+                t.hub_rack.map(|_| TopoLink::HubUp),
+                Some(TopoLink::SpineUp),
+                Some(TopoLink::RackDown(r)),
+            ]
+        };
+        for l in path.into_iter().flatten() {
+            hops[n as usize] = l.index() as u16;
+            n += 1;
+        }
+        (hops, n)
+    }
+
+    /// Puts a storage RPC (or its ack) onto the rack fabric: in-rack
+    /// traffic delivers directly, cross-rack traffic serializes through
+    /// its hop sequence under the class's weight.
+    fn topo_launch(&mut self, payload: TopoPayload, sched: &mut Scheduler<Ev>) {
+        let (server, bytes, class) = match &payload {
+            TopoPayload::Out(m) => (
+                m.server,
+                if m.payload.is_some() { m.bytes } else { HEADER_SIZE as u32 },
+                m.class,
+            ),
+            TopoPayload::In(a) => (
+                a.server,
+                if matches!(a.outcome, AckOutcome::Fetched) {
+                    a.bytes
+                } else {
+                    HEADER_SIZE as u32
+                },
+                a.class,
+            ),
+        };
+        let inbound = matches!(payload, TopoPayload::In(_));
+        let (hops, nhops) = self.topo_hops(server, inbound);
+        if nhops == 0 {
+            self.topo_deliver(payload, sched);
+            return;
+        }
+        let now = sched.now();
+        let Some(tn) = self.topo.as_mut() else {
+            // No fabric (flat cluster): nothing serializes.
+            return self.topo_deliver(payload, sched);
+        };
+        let tok = tn.next_tok;
+        tn.next_tok += 1;
+        let first = hops[0] as usize;
+        tn.links[first].start_flow(
+            now,
+            bytes.max(1) as f64,
+            FlowSpec::new().class(class & 7).weight(class_weight(class)),
+            tok,
+        );
+        tn.touched |= 1u64 << first;
+        tn.transfers.insert(
+            tok,
+            TopoTransfer { payload, hops, nhops, hop: 0, bytes, class },
+        );
+    }
+
+    /// A message cleared its last fabric hop: hand it to its destination
+    /// after the path's propagation delay (RPCs) or account it (acks).
+    fn topo_deliver(&mut self, payload: TopoPayload, sched: &mut Scheduler<Ev>) {
+        match payload {
+            TopoPayload::Out(msg) => {
+                let d = self.rpc_latency(msg.server);
+                if self.remote {
+                    sched.send(1 + msg.server, d, Ev::StoreArrive(msg));
+                } else {
+                    sched.schedule_in(d, Ev::StoreArrive(msg));
+                }
+            }
+            TopoPayload::In(ack) => self.store_ack(ack, sched),
+        }
+    }
+
+    /// Processes completions on fabric link `link`: advance each finished
+    /// transfer to its next hop, or deliver it.
+    fn topo_drain(&mut self, link: usize, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let mut deliveries = Vec::new();
+        if let Some(tn) = self.topo.as_mut() {
+            tn.links[link].sync(now);
+            let done = tn.links[link].take_completed();
+            tn.touched |= 1u64 << link;
+            for end in done {
+                let Some(mut tr) = tn.transfers.remove(&end.token) else {
+                    continue;
+                };
+                tr.hop += 1;
+                if tr.hop < tr.nhops {
+                    let nxt = tr.hops[tr.hop as usize] as usize;
+                    tn.links[nxt].start_flow(
+                        now,
+                        tr.bytes.max(1) as f64,
+                        FlowSpec::new().class(tr.class & 7).weight(class_weight(tr.class)),
+                        end.token,
+                    );
+                    tn.touched |= 1u64 << nxt;
+                    tn.transfers.insert(end.token, tr);
+                } else {
+                    deliveries.push(tr.payload);
+                }
+            }
+        }
+        for p in deliveries {
+            self.topo_deliver(p, sched);
         }
     }
 
@@ -663,7 +943,7 @@ impl Cluster {
                     return;
                 }
                 Step::Store(r, bytes) => {
-                    let (pool_idx, b, chunk_key, block, server) = {
+                    let (pool_idx, b, chunk_key, block, server, class) = {
                         let req = self.reqs[key as usize].as_ref().unwrap();
                         (
                             req.pool_idx,
@@ -671,6 +951,7 @@ impl Cluster {
                             req.chunk_key,
                             req.block,
                             req.replicas[r as usize],
+                            req.class,
                         )
                     };
                     self.open_step_span(
@@ -695,6 +976,7 @@ impl Cluster {
                         bytes,
                         depth: 0,
                         redirects: 0,
+                        class,
                         payload: Some(Box::new(StorePayload {
                             chunk_key,
                             block,
@@ -705,9 +987,9 @@ impl Cluster {
                     return;
                 }
                 Step::Fetch(bytes) => {
-                    let server = {
+                    let (server, class) = {
                         let req = self.reqs[key as usize].as_ref().unwrap();
-                        req.replicas[0]
+                        (req.replicas[0], req.class)
                     };
                     self.open_step_span(
                         key,
@@ -723,6 +1005,7 @@ impl Cluster {
                         bytes,
                         depth: 0,
                         redirects: 0,
+                        class,
                         payload: None,
                     };
                     self.send_store(msg, sched);
@@ -760,7 +1043,11 @@ impl Cluster {
     /// same wire-propagation delay sequentially. The delay equals the
     /// engine's conservative lookahead, so the sharded send is always legal.
     fn send_store(&mut self, msg: StoreMsg, sched: &mut Scheduler<Ev>) {
-        if self.remote {
+        if self.topo.is_some() {
+            // Rack fabric: serialize through the ToR/spine hop sequence
+            // first; propagation is charged at delivery.
+            self.topo_launch(TopoPayload::Out(msg), sched);
+        } else if self.remote {
             sched.send(1 + msg.server, STORAGE_LOOKAHEAD, Ev::StoreArrive(msg));
         } else {
             sched.schedule_in(STORAGE_LOOKAHEAD, Ev::StoreArrive(msg));
@@ -841,6 +1128,7 @@ impl Cluster {
                             bytes: ack.bytes,
                             depth: 0,
                             redirects: 1,
+                            class: ack.class,
                             payload: Some(Box::new(StorePayload {
                                 chunk_key,
                                 block,
@@ -888,6 +1176,7 @@ impl Cluster {
                 attempt: req.attempt + 1,
                 first_issued_at: req.issued_at,
                 is_read: req.is_read,
+                class: req.class,
                 trace: req.trace,
                 root: req.root,
                 seg: req.seg,
@@ -898,6 +1187,9 @@ impl Cluster {
         self.free.push(key);
         let now = sched.now();
         let latency = now - req.issued_at;
+        if self.loadgen.is_some() {
+            self.metrics.record_class(req.class, latency);
+        }
         if req.is_read {
             self.metrics.read_latency.record(latency);
         } else {
@@ -919,11 +1211,37 @@ impl Cluster {
         self.metrics.ops.add(now, 1.0);
         self.tracer.span_close(req.root, now);
         self.in_flight -= 1;
+        self.admission_release(req.class, sched);
         // Closed loop: the slot immediately issues its next request.
-        // Open loop: arrivals are driven by the Poisson process instead.
-        if self.cfg.open_loop_gbps.is_none() && now < self.stop_issuing_at {
+        // Open loop (Poisson or tenant generator): arrivals drive issue.
+        if self.cfg.open_loop_gbps.is_none()
+            && self.cfg.load.is_none()
+            && now < self.stop_issuing_at
+        {
             let think = Time::from_ps(self.workload.think_ps(1.0));
             sched.schedule_in(think, Ev::Issue(req.slot));
+        }
+    }
+
+    /// Releases the admission window slot a completed (or terminally
+    /// failed) request held, pulling the oldest deferred arrival of the
+    /// class through while issuing is still allowed.
+    fn admission_release(&mut self, class: u8, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let popped = match self.admission.as_mut() {
+            None => None,
+            Some(adm) => {
+                adm.release(class);
+                if now < self.stop_issuing_at {
+                    adm.pop_ready(class)
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(d) = popped {
+            let slot = (self.issued % u32::MAX as u64) as u32;
+            self.issue_with(slot, d.class, sched);
         }
     }
 
@@ -949,6 +1267,10 @@ impl Cluster {
     }
 
     fn issue(&mut self, slot: u32, sched: &mut Scheduler<Ev>) {
+        self.issue_with(slot, 0, sched);
+    }
+
+    fn issue_with(&mut self, slot: u32, class: u8, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
         if now >= self.stop_issuing_at {
             return;
@@ -958,13 +1280,13 @@ impl Cluster {
             if let Err(ready_at) = self.tenant_buckets[tenant]
                 .admit(now, hwmodel::consts::BLOCK_SIZE as u64)
             {
-                sched.schedule_at(ready_at.max(now), Ev::Issue(slot));
+                sched.schedule_at(ready_at.max(now), Ev::IssueClass(slot, class));
                 return;
             }
         }
         let Some(replicas) = self.selector.choose(self.cfg.replication) else {
             // Not enough healthy servers: retry shortly (fail-over stall).
-            sched.schedule_in(Time::from_us(100.0), Ev::Issue(slot));
+            sched.schedule_in(Time::from_us(100.0), Ev::IssueClass(slot, class));
             return;
         };
         let w = self.workload.next_write();
@@ -992,11 +1314,45 @@ impl Cluster {
             attempt: 0,
             first_issued_at: now,
             is_read,
+            class,
             trace,
             root,
             seg: SegmentAccum::start(now),
         };
         self.spawn_attempt(replicas, ticket, sched);
+    }
+
+    /// One arrival from the seeded tenant load generator: chain the next
+    /// arrival, then run the admission stage and issue/defer/shed.
+    fn tenant_arrival(&mut self, tenant: u64, class: u8, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        if now >= self.stop_issuing_at {
+            return;
+        }
+        // Schedule the next arrival first (the open-loop stream never
+        // reacts to service state).
+        if let Some(lg) = self.loadgen.as_mut() {
+            let next = lg.next_arrival();
+            if next.at < self.stop_issuing_at {
+                sched.schedule_at(next.at, Ev::TenantArrival(next.tenant, next.class));
+            }
+        }
+        if self.in_flight >= Self::OPEN_LOOP_CAP {
+            self.dropped += 1;
+            return;
+        }
+        let verdict = match self.admission.as_mut() {
+            None => Verdict::Admitted,
+            Some(adm) => adm.on_arrival(tenant, class),
+        };
+        match verdict {
+            Verdict::Admitted => {
+                let slot = (self.issued % u32::MAX as u64) as u32;
+                self.issue_with(slot, class, sched);
+            }
+            Verdict::Deferred => self.metrics.admit_deferred[class as usize & 7] += 1,
+            Verdict::Rejected => self.metrics.admit_rejected[class as usize & 7] += 1,
+        }
     }
 
     /// Launches one attempt of a request (fresh issue or retry): allocates
@@ -1056,6 +1412,7 @@ impl Cluster {
             issued_at: ticket.first_issued_at,
             slot: ticket.slot,
             is_read: ticket.is_read,
+            class: ticket.class,
             request_id,
             attempt: ticket.attempt,
             trace: ticket.trace,
@@ -1085,7 +1442,11 @@ impl Cluster {
             self.tracer
                 .instant(ticket.trace, ticket.root, StageKind::Abort, "write-failed", 0, now);
             self.tracer.span_close(ticket.root, now);
-            if self.cfg.open_loop_gbps.is_none() && now < self.stop_issuing_at {
+            self.admission_release(ticket.class, sched);
+            if self.cfg.open_loop_gbps.is_none()
+                && self.cfg.load.is_none()
+                && now < self.stop_issuing_at
+            {
                 let think = Time::from_ps(self.workload.think_ps(1.0));
                 sched.schedule_in(think, Ev::Issue(ticket.slot));
             }
@@ -1148,6 +1509,7 @@ impl Cluster {
             attempt: req.attempt + 1,
             first_issued_at: req.issued_at,
             is_read: req.is_read,
+            class: req.class,
             trace: req.trace,
             root: req.root,
             seg: req.seg,
@@ -1294,7 +1656,18 @@ impl Cluster {
         for i in 0..FluidKey::count(self.cfg.design.ports()) {
             self.drain_fluid(FluidKey::from_index(i), sched);
         }
+        let topo_links = self.topo.as_ref().map(|t| t.links.len()).unwrap_or(0);
+        for i in 0..topo_links {
+            self.topo_drain(i, sched);
+        }
         self.pump(sched);
+    }
+
+    /// Per-class tail-latency and admission summary for open-loop tenant
+    /// runs (empty classes report zeros).
+    pub fn scale_stats(&self) -> ScaleStats {
+        let backlog = self.admission.as_ref().map(|a| a.queued() as u64).unwrap_or(0);
+        ScaleStats::build(&self.metrics, backlog, self.dropped)
     }
 }
 
@@ -1360,11 +1733,17 @@ impl World for Cluster {
                     &mut self.store_pending[srv as usize],
                     tok,
                 ) {
-                    sched.schedule_in(STORAGE_LOOKAHEAD, Ev::StoreAck(ack));
+                    let wire = self.rpc_latency(srv);
+                    sched.schedule_in(wire, Ev::StoreAck(ack));
                 }
             }
             Ev::StoreAck(ack) => {
-                self.store_ack(ack, sched);
+                if self.topo.is_some() {
+                    // The return path serializes through the fabric too.
+                    self.topo_launch(TopoPayload::In(ack), sched);
+                } else {
+                    self.store_ack(ack, sched);
+                }
             }
             Ev::GlobalScrub(_) | Ev::GlobalSnapshot => {
                 // Barrier operations: executed by `ClusterShard::handle_global`
@@ -1377,8 +1756,47 @@ impl World for Cluster {
             Ev::Issue(slot) => {
                 self.issue(slot, sched);
             }
+            Ev::IssueClass(slot, class) => {
+                self.issue_with(slot, class, sched);
+            }
             Ev::Arrival => {
                 self.arrival(sched);
+            }
+            Ev::TenantArrival(tenant, class) => {
+                self.tenant_arrival(tenant, class, sched);
+            }
+            Ev::TopoWake(i, epoch, serial) => {
+                let idx = i as usize;
+                let mut stale = true;
+                if let Some(tn) = self.topo.as_mut() {
+                    let current = tn.links[idx].epoch();
+                    if let Some(e) = tn.coal[idx].on_delivery(serial, current) {
+                        let Some(seq) = e.seq else {
+                            unreachable!("materialized wakes always carry a reserved seq")
+                        };
+                        sched.schedule_at_seq(e.at, seq, Ev::TopoWake(i, e.epoch, e.serial));
+                    }
+                    stale = current != epoch;
+                }
+                if !stale {
+                    self.topo_drain(idx, sched);
+                    self.pump(sched);
+                }
+            }
+            Ev::TopoFault(i, frac) => {
+                if self.topo.is_some() {
+                    let now = sched.now();
+                    if self.tracer.enabled() {
+                        let name = TopoLink::from_index(i as usize).name();
+                        self.tracer.fault_mark(now, format!("topo-link {name} x{frac:.2}"));
+                    }
+                    if let Some(tn) = self.topo.as_mut() {
+                        tn.links[i as usize].set_capacity_frac(now, frac.clamp(0.0, 1.0));
+                        tn.touched |= 1u64 << i;
+                    }
+                    self.topo_drain(i as usize, sched);
+                    self.pump(sched);
+                }
             }
             Ev::ServerAlive(i, alive) => {
                 if self.tracer.enabled() {
@@ -1455,6 +1873,7 @@ impl World for Cluster {
             }
         }
         self.arm_touched(sched);
+        self.arm_topo(sched);
     }
 }
 
@@ -1506,6 +1925,7 @@ fn store_finish(
         outcome,
         depth: msg.depth,
         redirects: msg.redirects,
+        class: msg.class,
     })
 }
 
@@ -1519,6 +1939,10 @@ pub struct StoreShard {
     disk: DiskModel,
     server: StorageServer,
     pending: BTreeMap<u64, StoreMsg>,
+    /// Ack propagation back to the hub: this server's topology path
+    /// latency (the flat wire constant without a topology). Always ≥ the
+    /// engine lookahead, which is the minimum over all servers.
+    wire: Time,
     /// `shardsan` ownership tag: this disk/chunk-store/RPC-table trio is
     /// shard `1 + id` state, checked on every handled event.
     tag: simkit::ShardTag,
@@ -1541,7 +1965,7 @@ impl World for StoreShard {
                     sched.schedule_at(next.finish_at, Ev::StoreDiskDone(self.id, next.token));
                 }
                 if let Some(ack) = store_finish(&mut self.server, &mut self.pending, tok) {
-                    sched.send(0, STORAGE_LOOKAHEAD, Ev::StoreAck(ack));
+                    sched.send(0, self.wire, Ev::StoreAck(ack));
                 }
             }
             Ev::ServerAlive(_, alive) => {
@@ -1667,16 +2091,20 @@ impl Cluster {
         let disks = std::mem::take(&mut self.disks);
         let servers = std::mem::take(&mut self.servers);
         let pending = std::mem::take(&mut self.store_pending);
+        let wires: Vec<Time> = (0..disks.len())
+            .map(|i| self.rpc_latency(i as u32))
+            .collect();
         let mut shards: Vec<ClusterShard> = Vec::with_capacity(1 + disks.len());
         shards.push(ClusterShard::Hub(Box::new(self)));
-        for (i, ((disk, server), pending)) in
-            disks.into_iter().zip(servers).zip(pending).enumerate()
+        for (i, (((disk, server), pending), wire)) in
+            disks.into_iter().zip(servers).zip(pending).zip(wires).enumerate()
         {
             shards.push(ClusterShard::Store(StoreShard {
                 id: i as u32,
                 disk,
                 server,
                 pending,
+                wire,
                 tag: simkit::ShardTag::new(1 + i as u32),
             }));
         }
@@ -1784,7 +2212,13 @@ pub fn run_counted_stats(
     let faults = cfg.faults.clone();
     let plan = cfg.fault_plan.clone();
     let num_servers = cluster.num_servers;
-    let mut sim = ShardedSim::new(cluster.split_for_shards(), STORAGE_LOOKAHEAD);
+    // The first tenant arrival is drawn before the hub moves into its
+    // shard, so the schedule is identical at every thread count.
+    let first_arrival = cluster.loadgen.as_mut().map(|lg| lg.next_arrival());
+    // Lookahead follows the topology: the minimum hub↔server path latency
+    // (the flat wire constant without one).
+    let lookahead = cfg.lookahead();
+    let mut sim = ShardedSim::new(cluster.split_for_shards(), lookahead);
     if let Some(t) = threads {
         sim = sim.with_threads(t);
     }
@@ -1805,13 +2239,19 @@ pub fn run_counted_stats(
             sim.schedule_at(s, e.at, Ev::Fault(e.kind));
         }
     }
+    for (at, link, frac) in cfg.topo_faults.clone() {
+        sim.schedule_at(0, at, Ev::TopoFault(link.index() as u16, frac));
+    }
     if let Some(period) = cfg.snapshot_period {
         sim.schedule_at(0, period, Ev::SnapshotTick);
     }
     if let Some(period) = cfg.sample_period {
         sim.schedule_at(0, period, Ev::SampleTick);
     }
-    if cfg.open_loop_gbps.is_some() {
+    if let Some(a) = first_arrival {
+        // Open loop, tenant generator: seeded arrivals drive issue.
+        sim.schedule_at(0, a.at.max(Time::from_ps(1)), Ev::TenantArrival(a.tenant, a.class));
+    } else if cfg.open_loop_gbps.is_some() {
         // Open loop: a single Poisson arrival process drives issue.
         sim.schedule_at(0, Time::from_ps(1), Ev::Arrival);
     } else {

@@ -146,6 +146,20 @@ pub struct RunConfig {
     /// sampling seeded by `seed`), `None` leaves tracing off with zero
     /// overhead. See `tracekit`.
     pub trace: Option<tracekit::TraceConfig>,
+    /// Rack-scale fabric, if any: racks × servers behind oversubscribed
+    /// ToR/spine links. `None` keeps the paper's single-cell testbed
+    /// (`cluster::STORAGE_SERVERS` servers, flat 1.5 µs wire).
+    pub topology: Option<crate::topology::Topology>,
+    /// Open-loop multi-tenant load generator, if any. Replaces both the
+    /// closed loop and `open_loop_gbps` (setting both is rejected).
+    pub load: Option<crate::loadgen::LoadSpec>,
+    /// SmartNIC-side admission control for the open-loop stream; only
+    /// meaningful together with `load`.
+    pub admission: Option<crate::admission::AdmissionSpec>,
+    /// Fabric-link fault schedule: at each `(time, link, fraction)` the
+    /// topology link's capacity is scaled to `fraction` of nominal
+    /// (0.0 = killed, 1.0 = restored). Requires `topology`.
+    pub topo_faults: Vec<(simkit::Time, crate::topology::TopoLink, f64)>,
 }
 
 impl RunConfig {
@@ -193,6 +207,10 @@ impl RunConfig {
             sample_period: None,
             replication: hwmodel::consts::REPLICATION,
             trace: None,
+            topology: None,
+            load: None,
+            admission: None,
+            topo_faults: Vec::new(),
         }
     }
 
@@ -276,6 +294,52 @@ impl RunConfig {
         self.replication = replication;
         self
     }
+
+    /// Places the cluster on a rack-scale fabric (replaces the flat
+    /// single-cell wire; the server count becomes
+    /// `topology.num_servers()`).
+    pub fn with_topology(mut self, topology: crate::topology::Topology) -> Self {
+        topology.validate();
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Drives the cluster with the seeded open-loop multi-tenant
+    /// generator (replaces the closed loop).
+    pub fn with_load(mut self, load: crate::loadgen::LoadSpec) -> Self {
+        load.validate();
+        self.load = Some(load);
+        self
+    }
+
+    /// Enables SmartNIC-side admission control over the open-loop stream.
+    pub fn with_admission(mut self, spec: crate::admission::AdmissionSpec) -> Self {
+        self.admission = Some(spec);
+        self
+    }
+
+    /// Scales a fabric link's capacity to `fraction` of nominal at `at`
+    /// (0.0 kills the link; schedule a later 1.0 to restore it).
+    pub fn with_topo_fault(
+        mut self,
+        at: simkit::Time,
+        link: crate::topology::TopoLink,
+        fraction: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        self.topo_faults.push((at, link, fraction));
+        self
+    }
+
+    /// The conservative lookahead window this configuration yields for
+    /// the sharded engine: the topology's minimum hub↔server propagation,
+    /// or the flat single-cell wire latency without one.
+    pub fn lookahead(&self) -> simkit::Time {
+        match &self.topology {
+            Some(t) => t.min_rpc_latency(),
+            None => hwmodel::consts::NET_PROPAGATION,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +366,19 @@ mod tests {
     #[should_panic(expected = "SmartDS supports")]
     fn invalid_port_count_panics() {
         Design::SmartDs { ports: 7 }.validate();
+    }
+
+    #[test]
+    fn lookahead_tracks_topology_latencies() {
+        let cfg = RunConfig::saturating(Design::SmartDs { ports: 1 });
+        assert_eq!(cfg.lookahead(), hwmodel::consts::NET_PROPAGATION);
+        let topo = crate::topology::Topology::new(3, 2)
+            .with_latencies(simkit::Time::from_us(0.4), simkit::Time::from_us(2.0));
+        let cfg = cfg.with_topology(topo);
+        // The min-latency scan picks the in-rack ToR hop, not the flat
+        // default and not the longer cross-rack path.
+        assert_eq!(cfg.lookahead(), simkit::Time::from_us(0.4));
+        assert!(cfg.lookahead() > simkit::Time::ZERO);
     }
 
     #[test]

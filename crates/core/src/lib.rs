@@ -18,6 +18,12 @@
 //!   over a segment-routed middle tier (the Figure 2 storage agent).
 //! * [`qos`] — multi-tenant token buckets and deficit-weighted scheduling,
 //!   wired into the cluster's admission path.
+//! * [`topology`] — the rack-scale fabric: racks × servers behind
+//!   oversubscribed ToR/spine links, feeding the shard engine's lookahead.
+//! * [`loadgen`] — seeded open-loop multi-tenant load (zipfian tenant
+//!   popularity, diurnal/burst schedules, per-tenant QoS classes).
+//! * [`admission`] — SmartNIC-side admission control and backpressure for
+//!   the open-loop stream (bounded per-class windows and ingress queues).
 //! * [`policy`] — §2.2.1's load-adaptive compression-effort selection
 //!   (including the "compressed many times" multi-pass).
 //!
@@ -38,18 +44,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod agent;
 pub mod api;
 pub mod cluster;
 mod design;
 pub mod fabric;
+pub mod loadgen;
 mod metrics;
 pub mod plan;
 pub mod policy;
 pub mod qos;
 pub mod scaleup;
+pub mod topology;
 mod workload;
 
+pub use admission::{Admission, AdmissionSpec, Verdict};
 pub use design::{Design, RunConfig};
-pub use metrics::{Metrics, RunReport};
+pub use loadgen::{Arrival, LoadGen, LoadSpec};
+pub use metrics::{Metrics, RunReport, ScaleStats};
+pub use topology::{TopoLink, Topology};
 pub use workload::{Workload, WriteReq};

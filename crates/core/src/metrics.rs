@@ -40,6 +40,13 @@ pub struct Metrics {
     /// flushed at write completion (so the segment stages exactly partition
     /// write latency) plus any stage populations recorded directly.
     pub breakdown: StageBreakdown,
+    /// Per-traffic-class request latency (open-loop tenant runs; class 0
+    /// is premium). Indexed by the 8 fabric traffic classes.
+    pub class_latency: Vec<Histogram>,
+    /// Arrivals deferred by admission control, per class.
+    pub admit_deferred: [u64; 8],
+    /// Arrivals rejected by admission control, per class.
+    pub admit_rejected: [u64; 8],
 }
 
 impl Metrics {
@@ -58,6 +65,20 @@ impl Metrics {
         self.write_failures = 0;
         self.scrub_repairs = 0;
         self.breakdown.clear();
+        for h in &mut self.class_latency {
+            h.clear();
+        }
+        self.admit_deferred = [0; 8];
+        self.admit_rejected = [0; 8];
+    }
+
+    /// Records a completed request's latency against its traffic class
+    /// (the vector grows on first use so closed-loop runs pay nothing).
+    pub fn record_class(&mut self, class: u8, latency: Time) {
+        if self.class_latency.is_empty() {
+            self.class_latency = (0..8).map(|_| Histogram::default()).collect();
+        }
+        self.class_latency[class as usize & 7].record(latency);
     }
 }
 
@@ -252,9 +273,131 @@ impl RunReport {
     }
 }
 
+/// Per-class tail-latency and admission summary of an open-loop
+/// rack-scale run — reported *beside* [`RunReport`] (whose JSON shape is
+/// frozen by the golden fixtures) rather than inside it.
+#[derive(Clone, Debug)]
+pub struct ScaleStats {
+    /// One row per fabric traffic class (class 0 = premium).
+    pub classes: Vec<ClassRow>,
+    /// Deferred arrivals still parked in ingress queues when the run
+    /// ended (0 once backpressure has drained).
+    pub backlog_at_end: u64,
+    /// Arrivals shed by the hub's hard in-flight cap (distinct from
+    /// admission-control rejections).
+    pub shed: u64,
+}
+
+/// One traffic class's latency and admission outcome.
+#[derive(Clone, Debug)]
+pub struct ClassRow {
+    /// Traffic class index (0 = premium).
+    pub class: u8,
+    /// Requests completed in the measurement window.
+    pub count: u64,
+    /// Median request latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile request latency, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile request latency, µs.
+    pub p999_us: f64,
+    /// Arrivals deferred by admission control.
+    pub deferred: u64,
+    /// Arrivals rejected by admission control.
+    pub rejected: u64,
+}
+
+impl ScaleStats {
+    /// Builds the summary from the live collectors plus the end-of-run
+    /// ingress backlog and hard-cap shed count.
+    pub fn build(metrics: &Metrics, backlog_at_end: u64, shed: u64) -> ScaleStats {
+        let classes = (0..8u8)
+            .map(|c| {
+                let empty = Histogram::default();
+                let h = metrics.class_latency.get(c as usize).unwrap_or(&empty);
+                ClassRow {
+                    class: c,
+                    count: h.count(),
+                    p50_us: h.quantile(0.50).as_us(),
+                    p99_us: h.quantile(0.99).as_us(),
+                    p999_us: h.quantile(0.999).as_us(),
+                    deferred: metrics.admit_deferred[c as usize],
+                    rejected: metrics.admit_rejected[c as usize],
+                }
+            })
+            .collect();
+        ScaleStats {
+            classes,
+            backlog_at_end,
+            shed,
+        }
+    }
+
+    /// Renders the summary as one JSON object (field order fixed; part of
+    /// the rack-scale golden fixture).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .classes
+            .iter()
+            .map(|r| {
+                Object::new()
+                    .field("class", r.class as u64)
+                    .field("count", r.count)
+                    .field("p50_us", r.p50_us)
+                    .field("p99_us", r.p99_us)
+                    .field("p999_us", r.p999_us)
+                    .field("deferred", r.deferred)
+                    .field("rejected", r.rejected)
+                    .finish()
+            })
+            .collect();
+        Object::new()
+            .field_raw("classes", &simkit::json::array_raw(&rows))
+            .field("backlog_at_end", self.backlog_at_end)
+            .field("shed", self.shed)
+            .finish()
+    }
+
+    /// Total deferred arrivals across classes.
+    pub fn deferred_total(&self) -> u64 {
+        self.classes.iter().map(|r| r.deferred).sum()
+    }
+
+    /// Total rejected arrivals across classes.
+    pub fn rejected_total(&self) -> u64 {
+        self.classes.iter().map(|r| r.rejected).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scale_stats_shape_and_totals() {
+        let mut m = Metrics::default();
+        m.record_class(0, Time::from_us(10.0));
+        m.record_class(0, Time::from_us(30.0));
+        m.record_class(7, Time::from_us(500.0));
+        m.admit_deferred[7] = 4;
+        m.admit_rejected[7] = 2;
+        let s = ScaleStats::build(&m, 3, 1);
+        assert_eq!(s.classes.len(), 8);
+        assert_eq!(s.classes[0].count, 2);
+        assert_eq!(s.classes[7].count, 1);
+        assert_eq!(s.deferred_total(), 4);
+        assert_eq!(s.rejected_total(), 2);
+        assert!(s.classes[7].p99_us > s.classes[0].p99_us);
+        let json = s.to_json();
+        assert!(json.starts_with("{\"classes\":[{\"class\":0"), "{json}");
+        assert!(json.contains("\"backlog_at_end\":3"), "{json}");
+        assert!(json.contains("\"shed\":1"), "{json}");
+        // Warm-up reset clears the class collectors too.
+        m.reset(Time::ZERO);
+        let s = ScaleStats::build(&m, 0, 0);
+        assert_eq!(s.classes[0].count, 0);
+        assert_eq!(s.deferred_total(), 0);
+    }
 
     #[test]
     fn report_rates_from_deltas() {

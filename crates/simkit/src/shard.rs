@@ -196,6 +196,14 @@ where
         self.cells.len()
     }
 
+    /// The conservative lookahead window the engine was built with: no
+    /// cross-shard message may travel less than this much simulated time.
+    /// Callers deriving the window from model latencies (e.g. the minimum
+    /// hub↔server path of a rack topology) can assert it round-trips.
+    pub fn lookahead(&self) -> Time {
+        self.lookahead
+    }
+
     /// Schedules an event on shard `shard` before the run starts.
     pub fn schedule_at(&mut self, shard: usize, at: Time, event: W::Event) {
         get_mut(&mut self.cells[shard]).sched.schedule_at(at, event);
@@ -672,6 +680,20 @@ mod tests {
             vec![(0, 10), (0, 20), (0, 99)],
             "mailbox merge order must be (time, src shard, seq), before locals"
         );
+    }
+
+    #[test]
+    fn lookahead_accessor_round_trips() {
+        #[derive(Clone, Debug)]
+        struct Noop;
+        struct NoopWorld;
+        impl World for NoopWorld {
+            type Event = Noop;
+            fn handle(&mut self, _: Noop, _: &mut Scheduler<Noop>) {}
+        }
+        impl ShardWorld for NoopWorld {}
+        let sim = ShardedSim::new(vec![NoopWorld, NoopWorld], LOOKAHEAD);
+        assert_eq!(sim.lookahead(), LOOKAHEAD);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use faultkit::{ChaosSpec, FaultKind, FaultPlan, LinkTarget};
 use simkit::Time;
-use smartds::{cluster, Design, RunConfig};
+use smartds::{cluster, AdmissionSpec, Design, LoadSpec, RunConfig, TopoLink, Topology};
 
 /// A short fault-aware run: 2 ms warm-up, 8 ms measurement, per-request
 /// timeout armed (which also gates completion on a full write quorum).
@@ -182,6 +182,56 @@ fn all_replicas_down_is_an_explicit_error_not_a_hang() {
         report.writes_done
     );
     assert_no_corruption(&cluster, "all-down");
+}
+
+#[test]
+fn tor_link_kill_mid_burst_retries_and_replays_identically() {
+    // Rack-scale chaos: on a 3×3 fabric under the open-loop tenant
+    // generator, the ToR downlink into rack 2 (servers 6..9) goes
+    // completely dark for 2 ms in the middle of the burst schedule, then
+    // returns at full capacity. Replicated store messages caught on the
+    // dead hop stall mid-transfer; their requests trip the 1 ms timers
+    // and retry toward the other racks, and the stalled bytes drain when
+    // the link returns (late acks are dropped by the generation check).
+    // The whole episode — fabric queueing, admission verdicts, timeout
+    // schedule — must replay byte-identically at 1 and 4 worker threads.
+    let mut load = LoadSpec::rack_default(14.0, Time::from_ms(10.0));
+    load.tenants = 65_536;
+    let cfg = chaos_base(Design::SmartDs { ports: 1 })
+        .with_topology(Topology::new(3, 3))
+        .with_load(load)
+        .with_admission(AdmissionSpec::new(48, 192))
+        .with_topo_fault(at_ms(4.0), TopoLink::RackDown(2), 0.0)
+        .with_topo_fault(at_ms(6.0), TopoLink::RackDown(2), 1.0);
+    let (report, cluster, stats) = cluster::run_counted_stats(&cfg, |_| {}, Some(1));
+    let (report4, cluster4, stats4) = cluster::run_counted_stats(&cfg, |_| {}, Some(4));
+    assert_eq!(
+        report.to_json(),
+        report4.to_json(),
+        "tor-kill: metrics must be byte-identical at 1 and 4 threads"
+    );
+    assert_eq!(
+        stats, stats4,
+        "tor-kill: payload/sync event accounting must not depend on threads"
+    );
+    assert_eq!(
+        cluster.scale_stats().to_json(),
+        cluster4.scale_stats().to_json(),
+        "tor-kill: per-class admission outcomes must not depend on threads"
+    );
+    assert_eq!(
+        cluster.verify_stored(),
+        cluster4.verify_stored(),
+        "tor-kill: stored-state audit must not depend on threads"
+    );
+    assert!(report.timeouts > 0, "a 2 ms dark ToR link must trip 1 ms timers");
+    assert!(report.retries > 0, "timed-out requests must be retried");
+    assert!(
+        report.writes_done > 1_000,
+        "two racks keep serving through the outage ({} writes)",
+        report.writes_done
+    );
+    assert_no_corruption(&cluster, "tor-kill");
 }
 
 #[test]

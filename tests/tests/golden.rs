@@ -25,10 +25,15 @@
 //! worker threads and every run must produce the same bytes — metrics
 //! JSON, trace export, and the engine's payload/sync event accounting.
 //! A schedule that depends on `SMARTDS_THREADS` fails here first.
+//!
+//! The rack-scale fixture (`metrics_rack.json`) extends the same contract
+//! to the multi-rack fabric: a pinned-seed open-loop tenant run through
+//! the topology layer with admission control armed, frozen as metrics
+//! JSON + per-class scale stats + engine accounting.
 
 use faultkit::{ChaosSpec, FaultPlan};
 use simkit::Time;
-use smartds::{cluster, Design, RunConfig};
+use smartds::{cluster, AdmissionSpec, Design, LoadSpec, RunConfig, Topology};
 use std::path::PathBuf;
 use tracekit::TraceConfig;
 
@@ -60,6 +65,27 @@ fn golden_cfg(seed: u64) -> RunConfig {
         .with_max_concurrent_down(1)
         .with_slow_factor(32.0);
     cfg.with_fault_plan(FaultPlan::chaos(seed, &spec))
+        .with_request_timeout(Time::from_ms(1.0))
+}
+
+/// The pinned rack-scale workload: a 3×3 fabric under the open-loop
+/// tenant generator with admission control armed. The tenant population
+/// is shrunk from the experiment's 10⁶ so the Zipf setup stays cheap in a
+/// fixture run; skew, diurnal swing, bursts, and the per-class QoS map
+/// are the rack defaults. Everything downstream of the seed — arrival
+/// times, class assignment, fabric queueing, admission verdicts — sits
+/// inside the frozen bytes.
+fn rack_cfg(seed: u64) -> RunConfig {
+    let mut cfg = RunConfig::saturating(Design::SmartDs { ports: 1 });
+    cfg.warmup = Time::from_ms(2.0);
+    cfg.measure = Time::from_ms(6.0);
+    cfg.pool_blocks = 64;
+    cfg.seed = seed;
+    let mut load = LoadSpec::rack_default(12.0, cfg.warmup + cfg.measure);
+    load.tenants = 65_536;
+    cfg.with_topology(Topology::new(3, 3))
+        .with_load(load)
+        .with_admission(AdmissionSpec::new(48, 192))
         .with_request_timeout(Time::from_ms(1.0))
 }
 
@@ -150,6 +176,40 @@ fn metrics_json_is_byte_identical_across_thread_counts() {
                          between 1 and {threads} threads"
                     );
                 }
+            }
+        }
+    }
+}
+
+/// The rack-scale gate: metrics JSON, per-class scale stats, and the
+/// engine's payload/sync accounting of the pinned open-loop fabric run
+/// must equal the fixture byte-for-byte at 1/2/4/8 worker threads. This
+/// freezes the whole new surface at once — topology routing and fluid
+/// fabric links, the seeded tenant generator, the QoS class plumbing, and
+/// every admission verdict.
+#[test]
+fn rack_scale_fixture_is_byte_identical_across_thread_counts() {
+    let cfg = rack_cfg(515);
+    let mut baseline: Option<String> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let (report, cluster, stats) = cluster::run_counted_stats(&cfg, |_| {}, Some(threads));
+        let text = format!(
+            "{}\n{}\n{:?}\n",
+            report.to_json(),
+            cluster.scale_stats().to_json(),
+            stats
+        );
+        match &baseline {
+            None => {
+                // The 1-thread run must itself match the frozen fixture.
+                check_or_write("metrics_rack.json", &text);
+                baseline = Some(text);
+            }
+            Some(want) => {
+                assert_eq!(
+                    want, &text,
+                    "rack-scale run drifted between 1 and {threads} threads"
+                );
             }
         }
     }
