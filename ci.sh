@@ -53,6 +53,13 @@ SMARTDS_CHAOS_SEED=303 cargo test -q --offline -p system-tests --test tracing
 # snapshot below.
 SMARTDS_THREADS=4 cargo run -q -p smartds-bench --release --offline --bin experiments -- scale --quick
 
+# Data-services smoke, quick profile: the sealed byte path (dedup +
+# encryption + cache/prefetch) swept over corpus mixes × placements on 4
+# worker threads (outcome thread-invariant — the services golden fixture
+# pins the bytes; this proves the sweep itself stays healthy offline).
+# Merges a services array into BENCH_PERF.quick.json beside the scale rows.
+SMARTDS_THREADS=4 cargo run -q -p smartds-bench --release --offline --bin experiments -- services --quick
+
 # Simulator perf snapshot, quick profile, report-only: prints the dense
 # sweep at 1/2/4/8 worker threads (identical simulated outcomes, wall time
 # scaling with the host's real parallelism) and writes BENCH_PERF.quick.json

@@ -7,8 +7,8 @@
 //! ```
 
 use smartds_bench::{
-    breakdown, csv, curve, degraded, fig4, json, loc, perf, reads, scale, sec55, soc, stages,
-    sweeps, table1, table3, tco, Profile,
+    breakdown, csv, curve, degraded, fig4, json, loc, perf, reads, scale, sec55, services, soc,
+    stages, sweeps, table1, table3, tco, Profile,
 };
 use std::path::PathBuf;
 
@@ -137,6 +137,14 @@ fn main() {
         println!();
         ran = true;
     }
+    if which == "services" || which == "all" {
+        let rows = services::run(profile);
+        if let Err(e) = services::write_json(&PathBuf::from("."), profile, &rows) {
+            eprintln!("services export failed: {e}");
+        }
+        println!();
+        ran = true;
+    }
     // Not part of `all`: perf measures the simulator itself, and its wall
     // times would be skewed by whatever other experiments just ran.
     if which == "perf" {
@@ -151,7 +159,7 @@ fn main() {
         eprintln!(
             "unknown experiment '{which}'; expected one of: \
              table1 table3 fig4 fig7 fig8 fig9 fig10 sec55 soc curve tco stages breakdown reads \
-             degraded loc perf scale all"
+             degraded loc perf scale services all"
         );
         std::process::exit(2);
     }

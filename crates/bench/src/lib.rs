@@ -25,6 +25,7 @@
 //! | loc    | programmability (lines of code)         | [`loc::run`] |
 //! | perf   | simulator hot-path throughput           | [`perf::run`] |
 //! | scale  | extension: rack fabric + open-loop tenants | [`scale::run`] |
+//! | services | extension: data services placement sweep | [`services::run`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +42,7 @@ pub mod pool;
 pub mod reads;
 pub mod scale;
 pub mod sec55;
+pub mod services;
 pub mod soc;
 pub mod stages;
 pub mod sweeps;

@@ -285,8 +285,9 @@ pub fn run(profile: Profile) -> Vec<PerfRow> {
 /// `ci.sh` or from the workspace directory). The full profile writes the
 /// tracked `BENCH_PERF.json` baseline; the quick profile writes
 /// `BENCH_PERF.quick.json` (untracked scratch) so a CI quick pass never
-/// clobbers the committed full-profile reference. A `scale` array the
-/// scale experiment already put in the file is carried over verbatim.
+/// clobbers the committed full-profile reference. `scale` and `services`
+/// arrays the other experiments already put in the file are carried over
+/// verbatim.
 ///
 /// # Errors
 ///
@@ -303,6 +304,13 @@ pub fn write_json(dir: &Path, profile: Profile, rows: &[PerfRow]) -> std::io::Re
         text.truncate(text.len() - 1);
         text.push_str(",\"scale\":");
         text.push_str(&scale);
+        text.push('}');
+    }
+    if let Some(services) = crate::scale::extract_array(&existing, "services") {
+        // Same for the services placement-sweep rows.
+        text.truncate(text.len() - 1);
+        text.push_str(",\"services\":");
+        text.push_str(&services);
         text.push('}');
     }
     let mut f = std::fs::File::create(&path)?;

@@ -236,7 +236,7 @@ pub fn write_json(dir: &Path, profile: Profile, rows: &[ScaleRow]) -> std::io::R
     let existing = std::fs::read_to_string(&path).unwrap_or_default();
     let workloads = extract_array(&existing, "workloads").unwrap_or_else(|| "[]".into());
     let items: Vec<String> = rows.iter().map(ScaleRow::to_json).collect();
-    let text = Object::new()
+    let mut obj = Object::new()
         .field(
             "profile",
             match profile {
@@ -245,8 +245,11 @@ pub fn write_json(dir: &Path, profile: Profile, rows: &[ScaleRow]) -> std::io::R
             },
         )
         .field_raw("workloads", &workloads)
-        .field_raw("scale", &array_raw(&items))
-        .finish();
+        .field_raw("scale", &array_raw(&items));
+    if let Some(services) = extract_array(&existing, "services") {
+        obj = obj.field_raw("services", &services);
+    }
+    let text = obj.finish();
     let mut f = std::fs::File::create(&path)?;
     f.write_all(text.as_bytes())?;
     f.write_all(b"\n")?;

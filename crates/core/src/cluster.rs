@@ -15,8 +15,12 @@ use crate::design::{Design, RunConfig};
 use crate::fabric::{res_route, Fabric, FluidKey};
 use crate::loadgen::LoadGen;
 use crate::metrics::{Metrics, RunReport, ScaleStats};
-use crate::plan::{read_plan, write_plan_replicated, Plan, Res, Step};
+use crate::plan::{
+    inject_read_services, inject_write_services, read_hit_plan, read_plan,
+    write_plan_replicated, Plan, Res, Step, SVC_ENG_DEDUP,
+};
 use crate::qos::TokenBucket;
+use crate::services::{ServiceStats, Services};
 use crate::topology::{class_weight, TopoLink, Topology};
 use crate::workload::Workload;
 use blockstore::{QuorumTracker, ReplicaSelector, Scrubber, ServerId, StorageServer, StoredBlock};
@@ -51,6 +55,10 @@ const KEY_BITS: u32 = 29;
 /// request timeout — enough to steer the next few placements elsewhere
 /// without permanently blacklisting a server that merely hiccuped.
 const TIMEOUT_PENALTY: u64 = 8;
+/// High bit of a storage-RPC token marking a cache-prefetch fetch: those
+/// RPCs belong to the prefetcher, not to any request slot, so their acks
+/// are intercepted before the slot/generation decode.
+const PREFETCH_BIT: u64 = 1 << 63;
 
 /// Events circulating in the cluster world.
 #[derive(Debug)]
@@ -62,6 +70,10 @@ pub enum Ev {
     CpuDone(u64),
     /// Engine `i` finished a block (token).
     EngDone(u8, u64),
+    /// The dedicated service SoC pool finished a job (token).
+    SvcCpuDone(u64),
+    /// Dedicated service engine `i` finished a block (token).
+    SvcEngDone(u8, u64),
     /// A storage RPC arrived at its server (after wire propagation in the
     /// sequential engine, or through the cross-shard mailbox when sharded).
     StoreArrive(StoreMsg),
@@ -140,6 +152,11 @@ struct InFlight {
     step_span: [SpanId; MAX_BRANCHES],
     /// Latency-segment accumulator; milestones charge it via `Step::Mark`.
     seg: SegmentAccum,
+    /// Sealed container length of this block when data services are on
+    /// (0 otherwise); what replication ships and the stored meter counts.
+    sealed_len: u32,
+    /// Read served from the middle-tier hot-block cache (services only).
+    cache_hit: bool,
 }
 
 /// Everything needed to re-issue a timed-out request after its backoff:
@@ -360,6 +377,11 @@ pub struct Cluster {
     loadgen: Option<LoadGen>,
     /// SmartNIC-side admission control (present iff `cfg.admission`).
     admission: Option<Admission>,
+    /// Inline data services — dedup, encryption, hot-block cache — with
+    /// their dedicated compute stations (present iff `cfg.services`).
+    /// Hub-owned: every lookup and insert runs in deterministic event
+    /// order on shard 0.
+    services: Option<Services>,
     /// `shardsan` ownership tag: every hub structure above is shard 0
     /// state once the cluster is split (`split_for_shards`), and
     /// `Cluster::handle` checks the tag before touching any of it.
@@ -449,7 +471,15 @@ impl Cluster {
             .collect();
         let selector =
             ReplicaSelector::new((0..num_servers as u32).map(ServerId).collect());
-        let mut workload = Workload::new(hwmodel::consts::BLOCK_SIZE, cfg.pool_blocks, cfg.seed);
+        let mut workload = match &cfg.corpus_profile {
+            Some(profile) => Workload::with_profile(
+                hwmodel::consts::BLOCK_SIZE,
+                cfg.pool_blocks,
+                cfg.seed,
+                profile,
+            ),
+            None => Workload::new(hwmodel::consts::BLOCK_SIZE, cfg.pool_blocks, cfg.seed),
+        };
         if let Some(theta) = cfg.zipf_theta {
             workload.set_zipf(theta);
         }
@@ -498,6 +528,7 @@ impl Cluster {
             topo: cfg.topology.as_ref().map(TopoNet::new),
             loadgen: cfg.load.clone().map(|s| LoadGen::new(s, cfg.seed)),
             admission: cfg.admission.map(Admission::new),
+            services: cfg.services.as_ref().map(Services::new),
             // The hub is shard 0 by construction (`split_for_shards`).
             tag: simkit::ShardTag::new(0),
             shardsan_probe: None,
@@ -552,6 +583,13 @@ impl Cluster {
     pub fn set_read_fraction(&mut self, f: f64) {
         assert!((0.0..=1.0).contains(&f), "read fraction out of range");
         self.read_fraction = f;
+    }
+
+    /// Switches the workload to sequential-scan addressing over `span`
+    /// block addresses (see [`Workload::set_sequential`]) — the streaming
+    /// pattern that exercises the data services' sequential prefetcher.
+    pub fn set_sequential_span(&mut self, span: u64) {
+        self.workload.set_sequential(span);
     }
 
     /// The run configuration.
@@ -911,14 +949,18 @@ impl Cluster {
                     return;
                 }
                 Step::Cpu(work) => {
-                    let (label, wbytes) = match work {
-                        CpuWork::ParseHeader => ("parse-header", 0u64),
-                        CpuWork::PostVerb => ("post-verb", 0u64),
-                        CpuWork::Compress(n) => ("lz4-software", n as u64),
-                        CpuWork::Decompress(n) => ("lz4-sw-decompress", n as u64),
+                    let (kind, label, wbytes) = match work {
+                        CpuWork::ParseHeader => (StageKind::CpuJob, "parse-header", 0u64),
+                        CpuWork::PostVerb => (StageKind::CpuJob, "post-verb", 0u64),
+                        CpuWork::Compress(n) => (StageKind::CpuJob, "lz4-software", n as u64),
+                        CpuWork::Decompress(n) => {
+                            (StageKind::CpuJob, "lz4-sw-decompress", n as u64)
+                        }
+                        CpuWork::DedupScan(n) => (StageKind::Dedup, "dedup-scan", n as u64),
+                        CpuWork::Crypt(n) => (StageKind::Encrypt, "xts-crypt", n as u64),
+                        CpuWork::CacheLookup => (StageKind::Cache, "cache-lookup", 0u64),
                     };
-                    let sid =
-                        self.open_step_span(key, branch, StageKind::CpuJob, label, wbytes, now);
+                    let sid = self.open_step_span(key, branch, kind, label, wbytes, now);
                     self.tracer.span_set_queue(sid, self.cpu.queued() as u32);
                     if let Some(js) = self.cpu.submit(now, work, tok) {
                         sched.schedule_at(js.finish_at, Ev::CpuDone(js.token));
@@ -942,9 +984,54 @@ impl Cluster {
                     }
                     return;
                 }
+                Step::SvcCpu(work) => {
+                    let (kind, label, wbytes) = match work {
+                        CpuWork::DedupScan(n) => (StageKind::Dedup, "soc-dedup-scan", n as u64),
+                        CpuWork::Crypt(n) => (StageKind::Encrypt, "soc-xts-crypt", n as u64),
+                        _ => (StageKind::CpuJob, "soc-job", 0u64),
+                    };
+                    let sid = self.open_step_span(key, branch, kind, label, wbytes, now);
+                    let (js, depth) = {
+                        let Some(soc) =
+                            self.services.as_mut().and_then(|s| s.soc.as_mut())
+                        else {
+                            unreachable!("SvcCpu steps are only planned with a SoC placement");
+                        };
+                        let depth = soc.queued() as u32;
+                        (soc.submit(now, work, tok), depth)
+                    };
+                    self.tracer.span_set_queue(sid, depth);
+                    if let Some(js) = js {
+                        sched.schedule_at(js.finish_at, Ev::SvcCpuDone(js.token));
+                    }
+                    return;
+                }
+                Step::SvcEngine(i, bytes) => {
+                    let (kind, label) = if i == SVC_ENG_DEDUP {
+                        (StageKind::Dedup, "svc-engine-dedup")
+                    } else {
+                        (StageKind::Encrypt, "svc-engine-crypt")
+                    };
+                    let sid = self.open_step_span(key, branch, kind, label, bytes as u64, now);
+                    let (js, depth) = {
+                        let Some(svc) = self.services.as_mut() else {
+                            unreachable!("SvcEngine steps are only planned with services on");
+                        };
+                        let eng = &mut svc.engines[i as usize];
+                        let depth = eng.queued() as u32;
+                        (eng.submit(now, bytes as usize, tok), depth)
+                    };
+                    self.tracer.span_set_queue(sid, depth);
+                    if let Some(js) = js {
+                        sched.schedule_at(js.finish_at, Ev::SvcEngDone(i, js.token));
+                    }
+                    return;
+                }
                 Step::Store(r, bytes) => {
                     let (pool_idx, b, chunk_key, block, server, class) = {
-                        let req = self.reqs[key as usize].as_ref().unwrap();
+                        let Some(req) = self.reqs[key as usize].as_ref() else {
+                            return;
+                        };
                         (
                             req.pool_idx,
                             req.b,
@@ -962,8 +1049,7 @@ impl Cluster {
                         bytes as u64,
                         now,
                     );
-                    let data = self.workload.compressed(pool_idx);
-                    let stored = StoredBlock::lz4(data, b);
+                    let stored = self.stored_block(pool_idx, b);
                     // Record the placement *intent*, not just the landed
                     // append: if the server is down right now, it stays on
                     // the holder list, and the post-restart scrub
@@ -988,7 +1074,9 @@ impl Cluster {
                 }
                 Step::Fetch(bytes) => {
                     let (server, class) = {
-                        let req = self.reqs[key as usize].as_ref().unwrap();
+                        let Some(req) = self.reqs[key as usize].as_ref() else {
+                            return;
+                        };
                         (req.replicas[0], req.class)
                     };
                     self.open_step_span(
@@ -1019,7 +1107,10 @@ impl Cluster {
                 Step::CompressPayload => {
                     // Functional compression is memoized per pool block; the
                     // time was charged by the Cpu/Engine step.
-                    let idx = self.reqs[key as usize].as_ref().unwrap().pool_idx;
+                    let idx = match self.reqs[key as usize].as_ref() {
+                        Some(req) => req.pool_idx,
+                        None => return,
+                    };
                     let _ = self.workload.compressed(idx);
                     continue;
                 }
@@ -1035,6 +1126,22 @@ impl Cluster {
                     continue;
                 }
             }
+        }
+    }
+
+    /// The functional bytes a replica appends for pool block `pool_idx`:
+    /// the sealed service container (dedup + LZ4 + XTS) when data services
+    /// are on, the plain LZ4-compressed block otherwise. Both forms are
+    /// memoized per pool block, so retries and fail-over redirects ship
+    /// byte-identical data.
+    fn stored_block(&mut self, pool_idx: usize, b: u32) -> StoredBlock {
+        match self.services.as_mut() {
+            Some(svc) => {
+                let (container, _) =
+                    svc.sealed_block(pool_idx, self.workload.payload(pool_idx));
+                StoredBlock::raw(container)
+            }
+            None => StoredBlock::lz4(self.workload.compressed(pool_idx), b),
         }
     }
 
@@ -1059,6 +1166,16 @@ impl Cluster {
     /// branch that was blocked on the RPC.
     fn store_ack(&mut self, ack: AckMsg, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
+        if ack.tok & PREFETCH_BIT != 0 {
+            // A speculative cache-prefetch fetch came back: it belongs to
+            // the prefetcher, not to any request slot — land it in the
+            // hot-block cache and stop before the slot/generation decode.
+            if let Some(svc) = self.services.as_mut() {
+                let fetched = matches!(ack.outcome, AckOutcome::Fetched);
+                svc.prefetch_ack(ack.tok & !PREFETCH_BIT, fetched);
+            }
+            return;
+        }
         // Physical effects on the server count whether or not the issuing
         // attempt is still live — the append really happened.
         if let AckOutcome::Stored { compacted: true } = ack.outcome {
@@ -1119,8 +1236,7 @@ impl Cluster {
                 if ack.redirects == 0 {
                     if let Some(alt) = self.selector.choose(1) {
                         let alt = alt[0];
-                        let data = self.workload.compressed(pool_idx);
-                        let stored = StoredBlock::lz4(data, b);
+                        let stored = self.stored_block(pool_idx, b);
                         self.scrubber.record_on(chunk_key, block, alt, &stored);
                         let msg = StoreMsg {
                             server: alt.0,
@@ -1190,8 +1306,32 @@ impl Cluster {
         if self.loadgen.is_some() {
             self.metrics.record_class(req.class, latency);
         }
+        let block_key = (req.chunk_key.0, req.chunk_key.1, req.block);
         if req.is_read {
             self.metrics.read_latency.record(latency);
+            if !req.cache_hit {
+                // A completed read miss warms the cache and triggers the
+                // sequential prefetcher over already-written neighbours.
+                let targets = match self.services.as_mut() {
+                    Some(svc) if svc.cache_enabled() => {
+                        svc.cache_fill(block_key, req.sealed_len, false);
+                        svc.prefetch_targets(block_key)
+                    }
+                    _ => Vec::new(),
+                };
+                for (id, server, sealed_len) in targets {
+                    let msg = StoreMsg {
+                        server,
+                        tok: PREFETCH_BIT | id,
+                        bytes: sealed_len,
+                        depth: 0,
+                        redirects: 0,
+                        class: req.class,
+                        payload: None,
+                    };
+                    self.send_store(msg, sched);
+                }
+            }
         } else {
             // The write acked: charge the tail segment and fold the
             // request's segment partition into the per-stage breakdown
@@ -1201,7 +1341,16 @@ impl Cluster {
             seg.flush_into(&mut self.metrics.breakdown);
             self.metrics.write_latency.record(latency);
             self.metrics.ingest.add(now, req.b as f64);
-            let c = self.workload.compressed(req.pool_idx).len();
+            let c = match self.services.as_mut() {
+                Some(svc) => {
+                    // Sealed container bytes hit the disks; the write also
+                    // registers with the prefetcher and warms the cache.
+                    svc.record_write(block_key, req.replicas[0], req.pool_idx as u32);
+                    svc.cache_fill(block_key, req.sealed_len, false);
+                    req.sealed_len as usize
+                }
+                None => self.workload.compressed(req.pool_idx).len(),
+            };
             self.metrics.stored.add(now, c as f64);
             if !self.tenant_done.is_empty() && now >= self.metrics.ingest.window_start() {
                 let tenant = req.slot as usize % self.tenant_done.len();
@@ -1364,20 +1513,47 @@ impl Cluster {
         ticket: RetryTicket,
         sched: &mut Scheduler<Ev>,
     ) {
-        // The compressed size is memoized per pool block, so a retry
+        // The stored size — sealed container when data services are on,
+        // plain LZ4 otherwise — is memoized per pool block, so a retry
         // recomputes the exact same plan as the original attempt.
-        let c = self.workload.compressed(ticket.pool_idx).len() as u32;
+        let c = match self.services.as_mut() {
+            Some(svc) => {
+                svc.sealed_block(ticket.pool_idx, self.workload.payload(ticket.pool_idx)).1
+            }
+            None => self.workload.compressed(ticket.pool_idx).len() as u32,
+        };
         let port = (ticket.slot as usize % self.cfg.design.ports()) as u8;
+        let block_key = (ticket.chunk_key.0, ticket.chunk_key.1, ticket.block);
+        let mut cache_hit = false;
         let plan = if ticket.is_read {
-            read_plan(self.cfg.design, port, ticket.b, c)
+            match self.services.as_mut() {
+                Some(svc) => {
+                    if svc.cache_probe(block_key) {
+                        // Cache hit: the block is served from the middle
+                        // tier's design-local memory — the storage fabric
+                        // hop, disk I/O, and decryption all disappear.
+                        cache_hit = true;
+                        read_hit_plan(self.cfg.design, port, ticket.b)
+                    } else {
+                        let mut p = read_plan(self.cfg.design, port, ticket.b, c);
+                        inject_read_services(&mut p, svc.config(), c, svc.cache_enabled());
+                        p
+                    }
+                }
+                None => read_plan(self.cfg.design, port, ticket.b, c),
+            }
         } else {
-            write_plan_replicated(
+            let mut p = write_plan_replicated(
                 self.cfg.design,
                 port,
                 ticket.b,
                 c,
                 self.cfg.replication as u8,
-            )
+            );
+            if let Some(svc) = self.services.as_ref() {
+                inject_write_services(&mut p, svc.config(), ticket.b, c);
+            }
+            p
         };
         let request_id = self.next_req_id;
         self.next_req_id += 1;
@@ -1419,6 +1595,8 @@ impl Cluster {
             root: ticket.root,
             step_span: [SpanId::NULL; MAX_BRANCHES],
             seg: ticket.seg,
+            sealed_len: if self.services.is_some() { c } else { 0 },
+            cache_hit,
         });
         self.in_flight += 1;
         if let Some(timeout) = self.cfg.request_timeout {
@@ -1663,6 +1841,18 @@ impl Cluster {
         self.pump(sched);
     }
 
+    /// Cumulative data-service accounting (dedup ratio, cache hit rate,
+    /// prefetch counters), when services are enabled.
+    pub fn service_stats(&self) -> Option<ServiceStats> {
+        self.services.as_ref().map(Services::stats)
+    }
+
+    /// The live data-service state (dedup index, cipher, cache), when
+    /// services are enabled — tests unseal audited server blocks with it.
+    pub fn services(&self) -> Option<&Services> {
+        self.services.as_ref()
+    }
+
     /// Per-class tail-latency and admission summary for open-loop tenant
     /// runs (empty classes report zeros).
     pub fn scale_stats(&self) -> ScaleStats {
@@ -1709,6 +1899,24 @@ impl World for Cluster {
             Ev::EngDone(i, tok) => {
                 if let Some(next) = self.engines[i as usize].complete(sched.now()) {
                     sched.schedule_at(next.finish_at, Ev::EngDone(i, next.token));
+                }
+                self.pending.push(tok);
+                self.pump(sched);
+            }
+            Ev::SvcCpuDone(tok) => {
+                if let Some(soc) = self.services.as_mut().and_then(|s| s.soc.as_mut()) {
+                    if let Some(next) = soc.complete(sched.now()) {
+                        sched.schedule_at(next.finish_at, Ev::SvcCpuDone(next.token));
+                    }
+                }
+                self.pending.push(tok);
+                self.pump(sched);
+            }
+            Ev::SvcEngDone(i, tok) => {
+                if let Some(svc) = self.services.as_mut() {
+                    if let Some(next) = svc.engines[i as usize].complete(sched.now()) {
+                        sched.schedule_at(next.finish_at, Ev::SvcEngDone(i, next.token));
+                    }
                 }
                 self.pending.push(tok);
                 self.pump(sched);

@@ -160,6 +160,12 @@ pub struct RunConfig {
     /// topology link's capacity is scaled to `fraction` of nominal
     /// (0.0 = killed, 1.0 = restored). Requires `topology`.
     pub topo_faults: Vec<(simkit::Time, crate::topology::TopoLink, f64)>,
+    /// Inline data services (dedup + encryption + hot-block cache) on the
+    /// byte path. `None` runs the original pipeline bit-for-bit.
+    pub services: Option<crate::services::ServicesConfig>,
+    /// Single-profile corpus override for the payload pool (the services
+    /// experiment's corpus knob). `None` keeps the Silesia mix.
+    pub corpus_profile: Option<corpus::Profile>,
 }
 
 impl RunConfig {
@@ -211,6 +217,8 @@ impl RunConfig {
             load: None,
             admission: None,
             topo_faults: Vec::new(),
+            services: None,
+            corpus_profile: None,
         }
     }
 
@@ -328,6 +336,20 @@ impl RunConfig {
     ) -> Self {
         assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
         self.topo_faults.push((at, link, fraction));
+        self
+    }
+
+    /// Enables the inline data services (dedup + encryption + cache).
+    pub fn with_services(mut self, services: crate::services::ServicesConfig) -> Self {
+        services.validate();
+        self.services = Some(services);
+        self
+    }
+
+    /// Replaces the Silesia-mix payload pool with blocks drawn from one
+    /// corpus profile (the services experiment's corpus knob).
+    pub fn with_corpus_profile(mut self, profile: corpus::Profile) -> Self {
+        self.corpus_profile = Some(profile);
         self
     }
 

@@ -56,6 +56,7 @@ pub mod plan;
 pub mod policy;
 pub mod qos;
 pub mod scaleup;
+pub mod services;
 pub mod topology;
 mod workload;
 
@@ -63,5 +64,6 @@ pub use admission::{Admission, AdmissionSpec, Verdict};
 pub use design::{Design, RunConfig};
 pub use loadgen::{Arrival, LoadGen, LoadSpec};
 pub use metrics::{Metrics, RunReport, ScaleStats};
+pub use services::{Placement, ServiceStats, Services, ServicesConfig};
 pub use topology::{TopoLink, Topology};
 pub use workload::{Workload, WriteReq};

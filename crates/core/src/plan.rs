@@ -13,8 +13,9 @@
 //! story of SmartDS.
 
 use crate::design::Design;
+use crate::services::{Placement, ServicesConfig};
 use hwmodel::consts::{
-    FPGA_ENGINE_PIPELINE, HEADER_SIZE, NET_PROPAGATION, SOC_ENGINE_PIPELINE,
+    FPGA_ENGINE_PIPELINE, HEADER_SIZE, NET_PROPAGATION, SOC_ENGINE_PIPELINE, SVC_ENGINE_PIPELINE,
 };
 use hwmodel::{wire_bytes, CpuWork};
 use simkit::Time;
@@ -68,6 +69,12 @@ pub enum Step {
     Fetch(u32),
     /// Fixed delay (network propagation).
     Wait(Time),
+    /// Run one unit of software work on the dedicated data-service SoC
+    /// Arm pool ([`Placement::Soc`]).
+    SvcCpu(CpuWork),
+    /// Run `bytes` through dedicated data-service engine `i`
+    /// ([`SVC_ENG_DEDUP`]/[`SVC_ENG_CRYPT`], [`Placement::Engine`]).
+    SvcEngine(u8, u32),
     /// Functional: LZ4-compress the request payload (time is charged by the
     /// accompanying `Cpu(Compress)` / `Engine` step).
     CompressPayload,
@@ -570,6 +577,149 @@ pub fn read_plan(design: Design, port: u8, b: u32, c: u32) -> Plan {
     p
 }
 
+/// Index of the dedicated dedup-scan service engine.
+pub const SVC_ENG_DEDUP: u8 = 0;
+/// Index of the dedicated crypt service engine.
+pub const SVC_ENG_CRYPT: u8 = 1;
+
+/// The steps charging one service pass over `bytes` at `placement`. The
+/// placement moves *where* the time is charged — host pool, dedicated SoC
+/// Arm pool, or a dedicated engine (which also pays its pipeline-fill
+/// latency) — never what bytes are produced.
+fn svc_steps(placement: Placement, work: CpuWork, eng: u8, bytes: u32) -> Vec<Step> {
+    match placement {
+        Placement::Host => vec![Step::Cpu(work)],
+        Placement::Soc => vec![Step::SvcCpu(work)],
+        Placement::Engine => vec![
+            Step::SvcEngine(eng, bytes),
+            Step::Wait(SVC_ENGINE_PIPELINE),
+        ],
+    }
+}
+
+fn phase_with(plan: &Plan, pred: impl Fn(&Step) -> bool) -> Option<usize> {
+    plan.phases
+        .iter()
+        .position(|ph| ph.branches.iter().flatten().any(&pred))
+}
+
+/// Splices the data-service phases into a write plan: the dedup scan over
+/// the raw `b`-byte payload right after the parse milestone, and
+/// encryption of the `sealed`-byte container right after the compress
+/// milestone. Works on any design's plan because it keys on the milestone
+/// marks every write plan carries.
+pub fn inject_write_services(plan: &mut Plan, svc: &ServicesConfig, b: u32, sealed: u32) {
+    if let Some(i) = phase_with(plan, |s| matches!(s, Step::Mark(StageKind::Parse))) {
+        plan.phases.insert(
+            i + 1,
+            Phase::seq(svc_steps(
+                svc.dedup_placement,
+                CpuWork::DedupScan(b as usize),
+                SVC_ENG_DEDUP,
+                b,
+            )),
+        );
+    }
+    if let Some(i) = phase_with(plan, |s| matches!(s, Step::Mark(StageKind::Compress))) {
+        plan.phases.insert(
+            i + 1,
+            Phase::seq(svc_steps(
+                svc.crypt_placement,
+                CpuWork::Crypt(sealed as usize),
+                SVC_ENG_CRYPT,
+                sealed,
+            )),
+        );
+    }
+}
+
+/// Splices the data-service steps into a read-miss plan: an optional cache
+/// probe during header parse, and decryption of the fetched `sealed`-byte
+/// container right after the storage fetch.
+pub fn inject_read_services(plan: &mut Plan, svc: &ServicesConfig, sealed: u32, cache: bool) {
+    if cache {
+        // The probe runs where the header is parsed (always hub software).
+        if let Some(branch) = plan
+            .phases
+            .iter_mut()
+            .flat_map(|ph| ph.branches.iter_mut())
+            .find(|br| br.contains(&Step::Cpu(CpuWork::ParseHeader)))
+        {
+            branch.push(Step::Cpu(CpuWork::CacheLookup));
+        }
+    }
+    if let Some(i) = phase_with(plan, |s| matches!(s, Step::Fetch(_))) {
+        plan.phases.insert(
+            i + 1,
+            Phase::seq(svc_steps(
+                svc.crypt_placement,
+                CpuWork::Crypt(sealed as usize),
+                SVC_ENG_CRYPT,
+                sealed,
+            )),
+        );
+    }
+}
+
+/// The cache-hit read plan: header ingress and parse as usual, then the
+/// block is served straight from the middle tier's design-local memory —
+/// no storage fetch, no decrypt, no decompress. This is the fabric hop the
+/// hot-block cache exists to skip.
+pub fn read_hit_plan(design: Design, port: u8, b: u32) -> Plan {
+    let mut p = Plan::default();
+    let ingress_store: Vec<Step> = match design {
+        Design::CpuOnly | Design::Acc { .. } => vec![
+            Step::Xfer(Res::NicD2H, H),
+            Step::Xfer(Res::MemWrite, H),
+        ],
+        Design::Bf2 => vec![Step::Xfer(Res::DevMem, H)],
+        Design::SmartDs { .. } => vec![Step::Xfer(Res::DevD2H, H), Step::Xfer(Res::MemWrite, H)],
+    };
+    p.phases.push(Phase::par(vec![
+        vec![
+            Step::Wait(NET_PROPAGATION),
+            Step::Xfer(Res::PortRx(port), w(H)),
+        ],
+        ingress_store,
+    ]));
+    p.phases.push(Phase::seq(vec![
+        Step::Cpu(CpuWork::ParseHeader),
+        Step::Cpu(CpuWork::CacheLookup),
+        Step::Cpu(CpuWork::PostVerb),
+    ]));
+    match design {
+        Design::CpuOnly | Design::Acc { .. } => {
+            p.phases.push(Phase::par(vec![
+                vec![
+                    Step::Xfer(Res::NicH2D, H + b),
+                    Step::Xfer(Res::PortTx(port), w(H + b)),
+                    Step::Wait(NET_PROPAGATION),
+                ],
+                vec![Step::Xfer(Res::MemRead, b)],
+            ]));
+        }
+        Design::Bf2 => {
+            p.phases.push(Phase::seq(vec![
+                Step::Xfer(Res::DevMem, b),
+                Step::Xfer(Res::PortTx(port), w(H + b)),
+                Step::Wait(NET_PROPAGATION),
+            ]));
+        }
+        Design::SmartDs { .. } => {
+            // Cached payload lives in HBM; the header is assembled from
+            // host memory as on the ordinary read reply.
+            p.phases.push(Phase::par(vec![vec![
+                Step::Xfer(Res::DevH2D, H),
+                Step::Xfer(Res::MemRead, H),
+                Step::Xfer(Res::Hbm, b),
+                Step::Xfer(Res::PortTx(port), w(H + b)),
+                Step::Wait(NET_PROPAGATION),
+            ]]));
+        }
+    }
+    p
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,6 +831,77 @@ mod tests {
                 .count();
             assert_eq!(stores, 3, "{d}: replicas");
             assert_eq!(compresses, 1, "{d}: compress steps");
+        }
+    }
+
+    fn flat(p: &Plan) -> Vec<Step> {
+        p.phases
+            .iter()
+            .flat_map(|ph| ph.branches.iter())
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    #[test]
+    fn write_injection_adds_dedup_and_crypt_phases() {
+        let svc = ServicesConfig::paper();
+        for d in [
+            Design::CpuOnly,
+            Design::Acc { ddio: true },
+            Design::Bf2,
+            Design::SmartDs { ports: 1 },
+        ] {
+            let base = write_plan(d, 0, B, C);
+            let mut p = base.clone();
+            inject_write_services(&mut p, &svc, B, 1200);
+            assert_eq!(p.phases.len(), base.phases.len() + 2, "{d}");
+            let steps = flat(&p);
+            assert!(steps.contains(&Step::Cpu(CpuWork::DedupScan(B as usize))), "{d}");
+            assert!(steps.contains(&Step::Cpu(CpuWork::Crypt(1200))), "{d}");
+            // The dedup scan lands between the parse and compress marks.
+            let pos = |s: Step| steps.iter().position(|x| *x == s).unwrap_or(usize::MAX);
+            assert!(pos(Step::Mark(StageKind::Parse)) < pos(Step::Cpu(CpuWork::DedupScan(B as usize))), "{d}");
+            assert!(pos(Step::Mark(StageKind::Compress)) < pos(Step::Cpu(CpuWork::Crypt(1200))), "{d}");
+        }
+        // Engine placement swaps in dedicated engine steps plus their
+        // pipeline-fill waits; SoC placement targets the service Arm pool.
+        let eng = ServicesConfig::paper().with_placement(Placement::Engine);
+        let mut p = write_plan(Design::CpuOnly, 0, B, C);
+        inject_write_services(&mut p, &eng, B, 1200);
+        let steps = flat(&p);
+        assert!(steps.contains(&Step::SvcEngine(SVC_ENG_DEDUP, B)));
+        assert!(steps.contains(&Step::SvcEngine(SVC_ENG_CRYPT, 1200)));
+        let soc = ServicesConfig::paper().with_placement(Placement::Soc);
+        let mut p = write_plan(Design::Bf2, 0, B, C);
+        inject_write_services(&mut p, &soc, B, 1200);
+        let steps = flat(&p);
+        assert!(steps.contains(&Step::SvcCpu(CpuWork::DedupScan(B as usize))));
+        assert!(steps.contains(&Step::SvcCpu(CpuWork::Crypt(1200))));
+    }
+
+    #[test]
+    fn read_injection_and_hit_plans() {
+        let svc = ServicesConfig::paper();
+        for d in [
+            Design::CpuOnly,
+            Design::Acc { ddio: true },
+            Design::Bf2,
+            Design::SmartDs { ports: 1 },
+        ] {
+            let mut p = read_plan(d, 0, B, C);
+            inject_read_services(&mut p, &svc, C, true);
+            let steps = flat(&p);
+            assert!(steps.contains(&Step::Cpu(CpuWork::Crypt(C as usize))), "{d}");
+            assert!(steps.contains(&Step::Cpu(CpuWork::CacheLookup)), "{d}");
+            // The hit plan skips the fabric: no fetch, no store, and the
+            // full block leaves on the port anyway.
+            let hit = read_hit_plan(d, 0, B);
+            let hsteps = flat(&hit);
+            assert!(!hsteps.iter().any(|s| matches!(s, Step::Fetch(_))), "{d}");
+            assert!(!hsteps.iter().any(|s| matches!(s, Step::Store(_, _))), "{d}");
+            assert!(hsteps.contains(&Step::Cpu(CpuWork::CacheLookup)), "{d}");
+            assert!(hit.port_bytes(true) >= B as u64, "{d}");
         }
     }
 

@@ -38,19 +38,43 @@ pub struct Workload {
     chunk_fanout: u64,
     /// Zipf skew for block selection (None = uniform). Precomputed CDF.
     zipf_cdf: Option<Vec<f64>>,
+    /// Sequential-scan addressing: `(span, cursor)`. Addresses walk
+    /// `0..span` cyclically instead of being drawn at random.
+    seq_scan: Option<(u64, u64)>,
 }
 
 impl Workload {
     /// Builds a workload over `pool_blocks` Silesia-mix blocks of
     /// `block_size` bytes.
     pub fn new(block_size: usize, pool_blocks: usize, seed: u64) -> Self {
+        Self::from_pool(BlockPool::build(block_size, pool_blocks, seed), seed)
+    }
+
+    /// Builds a workload over blocks drawn from a single corpus `profile`
+    /// instead of the Silesia mix (the services experiment's corpus knob:
+    /// incompressible vs text-like vs redundant payloads).
+    pub fn with_profile(
+        block_size: usize,
+        pool_blocks: usize,
+        seed: u64,
+        profile: &corpus::Profile,
+    ) -> Self {
+        Self::from_pool(
+            BlockPool::from_profile(block_size, pool_blocks, seed, profile),
+            seed,
+        )
+    }
+
+    fn from_pool(pool: BlockPool, seed: u64) -> Self {
+        let pool_blocks = pool.len();
         Workload {
-            pool: BlockPool::build(block_size, pool_blocks, seed),
+            pool,
             compressed: vec![None; pool_blocks],
             layout: VdLayout::paper(),
             rng: Rng::new(seed ^ 0x00C0_FFEE),
             chunk_fanout: 16,
             zipf_cdf: None,
+            seq_scan: None,
         }
     }
 
@@ -75,6 +99,20 @@ impl Workload {
             *v /= total;
         }
         self.zipf_cdf = Some(cdf);
+    }
+
+    /// Enables sequential-scan addressing: block addresses walk `0..span`
+    /// cyclically (wrapping across chunks of the layout) instead of being
+    /// drawn at random. Later laps of the scan revisit addresses the first
+    /// lap wrote — the streaming access pattern sequential prefetch keys
+    /// on. Payload (pool block) selection is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero.
+    pub fn set_sequential(&mut self, span: u64) {
+        assert!(span > 0, "sequential span must be positive");
+        self.seq_scan = Some((span, 0));
     }
 
     fn pick_block(&mut self) -> usize {
@@ -102,7 +140,14 @@ impl Workload {
         // ties the address to the (Zipf-chosen) block, so hot logical
         // blocks are *rewritten* — the supersede pattern that feeds LSM
         // compaction and garbage collection in production.
-        let (chunk, block) = if self.zipf_cdf.is_some() {
+        let (chunk, block) = if let Some((span, cursor)) = &mut self.seq_scan {
+            let a = *cursor;
+            *cursor = (a + 1) % *span;
+            (
+                (a / self.layout.blocks_per_chunk()) % self.chunk_fanout,
+                a % self.layout.blocks_per_chunk(),
+            )
+        } else if self.zipf_cdf.is_some() {
             let h = (pool_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             (
                 h % self.chunk_fanout,

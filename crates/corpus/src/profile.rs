@@ -26,6 +26,12 @@ pub struct Profile {
     pub lit_min: usize,
     /// Maximum literal-run length (inclusive).
     pub lit_max: usize,
+    /// Probability that a pool block is a byte-for-byte copy of an earlier
+    /// block instead of fresh stream content (VM-image/backup-style whole
+    /// block duplication — the redundancy content-defined dedup keys on;
+    /// LZ4 never sees it because blocks compress standalone). Only
+    /// [`crate::BlockPool::from_profile`] consumes it.
+    pub dup_block_prob: f64,
 }
 
 impl Profile {
@@ -43,6 +49,11 @@ impl Profile {
         assert!((1..=256).contains(&self.alphabet), "alphabet: {}", self.alphabet);
         assert!(self.skew >= 1.0, "skew must be >= 1.0");
         assert!(self.lit_min >= 1 && self.lit_max >= self.lit_min, "literal range empty");
+        assert!(
+            (0.0..=1.0).contains(&self.dup_block_prob),
+            "dup_block_prob: {}",
+            self.dup_block_prob
+        );
     }
 
     /// A profile producing nearly incompressible data (LZ4 ratio ≈ 1.0).
@@ -56,6 +67,7 @@ impl Profile {
             skew: 1.0,
             lit_min: 64,
             lit_max: 256,
+            dup_block_prob: 0.0,
         }
     }
 
@@ -70,6 +82,7 @@ impl Profile {
             skew: 2.0,
             lit_min: 3,
             lit_max: 12,
+            dup_block_prob: 0.08,
         }
     }
 
@@ -85,6 +98,7 @@ impl Profile {
             skew: 2.0,
             lit_min: 2,
             lit_max: 8,
+            dup_block_prob: 0.35,
         }
     }
 }

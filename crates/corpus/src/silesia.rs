@@ -50,6 +50,9 @@ const fn profile(
         skew,
         lit_min,
         lit_max,
+        // The Silesia pool models one tarball of distinct files, not a
+        // backup stream; whole-block duplication stays off.
+        dup_block_prob: 0.0,
     }
 }
 
@@ -232,6 +235,40 @@ impl BlockPool {
         BlockPool { blocks, block_size }
     }
 
+    /// Builds a pool of `count` blocks sliced from one contiguous region
+    /// generated by a single `profile` (instead of the Silesia mix), with
+    /// the same region-slice-then-shuffle construction as
+    /// [`BlockPool::build`] so intra-region redundancy straddles block
+    /// boundaries. On top of that, each block is replaced by a copy of an
+    /// earlier block with probability `profile.dup_block_prob` — the
+    /// whole-block duplication (VM images, backup streams) that
+    /// content-defined dedup keys on and standalone-block LZ4 cannot see.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` or `count` is zero.
+    pub fn from_profile(block_size: usize, count: usize, seed: u64, profile: &Profile) -> Self {
+        assert!(block_size > 0 && count > 0, "empty block pool");
+        let mut rng = Rng::new(seed);
+        let region = generate(profile, count * block_size + block_size, rng.next_u64());
+        let mut blocks = Vec::with_capacity(count);
+        for b in 0..count {
+            let off = b * block_size;
+            blocks.push(region[off..off + block_size].to_vec());
+        }
+        for i in 1..blocks.len() {
+            if rng.gen_f64() < profile.dup_block_prob {
+                let src = rng.gen_range(i as u64) as usize;
+                blocks[i] = blocks[src].clone();
+            }
+        }
+        for i in (1..blocks.len()).rev() {
+            let j = rng.gen_range((i + 1) as u64) as usize;
+            blocks.swap(i, j);
+        }
+        BlockPool { blocks, block_size }
+    }
+
     /// Number of blocks in the pool.
     pub fn len(&self) -> usize {
         self.blocks.len()
@@ -318,6 +355,24 @@ mod tests {
         let c = silesia_file("webster").unwrap().synthesize(10_000, 3);
         assert_eq!(a, b);
         assert_ne!(a, c, "different members differ under one seed");
+    }
+
+    #[test]
+    fn from_profile_duplicates_whole_blocks() {
+        let pool = BlockPool::from_profile(4096, 128, 9, &Profile::redundant());
+        let distinct: std::collections::BTreeSet<&[u8]> =
+            (0..pool.len()).map(|i| pool.get(i)).collect();
+        // dup_block_prob = 0.35: a healthy share of blocks are copies, but
+        // far from all of them.
+        assert!(
+            distinct.len() < 115 && distinct.len() > 50,
+            "distinct blocks: {}",
+            distinct.len()
+        );
+        let none = BlockPool::from_profile(4096, 128, 9, &Profile::incompressible());
+        let distinct: std::collections::BTreeSet<&[u8]> =
+            (0..none.len()).map(|i| none.get(i)).collect();
+        assert_eq!(distinct.len(), 128, "dup_block_prob = 0 copies nothing");
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! A seeded bloom filter fronting the exact fingerprint index.
+//!
+//! Dedup looks every chunk up; most lookups in a fresh stream are misses.
+//! The bloom filter answers the common "definitely new" case from a bit
+//! array, and only bloom-positive chunks touch the exact `BTreeMap` index.
+//! False positives are *deterministic per seed* (double hashing from
+//! splitmix64), so the simulation's cost accounting — which charges the
+//! exact-index probe only on bloom positives — stays a pure function of the
+//! seed.
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fixed-size bloom filter over 64-bit keys.
+#[derive(Clone, Debug)]
+pub struct Bloom {
+    bits: Vec<u64>,
+    /// log2 of the bit-array size.
+    log2_bits: u32,
+    /// Number of probe positions per key.
+    k: u32,
+    seed: u64,
+    inserted: u64,
+}
+
+impl Bloom {
+    /// A filter of `2^log2_bits` bits with `k` probes per key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_bits` is not in 6–32 or `k` not in 1–16.
+    pub fn new(log2_bits: u32, k: u32, seed: u64) -> Self {
+        assert!((6..=32).contains(&log2_bits), "log2_bits 6-32");
+        assert!((1..=16).contains(&k), "k 1-16");
+        Bloom {
+            bits: vec![0u64; 1 << (log2_bits - 6)],
+            log2_bits,
+            k,
+            seed,
+            inserted: 0,
+        }
+    }
+
+    /// Kirsch–Mitzenmacher double hashing: probe `i` lands at `h1 + i*h2`.
+    fn probes(&self, key: u64) -> (u64, u64) {
+        let h1 = splitmix64(key ^ self.seed);
+        let h2 = splitmix64(h1 ^ 0xD6E8_FEB8_6659_FD93) | 1;
+        (h1, h2)
+    }
+
+    /// Inserts `key`.
+    pub fn insert(&mut self, key: u64) {
+        let (h1, h2) = self.probes(key);
+        let mask = (1u64 << self.log2_bits) - 1;
+        for i in 0..self.k as u64 {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2))) & mask;
+            self.bits[(bit >> 6) as usize] |= 1u64 << (bit & 63);
+        }
+        self.inserted += 1;
+    }
+
+    /// Whether `key` *may* have been inserted (false positives possible,
+    /// false negatives not).
+    pub fn contains(&self, key: u64) -> bool {
+        let (h1, h2) = self.probes(key);
+        let mask = (1u64 << self.log2_bits) - 1;
+        for i in 0..self.k as u64 {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2))) & mask;
+            if self.bits[(bit >> 6) as usize] & (1u64 << (bit & 63)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Keys inserted so far.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// The theoretical false-positive rate at the current fill:
+    /// `(1 - e^(-kn/m))^k`.
+    pub fn expected_fp_rate(&self) -> f64 {
+        let m = (1u64 << self.log2_bits) as f64;
+        let kn = self.k as f64 * self.inserted as f64;
+        (1.0 - (-kn / m).exp()).powi(self.k as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = Bloom::new(12, 4, 99);
+        for i in 0..500u64 {
+            b.insert(splitmix64(i));
+        }
+        for i in 0..500u64 {
+            assert!(b.contains(splitmix64(i)), "false negative at {i}");
+        }
+        assert_eq!(b.inserted(), 500);
+    }
+
+    #[test]
+    fn fp_rate_near_theory() {
+        let mut b = Bloom::new(14, 4, 7);
+        for i in 0..1500u64 {
+            b.insert(splitmix64(i));
+        }
+        let mut fps = 0u32;
+        let probes = 20_000u64;
+        for i in 0..probes {
+            if b.contains(splitmix64(i + 1_000_000)) {
+                fps += 1;
+            }
+        }
+        let got = fps as f64 / probes as f64;
+        let want = b.expected_fp_rate();
+        assert!(got < want * 2.0 + 0.01, "fp rate {got} vs theory {want}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Bloom::new(10, 3, 5);
+        let mut b = Bloom::new(10, 3, 5);
+        for i in 0..100u64 {
+            a.insert(i);
+            b.insert(i);
+        }
+        for i in 0..5000u64 {
+            assert_eq!(a.contains(i), b.contains(i));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! A deterministic LRU hot-block cache with prefetch accounting.
+//!
+//! Recency is a logical tick counter (no wall clock), the key map is a
+//! `BTreeMap` (no randomized iteration), and eviction picks the strictly
+//! smallest tick — so a seeded simulation that drives this cache from its
+//! event loop gets an eviction order that is a pure function of the access
+//! sequence. Entries remember whether a prefetch brought them in, which is
+//! how the services layer separates demand hits from prefetch hits.
+
+use std::collections::BTreeMap;
+
+/// Hit/miss/eviction/prefetch accounting, cumulative.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries inserted by the prefetcher.
+    pub prefetch_inserts: u64,
+    /// Hits whose entry was brought in by a prefetch (first touch only).
+    pub prefetch_hits: u64,
+}
+
+impl CacheStats {
+    /// Demand hit rate over all lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry<V> {
+    value: V,
+    tick: u64,
+    /// Inserted by the prefetcher and not yet demanded.
+    prefetched: bool,
+}
+
+/// A capacity-bounded LRU map.
+#[derive(Clone, Debug)]
+pub struct LruCache<K: Ord + Clone, V> {
+    map: BTreeMap<K, Entry<V>>,
+    /// Recency index: tick → key. Ticks are unique, so this is a total
+    /// order and eviction is deterministic.
+    recency: BTreeMap<u64, K>,
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl<K: Ord + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            map: BTreeMap::new(),
+            recency: BTreeMap::new(),
+            capacity,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn touch(&mut self, key: &K) {
+        if let Some(e) = self.map.get_mut(key) {
+            self.recency.remove(&e.tick);
+            self.tick += 1;
+            e.tick = self.tick;
+            self.recency.insert(self.tick, key.clone());
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency and counting a hit or miss.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        if self.map.contains_key(key) {
+            self.stats.hits += 1;
+            if let Some(e) = self.map.get_mut(key) {
+                if e.prefetched {
+                    self.stats.prefetch_hits += 1;
+                    e.prefetched = false;
+                }
+            }
+            self.touch(key);
+            self.map.get(key).map(|e| &e.value)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Whether `key` is resident, without touching recency or stats.
+    pub fn peek(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts (or refreshes) `key`; `prefetched` marks prefetcher inserts.
+    /// Returns the evicted key, if the capacity bound forced one out.
+    pub fn insert(&mut self, key: K, value: V, prefetched: bool) -> Option<K> {
+        if prefetched && !self.map.contains_key(&key) {
+            self.stats.prefetch_inserts += 1;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(old) = self.map.insert(
+            key.clone(),
+            Entry {
+                value,
+                tick,
+                prefetched,
+            },
+        ) {
+            self.recency.remove(&old.tick);
+        }
+        self.recency.insert(tick, key);
+        if self.map.len() > self.capacity {
+            // Strictly smallest tick = least recently used.
+            if let Some((&t, _)) = self.recency.iter().next() {
+                if let Some(victim) = self.recency.remove(&t) {
+                    self.map.remove(&victim);
+                    self.stats.evictions += 1;
+                    return Some(victim);
+                }
+            }
+        }
+        None
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cumulative accounting.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.insert(1, "a", false), None);
+        assert_eq!(c.insert(2, "b", false), None);
+        assert!(c.get(&1).is_some()); // 2 is now LRU
+        assert_eq!(c.insert(3, "c", false), Some(2));
+        assert!(c.get(&2).is_none());
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&3).is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!((s.hits, s.misses), (3, 1));
+    }
+
+    #[test]
+    fn prefetch_hits_counted_once() {
+        let mut c = LruCache::new(4);
+        c.insert(7, "p", true);
+        assert_eq!(c.stats().prefetch_inserts, 1);
+        c.get(&7);
+        c.get(&7);
+        let s = c.stats();
+        assert_eq!(s.prefetch_hits, 1, "only the first demand touch counts");
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10, false);
+        c.insert(2, 20, false);
+        c.insert(1, 11, false); // refresh, not growth
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.stats().evictions, 0);
+        // 2 is LRU now.
+        assert_eq!(c.insert(3, 30, false), Some(2));
+    }
+}

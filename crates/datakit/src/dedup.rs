@@ -1,0 +1,171 @@
+//! The dedup fingerprint index: bloom filter in front, exact `BTreeMap`
+//! behind, plus the chunk store that makes reassembly possible.
+//!
+//! A chunk's identity is a 128-bit content fingerprint (two independent
+//! 64-bit FNV-style passes). [`DedupIndex::observe_chunk`] classifies a
+//! chunk as new or duplicate and records the stats the services experiment
+//! reports: unique/duplicate chunk and byte counts, bloom-filter traffic,
+//! and deterministic false-positive counts (a bloom positive whose exact
+//! probe misses).
+
+use crate::bloom::Bloom;
+use std::collections::BTreeMap;
+
+/// A 128-bit content fingerprint.
+pub type Fp = (u64, u64);
+
+/// Fingerprints `data` with two independent 64-bit FNV-1a passes (different
+/// offset bases), giving a 128-bit identity; a collision would need both
+/// to collide at once.
+pub fn fingerprint(data: &[u8]) -> Fp {
+    let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut b: u64 = 0x6c62_272e_07bb_0142;
+    for &x in data {
+        a ^= x as u64;
+        a = a.wrapping_mul(0x0000_0100_0000_01b3);
+        b = b.wrapping_add(x as u64 ^ 0xA5);
+        b = b.wrapping_mul(0x0000_0100_0000_01b3);
+        b ^= b >> 29;
+    }
+    (a, b)
+}
+
+/// What the index said about one observed chunk.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DedupOutcome {
+    /// First sighting: the chunk's bytes must be stored.
+    Unique,
+    /// Already indexed: only a reference needs to be stored.
+    Duplicate,
+}
+
+/// Dedup accounting, cumulative over the index's lifetime.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DedupStats {
+    /// Chunks observed.
+    pub chunks: u64,
+    /// Chunks seen for the first time.
+    pub unique_chunks: u64,
+    /// Chunks answered as duplicates.
+    pub dup_chunks: u64,
+    /// Bytes observed.
+    pub bytes: u64,
+    /// Bytes belonging to first-sighting chunks.
+    pub unique_bytes: u64,
+    /// Lookups the bloom filter answered negatively (exact index skipped).
+    pub bloom_negative: u64,
+    /// Bloom positives whose exact probe missed (deterministic FPs).
+    pub bloom_fp: u64,
+}
+
+impl DedupStats {
+    /// Bytes-observed over bytes-stored; 1.0 means nothing deduplicated.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.unique_bytes == 0 {
+            1.0
+        } else {
+            self.bytes as f64 / self.unique_bytes as f64
+        }
+    }
+}
+
+/// The bloom-fronted exact chunk index.
+///
+/// Plain owned state: the simulation keeps exactly one of these on its hub
+/// shard, so lookups and inserts happen in deterministic event order.
+#[derive(Clone, Debug)]
+pub struct DedupIndex {
+    bloom: Bloom,
+    /// Exact index: fingerprint → the chunk's bytes (the chunk store that
+    /// read-path reassembly resolves duplicate references against).
+    exact: BTreeMap<Fp, Vec<u8>>,
+    stats: DedupStats,
+}
+
+impl DedupIndex {
+    /// An empty index with a `2^log2_bits`-bit bloom front.
+    pub fn new(log2_bits: u32, seed: u64) -> Self {
+        DedupIndex {
+            bloom: Bloom::new(log2_bits, 4, seed),
+            exact: BTreeMap::new(),
+            stats: DedupStats::default(),
+        }
+    }
+
+    /// Classifies one chunk, inserting it if new. The bloom filter keys on
+    /// the fingerprint's first word; `bloom_fp` counts the (seeded,
+    /// deterministic) positives the exact probe then rejects.
+    pub fn observe_chunk(&mut self, fp: Fp, data: &[u8]) -> DedupOutcome {
+        self.stats.chunks += 1;
+        self.stats.bytes += data.len() as u64;
+        let mut known = false;
+        if self.bloom.contains(fp.0) {
+            known = self.exact.contains_key(&fp);
+            if !known {
+                self.stats.bloom_fp += 1;
+            }
+        } else {
+            self.stats.bloom_negative += 1;
+        }
+        if known {
+            self.stats.dup_chunks += 1;
+            DedupOutcome::Duplicate
+        } else {
+            self.stats.unique_chunks += 1;
+            self.stats.unique_bytes += data.len() as u64;
+            self.bloom.insert(fp.0);
+            self.exact.insert(fp, data.to_vec());
+            DedupOutcome::Unique
+        }
+    }
+
+    /// The stored bytes of an indexed chunk (read-path reassembly).
+    pub fn chunk_bytes(&self, fp: Fp) -> Option<&[u8]> {
+        self.exact.get(&fp).map(Vec::as_slice)
+    }
+
+    /// Distinct chunks stored.
+    pub fn len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty()
+    }
+
+    /// Cumulative accounting.
+    pub fn stats(&self) -> DedupStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_detected_and_bytes_counted() {
+        let mut ix = DedupIndex::new(12, 1);
+        let a = vec![1u8; 300];
+        let b = vec![2u8; 200];
+        assert_eq!(ix.observe_chunk(fingerprint(&a), &a), DedupOutcome::Unique);
+        assert_eq!(ix.observe_chunk(fingerprint(&b), &b), DedupOutcome::Unique);
+        assert_eq!(
+            ix.observe_chunk(fingerprint(&a), &a),
+            DedupOutcome::Duplicate
+        );
+        let s = ix.stats();
+        assert_eq!((s.chunks, s.unique_chunks, s.dup_chunks), (3, 2, 1));
+        assert_eq!((s.bytes, s.unique_bytes), (800, 500));
+        assert!((s.dedup_ratio() - 1.6).abs() < 1e-9);
+        assert_eq!(ix.chunk_bytes(fingerprint(&a)).map(|c| c.len()), Some(300));
+    }
+
+    #[test]
+    fn fingerprints_differ_on_content() {
+        assert_ne!(fingerprint(b"hello"), fingerprint(b"hellp"));
+        assert_ne!(fingerprint(b""), fingerprint(b"\0"));
+        assert_eq!(fingerprint(b"same"), fingerprint(b"same"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # datakit — functional data services: dedup, encryption, caching
+//!
+//! The middle tier's application-aware data services, implemented on real
+//! bytes (not latency fudge factors): content-defined-chunking dedup with a
+//! bloom-filter-fronted fingerprint index, an XTS-style length-preserving
+//! block cipher, and a deterministic LRU + sequential-prefetch hot-block
+//! cache. `smartds::services` wires these into the write/read byte path;
+//! this crate is the pure, seed-deterministic substrate.
+//!
+//! Everything here is a plain data structure — no interior mutability, no
+//! wall clock, no hashing with randomized order — so a simulation that
+//! threads these through its event loop stays a pure function of its seed.
+//!
+//! ```
+//! use datakit::{Chunker, ChunkParams, DedupIndex, XtsCipher};
+//!
+//! let params = ChunkParams::default_4k();
+//! let data = vec![7u8; 8192];
+//! let cuts = Chunker::new(params, 1).cut_all(&data);
+//! assert!(!cuts.is_empty());
+//!
+//! let cipher = XtsCipher::new(0xfeed);
+//! let sealed = cipher.encrypt(&data, 42);
+//! assert_ne!(sealed, data);
+//! assert_eq!(cipher.decrypt(&sealed, 42), data);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bloom;
+mod cache;
+mod chunker;
+mod crypt;
+mod dedup;
+
+pub use bloom::Bloom;
+pub use cache::{CacheStats, LruCache};
+pub use chunker::{ChunkParams, Chunker};
+pub use crypt::XtsCipher;
+pub use dedup::{fingerprint, DedupIndex, DedupOutcome, DedupStats, Fp};

@@ -1,0 +1,127 @@
+//! Property suites for the data-services substrate (on the in-repo
+//! `testkit` harness; replay failures with `TESTKIT_SEED=<seed>`).
+//!
+//! The three properties the services layer leans on:
+//!
+//! 1. **Chunker boundary invariance** — the same bytes produce the same cut
+//!    points no matter how the stream is split across `push` calls.
+//! 2. **Bloom soundness** — no false negatives ever, and the seeded
+//!    false-positive rate stays near the analytical bound.
+//! 3. **LRU determinism** — the same access sequence yields the same hits,
+//!    evictions, and final residency, and capacity is never exceeded.
+
+use datakit::{Bloom, ChunkParams, Chunker, LruCache, XtsCipher};
+use testkit::gen::{self, Gen};
+use testkit::one_of;
+
+/// Byte streams with mixed character: random, low-alphabet, repetitive.
+fn arbitrary_stream() -> impl Gen<Value = Vec<u8>> {
+    one_of![
+        gen::bytes(0..16384),
+        gen::vecs(gen::choice(vec![b'x', b'y', b'z', b'!']), 0..16384),
+        (gen::bytes(1..128), gen::usizes(1..256)).map(|(chunk, reps)| {
+            chunk
+                .iter()
+                .cycle()
+                .take(chunk.len() * reps)
+                .copied()
+                .collect::<Vec<u8>>()
+        }),
+    ]
+}
+
+testkit::prop! {
+    cases = 128;
+
+    /// Feeding the stream in arbitrary slices moves no cut point.
+    fn chunker_boundary_invariance(
+        data in arbitrary_stream(),
+        splits in gen::vecs(gen::usizes(1..512), 0..64),
+        seed in gen::u64s(..),
+    ) {
+        let p = ChunkParams::default_4k();
+        let whole = Chunker::new(p, seed).cut_all(&data);
+
+        let mut pieced = Chunker::new(p, seed);
+        let mut cuts = Vec::new();
+        let mut off = 0usize;
+        for s in splits {
+            if off >= data.len() {
+                break;
+            }
+            let end = (off + s).min(data.len());
+            pieced.push(&data[off..end], &mut cuts);
+            off = end;
+        }
+        pieced.push(&data[off..], &mut cuts);
+        pieced.finish(&mut cuts);
+
+        assert_eq!(cuts, whole, "cut points moved with feed granularity");
+        assert_eq!(cuts.iter().sum::<usize>(), data.len());
+    }
+
+    /// Bloom filters never forget an inserted key, and the observed FP rate
+    /// on fresh keys stays within 2× of theory (+1% absolute slack for
+    /// small-sample noise).
+    fn bloom_no_false_negatives_and_fp_bound(
+        keys in gen::vecs(gen::u64s(..), 1..600),
+        seed in gen::u64s(..),
+    ) {
+        let mut b = Bloom::new(13, 4, seed);
+        for &k in &keys {
+            b.insert(k);
+        }
+        for &k in &keys {
+            assert!(b.contains(k), "false negative for {k}");
+        }
+        let mut fps = 0u32;
+        let probes = 4096u64;
+        for i in 0..probes {
+            let fresh = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xF00D;
+            if !keys.contains(&fresh) && b.contains(fresh) {
+                fps += 1;
+            }
+        }
+        let rate = fps as f64 / probes as f64;
+        assert!(
+            rate <= b.expected_fp_rate() * 2.0 + 0.01,
+            "fp rate {rate} vs theory {}",
+            b.expected_fp_rate()
+        );
+    }
+
+    /// Two caches fed the same op sequence agree on every hit, every
+    /// eviction, and the final contents; the capacity bound always holds.
+    fn lru_eviction_order_deterministic(
+        ops in gen::vecs((gen::u64s(0..64), gen::bools()), 1..400),
+        cap in gen::usizes(1..16),
+    ) {
+        let mut a: LruCache<u64, u64> = LruCache::new(cap);
+        let mut b: LruCache<u64, u64> = LruCache::new(cap);
+        for (i, &(key, is_insert)) in ops.iter().enumerate() {
+            if is_insert {
+                let ea = a.insert(key, i as u64, false);
+                let eb = b.insert(key, i as u64, false);
+                assert_eq!(ea, eb, "eviction diverged at op {i}");
+            } else {
+                let ha = a.get(&key).copied();
+                let hb = b.get(&key).copied();
+                assert_eq!(ha, hb, "hit diverged at op {i}");
+            }
+            assert!(a.len() <= cap, "capacity exceeded");
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    /// XTS round-trips at every length and stays length-preserving.
+    fn xts_round_trip(
+        data in arbitrary_stream(),
+        key in gen::u64s(..),
+        segment in gen::u64s(..),
+    ) {
+        let c = XtsCipher::new(key);
+        let e = c.encrypt(&data, segment);
+        assert_eq!(e.len(), data.len());
+        assert_eq!(c.decrypt(&e, segment), data);
+    }
+}

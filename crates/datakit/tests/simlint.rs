@@ -1,0 +1,8 @@
+//! Embeds the workspace-wide simlint pass (crates/lintkit) in this
+//! crate's test suite: `cargo test -p <this crate>` fails on any
+//! determinism or zero-dependency violation anywhere in the workspace.
+
+#[test]
+fn simlint_workspace_clean() {
+    lintkit::assert_workspace_clean(env!("CARGO_MANIFEST_DIR"));
+}

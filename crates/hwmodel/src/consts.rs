@@ -143,6 +143,30 @@ pub const BF2_DEVMEM_BW: f64 = gbps(200.0);
 pub const SOC_DEVMEM_AMPLIFICATION: f64 = 3.5;
 
 // ---------------------------------------------------------------------------
+// Data services (dedup scan, XTS encryption, hot-block cache) — §3-style
+// placement analysis: the same service runs on host cores, the SmartNIC's
+// Arm complex, or a BF2-class fixed-function engine.
+// ---------------------------------------------------------------------------
+
+/// Software content-defined-chunking + fingerprint scan rate of one host
+/// core (memory-bound rolling hash over every payload byte; anchored to
+/// published gear-CDC figures of ~1.5 GB/s/core).
+pub const CPU_DEDUP_BW: f64 = gbps(12.0);
+/// Software XTS-AES rate of one host core with AES-NI (~2 GB/s/core).
+pub const CPU_CRYPT_BW: f64 = gbps(16.0);
+/// BF2-class inline dedup/hash engine rate (hard IP beside the DMA path).
+pub const SVC_ENGINE_DEDUP_BW: f64 = gbps(50.0);
+/// BF2-class inline crypto engine rate (§3.4-class hard IP; ConnectX/BF2
+/// data sheets quote near-line-rate AES-XTS for bulk streams).
+pub const SVC_ENGINE_CRYPT_BW: f64 = gbps(60.0);
+/// Fixed pipeline-fill latency of the inline service engines (ASIC blocks,
+/// same depth class as the BF2 compression engine).
+pub const SVC_ENGINE_PIPELINE: Time = SOC_ENGINE_PIPELINE;
+/// CPU time for one hot-block cache index probe + LRU bookkeeping (a few
+/// pointer chases in a tree resident in the middle tier's DRAM).
+pub const CACHE_LOOKUP: Time = Time::from_ps(180_000);
+
+// ---------------------------------------------------------------------------
 // Workload & protocol (§2)
 // ---------------------------------------------------------------------------
 

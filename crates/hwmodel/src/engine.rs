@@ -13,8 +13,8 @@
 //! holds the one-armed-wakeup invariant.
 
 use crate::consts::{
-    cpu_lz4_capacity, BF2_ARM_SLOWDOWN, BF2_ENGINE_BW, CPU_LZ4_DECOMP_FACTOR, ENGINE_BLOCK_SETUP,
-    FPGA_ENGINE_BW, HEADER_PARSE, VERB_POST,
+    cpu_lz4_capacity, BF2_ARM_SLOWDOWN, BF2_ENGINE_BW, CACHE_LOOKUP, CPU_CRYPT_BW, CPU_DEDUP_BW,
+    CPU_LZ4_DECOMP_FACTOR, ENGINE_BLOCK_SETUP, FPGA_ENGINE_BW, HEADER_PARSE, VERB_POST,
 };
 use simkit::{transfer_time, JobStart, ServerPool, Time};
 
@@ -110,6 +110,13 @@ pub enum CpuWork {
     Compress(usize),
     /// Software LZ4 decompression producing this many bytes.
     Decompress(usize),
+    /// Software content-defined-chunking dedup scan over this many bytes
+    /// (rolling hash + fingerprint + index probe).
+    DedupScan(usize),
+    /// Software XTS encryption/decryption of this many bytes.
+    Crypt(usize),
+    /// One hot-block cache index probe + LRU bookkeeping.
+    CacheLookup,
 }
 
 /// A pool of host (or Arm) cores running middle-tier software.
@@ -170,6 +177,11 @@ impl CpuPool {
                 bytes as u64,
                 self.lz4_rate_per_core() * CPU_LZ4_DECOMP_FACTOR,
             ),
+            // Byte-rate service work is charged at host-core rates here and
+            // scaled by `slowdown` below, so Arm pools run it 2.5× slower.
+            CpuWork::DedupScan(bytes) => transfer_time(bytes as u64, CPU_DEDUP_BW),
+            CpuWork::Crypt(bytes) => transfer_time(bytes as u64, CPU_CRYPT_BW),
+            CpuWork::CacheLookup => CACHE_LOOKUP,
         };
         match work {
             // LZ4 rates already include the slowdown via lz4_rate_total.

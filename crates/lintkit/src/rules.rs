@@ -109,7 +109,8 @@ pub const RULES: &[RuleInfo] = &[
 
 /// Crates whose `src/` trees are simulation-observable: nondeterministic
 /// iteration order there can change reports byte-for-byte.
-pub const SIM_CRATES: &[&str] = &["simkit", "rocenet", "blockstore", "core", "hwmodel", "tracekit"];
+pub const SIM_CRATES: &[&str] =
+    &["simkit", "rocenet", "blockstore", "core", "hwmodel", "tracekit", "datakit"];
 
 /// Files where `lossy-time-cast` applies: the time arithmetic core.
 pub const TIME_CAST_FILES: &[&str] = &[

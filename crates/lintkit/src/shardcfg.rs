@@ -77,6 +77,31 @@ impl ShardConfig {
                 .map(|s| s.to_string())
                 .collect(),
                 exempt_impls: vec!["StoreShard".to_string()],
+            },
+            ShardDomain {
+                name: "services".to_string(),
+                files: vec!["crates/core/src/cluster.rs".to_string()],
+                owned: [
+                    "cache_fill",
+                    "cache_probe",
+                    "prefetch_ack",
+                    "prefetch_targets",
+                    "record_write",
+                    "sealed_block",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+                exempt_fns: [
+                    "complete_request",
+                    "spawn_attempt",
+                    "store_ack",
+                    "stored_block",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+                exempt_impls: Vec::new(),
             }],
         }
     }

@@ -112,6 +112,14 @@ pub enum StageKind {
     RcTx,
     /// An RC data packet arrived at the receiver.
     RcRx,
+    /// Content-defined-chunking dedup scan over a payload.
+    Dedup,
+    /// XTS encryption or decryption of a sealed segment.
+    Encrypt,
+    /// Hot-block cache probe at the middle tier.
+    Cache,
+    /// A speculative prefetch fetch issued on a read miss.
+    Prefetch,
 }
 
 impl StageKind {
@@ -129,7 +137,7 @@ impl StageKind {
 
     /// Every stage kind, in declaration order. Breakdown tables index by
     /// position in this array.
-    pub const ALL: [StageKind; 27] = [
+    pub const ALL: [StageKind; 31] = [
         StageKind::Ingress,
         StageKind::Parse,
         StageKind::Compress,
@@ -157,6 +165,10 @@ impl StageKind {
         StageKind::Scrub,
         StageKind::RcTx,
         StageKind::RcRx,
+        StageKind::Dedup,
+        StageKind::Encrypt,
+        StageKind::Cache,
+        StageKind::Prefetch,
     ];
 
     /// Position of this kind in [`StageKind::ALL`].
@@ -212,6 +224,10 @@ impl StageKind {
             StageKind::Scrub => "scrub",
             StageKind::RcTx => "rc-tx",
             StageKind::RcRx => "rc-rx",
+            StageKind::Dedup => "dedup",
+            StageKind::Encrypt => "encrypt",
+            StageKind::Cache => "cache",
+            StageKind::Prefetch => "prefetch",
         }
     }
 }
