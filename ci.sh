@@ -69,3 +69,10 @@ SMARTDS_THREADS=4 cargo run -q -p smartds-bench --release --offline --bin experi
 # events-budget gate lives in `system-tests --test perf_budget` (part of
 # `cargo test` above).
 cargo run -q -p smartds-bench --release --offline --bin experiments -- perf --quick
+
+# Report-only perf drift check: compare the quick snapshot just written
+# against the committed full-profile BENCH_PERF.json, warning (never
+# failing) when a workload's events/sec fell >20% below the baseline.
+# Hosts and profiles differ, so this is a prompt to investigate, not a
+# gate; the deterministic events/allocation budgets above are the gates.
+cargo run -q -p smartds-bench --release --offline --bin experiments -- perf-diff

@@ -147,6 +147,10 @@ fn main() {
     }
     // Not part of `all`: perf measures the simulator itself, and its wall
     // times would be skewed by whatever other experiments just ran.
+    if which == "perf-diff" {
+        perf::diff_quick_vs_baseline(&PathBuf::from("."));
+        return;
+    }
     if which == "perf" {
         let rows = perf::run(profile);
         if let Err(e) = perf::write_json(&PathBuf::from("."), profile, &rows) {
@@ -159,7 +163,7 @@ fn main() {
         eprintln!(
             "unknown experiment '{which}'; expected one of: \
              table1 table3 fig4 fig7 fig8 fig9 fig10 sec55 soc curve tco stages breakdown reads \
-             degraded loc perf scale services all"
+             degraded loc perf perf-diff scale services all"
         );
         std::process::exit(2);
     }

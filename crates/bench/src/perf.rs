@@ -140,6 +140,9 @@ fn sweep_dense(profile: Profile, seed: u64, threads: usize) -> PerfRow {
             let mut cfg = windows(profile, RunConfig::saturating(Design::SmartDs { ports }));
             cfg.outstanding = 256 * ports;
             cfg.seed = seed;
+            // Fair-weather row: sync with the pair-lookahead matrix
+            // (identical schedule, fewer rounds).
+            let cfg = cfg.with_sync_matrix();
             // One engine thread per job: the pool is the parallelism here,
             // so `threads` is the whole host budget for this row.
             let (report, _, stats) = cluster::run_counted_stats(&cfg, |_| {}, Some(1));
@@ -206,10 +209,12 @@ fn breakdown(profile: Profile, seed: u64, threads: usize) -> PerfRow {
     let (wall_ms, (stats, requests)) = timed(|| {
         let mut cfg = windows(profile, RunConfig::saturating(Design::SmartDs { ports: 1 }));
         cfg.seed = seed;
-        let cfg = cfg.with_trace(tracekit::TraceConfig {
-            sample_one_in: 1,
-            capacity: 1 << 17,
-        });
+        let cfg = cfg
+            .with_trace(tracekit::TraceConfig {
+                sample_one_in: 1,
+                capacity: 1 << 17,
+            })
+            .with_sync_matrix();
         let (report, _, stats) = cluster::run_counted_stats(&cfg, |_| {}, Some(threads));
         (stats, report.writes_done)
     });
@@ -318,6 +323,68 @@ pub fn write_json(dir: &Path, profile: Profile, rows: &[PerfRow]) -> std::io::Re
     f.write_all(b"\n")?;
     println!("  wrote {}", path.display());
     Ok(())
+}
+
+/// Extracts `name -> events_per_sec` from a `BENCH_PERF*.json` text.
+fn events_per_sec_by_name(text: &str) -> Vec<(String, f64)> {
+    let Ok(v) = simkit::json::parse(text) else {
+        return Vec::new();
+    };
+    let Some(rows) = v.get("workloads").and_then(|w| w.as_arr()) else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter_map(|r| {
+            Some((
+                r.get("name")?.as_str()?.to_string(),
+                r.get("events_per_sec")?.as_f64()?,
+            ))
+        })
+        .collect()
+}
+
+/// Report-only CI guard: compares the freshly written
+/// `BENCH_PERF.quick.json` against the committed full-profile
+/// `BENCH_PERF.json` baseline, row by row, and prints a warning for any
+/// workload whose events/sec fell more than 20 % below the baseline.
+/// Never fails the build — wall clocks differ across hosts; the warning
+/// is a prompt to look, and the deterministic gates live in
+/// `system-tests --test perf_budget`.
+pub fn diff_quick_vs_baseline(dir: &Path) {
+    let read = |name: &str| std::fs::read_to_string(dir.join(name)).unwrap_or_default();
+    let quick = events_per_sec_by_name(&read("BENCH_PERF.quick.json"));
+    let base = events_per_sec_by_name(&read("BENCH_PERF.json"));
+    if quick.is_empty() || base.is_empty() {
+        println!("perf-diff: missing or unparsable snapshot(s); nothing to compare");
+        return;
+    }
+    let mut warned = false;
+    for (name, q) in &quick {
+        let Some((_, b)) = base.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        let ratio = q / b;
+        if ratio < 0.8 {
+            warned = true;
+            println!(
+                "perf-diff: WARNING {name}: {q:.0} events/sec is {:.0}% of the \
+                 committed baseline {b:.0} (>20% regression)",
+                ratio * 100.0
+            );
+        } else {
+            println!(
+                "perf-diff: {name}: {q:.0} events/sec vs baseline {b:.0} ({:+.0}%)",
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+    if warned {
+        println!(
+            "perf-diff: report-only — quick and full profiles differ in \
+             workload size and hosts differ in speed; investigate before \
+             trusting either direction"
+        );
+    }
 }
 
 #[cfg(test)]

@@ -119,17 +119,78 @@ impl fmt::Display for HeaderError {
 
 impl Error for HeaderError {}
 
-/// CRC-32 (IEEE 802.3, reflected) over `data`.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
+/// Slice-by-8 lookup tables for [`crc32`], built at compile time.
+/// `CRC_TABLES[0]` is the classic byte-at-a-time table; table `k` maps a
+/// byte to its CRC contribution from `k` positions further back, letting
+/// the hot loop fold 8 input bytes per iteration. The polynomial and
+/// reflection match the original bit-at-a-time loop exactly, so every
+/// checksum this produces is bit-identical to what it always was.
+static CRC_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
             let mask = (crc & 1).wrapping_neg();
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
         }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = &CRC_TABLES;
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][c[4] as usize]
+            ^ t[2][c[5] as usize]
+            ^ t[1][c[6] as usize]
+            ^ t[0][c[7] as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
+}
+
+/// Reads a little-endian `u32` at `at` (caller guarantees 4 bytes remain).
+fn le_u32(d: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([d[at], d[at + 1], d[at + 2], d[at + 3]])
+}
+
+/// Reads a little-endian `u64` at `at` (caller guarantees 8 bytes remain).
+fn le_u64(d: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes([
+        d[at],
+        d[at + 1],
+        d[at + 2],
+        d[at + 3],
+        d[at + 4],
+        d[at + 5],
+        d[at + 6],
+        d[at + 7],
+    ])
 }
 
 impl Header {
@@ -177,12 +238,12 @@ impl Header {
             op,
             latency_sensitive: d[4] & 1 != 0,
             compressed: d[4] & 2 != 0,
-            vm_id: u32::from_le_bytes(d[8..12].try_into().unwrap()),
-            request_id: u64::from_le_bytes(d[12..20].try_into().unwrap()),
-            segment_id: u64::from_le_bytes(d[20..28].try_into().unwrap()),
-            block_index: u64::from_le_bytes(d[28..36].try_into().unwrap()),
-            payload_len: u32::from_le_bytes(d[36..40].try_into().unwrap()),
-            orig_len: u32::from_le_bytes(d[40..44].try_into().unwrap()),
+            vm_id: le_u32(d, 8),
+            request_id: le_u64(d, 12),
+            segment_id: le_u64(d, 20),
+            block_index: le_u64(d, 28),
+            payload_len: le_u32(d, 36),
+            orig_len: le_u32(d, 40),
         })
     }
 

@@ -143,10 +143,16 @@ impl FunctionalMiddleTier {
     pub fn new(servers: usize, replicas: usize) -> Self {
         assert!(replicas > 0 && servers >= replicas, "bad replica config");
         let mut ds = SmartDs::new(1);
-        let h_in = ds.host_alloc(HEADER_LEN).expect("host pool");
-        let h_out = ds.host_alloc(HEADER_LEN).expect("host pool");
-        let d_in = ds.dev_alloc(MAX_BLOCK + lz4kit::compress_bound(MAX_BLOCK)).expect("dev pool");
-        let d_out = ds.dev_alloc(lz4kit::compress_bound(MAX_BLOCK)).expect("dev pool");
+        // A fresh SmartDs has empty pools far larger than these four
+        // fixed-size regions, so allocation cannot fail here.
+        let (Ok(h_in), Ok(h_out), Ok(d_in), Ok(d_out)) = (
+            ds.host_alloc(HEADER_LEN),
+            ds.host_alloc(HEADER_LEN),
+            ds.dev_alloc(MAX_BLOCK + lz4kit::compress_bound(MAX_BLOCK)),
+            ds.dev_alloc(lz4kit::compress_bound(MAX_BLOCK)),
+        ) else {
+            unreachable!("fixed-size bootstrap regions exceed a fresh pool");
+        };
         let vm_peer = RemotePeer::new();
         let qp_vm = ds.connect_qp(0, &vm_peer);
         FunctionalMiddleTier {

@@ -353,6 +353,15 @@ pub struct Cluster {
     /// equivalence to the push-per-batch driver (see [`simkit::wake`]).
     wake_coal: Vec<WakeCoalescer>,
     pending: Vec<u64>,
+    /// Reused scratch for draining fluid completions (see
+    /// [`Cluster::drain_fluid`]); always empty between events.
+    fluid_done: Vec<simkit::FlowEnd>,
+    /// Recycled [`Ev::Retry`] boxes: a retry storm (timeout chaos) would
+    /// otherwise allocate one box per backoff. Hub-local only — the
+    /// ticket is both produced and consumed on the hub shard, so the
+    /// recycling never crosses a thread (cross-shard payloads like
+    /// `StorePayload` cannot pool this way).
+    retry_boxes: Vec<Box<RetryTicket>>,
     mem_gate: MemGate,
     warmup_traffic: crate::fabric::Traffic,
     stop_issuing_at: Time,
@@ -513,6 +522,8 @@ impl Cluster {
                 .map(|_| WakeCoalescer::new())
                 .collect(),
             pending: Vec::new(),
+            fluid_done: Vec::new(),
+            retry_boxes: Vec::new(),
             mem_gate: MemGate::default(),
             warmup_traffic: crate::fabric::Traffic::default(),
             stop_issuing_at: Time::MAX,
@@ -821,15 +832,18 @@ impl Cluster {
     /// through the link's propagation delay.
     fn drain_fluid(&mut self, key: FluidKey, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
+        // Completions drain through a reused scratch buffer: steady-state
+        // this path allocates nothing.
+        let mut done = std::mem::take(&mut self.fluid_done);
         let fluid = self.fabric.fluid_mut(key);
         fluid.sync(now);
-        let done = fluid.take_completed();
+        fluid.take_completed_into(&mut done);
         self.touch(key);
         let is_pcie = matches!(
             key,
             FluidKey::NicH2D | FluidKey::NicD2H | FluidKey::DevH2D | FluidKey::DevD2H
         );
-        for end in done {
+        for end in &done {
             if end.token == u64::MAX {
                 continue; // background injector
             }
@@ -842,6 +856,8 @@ impl Cluster {
                 self.pending.push(end.token);
             }
         }
+        done.clear();
+        self.fluid_done = done;
     }
 
     /// Runs queued branch tokens until everything is blocked again.
@@ -1262,7 +1278,9 @@ impl Cluster {
     }
 
     fn complete_request(&mut self, key: u32, sched: &mut Scheduler<Ev>) {
-        let req = self.reqs[key as usize].take().expect("double completion");
+        let Some(req) = self.reqs[key as usize].take() else {
+            unreachable!("request slot {key} completed twice");
+        };
         // Invalidate any leftover tokens/timers minted for this attempt.
         self.gens[key as usize] = self.gens[key as usize].wrapping_add(1);
         let quorum_incomplete = self.quorum.abort(req.request_id);
@@ -1403,7 +1421,10 @@ impl Cluster {
             return;
         }
         // Schedule the next Poisson arrival first (the process never stops).
-        let rate = simkit::gbps(self.cfg.open_loop_gbps.expect("open loop"));
+        let Some(gbps) = self.cfg.open_loop_gbps else {
+            unreachable!("Arrival events are only scheduled in open-loop mode");
+        };
+        let rate = simkit::gbps(gbps);
         let mean_us = hwmodel::consts::BLOCK_SIZE as f64 / rate * 1e6;
         let gap = Time::from_ps(self.workload.think_ps(mean_us));
         sched.schedule_in(gap, Ev::Arrival);
@@ -1637,7 +1658,14 @@ impl Cluster {
         let shift = ticket.attempt.saturating_sub(1).min(16);
         let backoff =
             (self.cfg.retry_backoff * (1u64 << shift)).min(self.cfg.retry_backoff_cap);
-        sched.schedule_in(backoff, Ev::Retry(Box::new(ticket)));
+        let boxed = match self.retry_boxes.pop() {
+            Some(mut b) => {
+                *b = ticket;
+                b
+            }
+            None => Box::new(ticket),
+        };
+        sched.schedule_in(backoff, Ev::Retry(boxed));
     }
 
     /// The per-request timer fired: if the slot still holds the same
@@ -2031,14 +2059,20 @@ impl World for Cluster {
                 self.request_timeout(key, gen, sched);
             }
             Ev::Retry(ticket) => {
+                // Copy the ticket out and recycle its box (bounded pool;
+                // in-flight retries are bounded by outstanding slots).
+                let t = (*ticket).clone();
+                if self.retry_boxes.len() < 256 {
+                    self.retry_boxes.push(ticket);
+                }
                 if sched.now() < self.stop_issuing_at {
                     match self.selector.choose(self.cfg.replication) {
-                        Some(replicas) => self.spawn_attempt(replicas, *ticket, sched),
+                        Some(replicas) => self.spawn_attempt(replicas, t, sched),
                         None => {
                             // Still no healthy quorum: burn an attempt so
                             // an extended outage converges to an explicit
                             // failure instead of retrying forever.
-                            let mut t = *ticket;
+                            let mut t = t;
                             t.attempt += 1;
                             self.fail_or_retry(t, sched);
                         }
@@ -2427,6 +2461,30 @@ pub fn run_counted_stats(
     // (the flat wire constant without one).
     let lookahead = cfg.lookahead();
     let mut sim = ShardedSim::new(cluster.split_for_shards(), lookahead);
+    if cfg.sync_matrix {
+        // Messages only flow hub <-> store (stores never talk directly),
+        // so the direct-latency matrix is a star: one wire hop to or from
+        // shard 0, unreachable otherwise. The transitive closure then
+        // gives store -> store (and every round trip) two hops, letting
+        // store shards run up to a full extra wire beyond the flat
+        // window. Barrier operations are incompatible with the per-shard
+        // horizons; `with_sync_matrix` rejects configurations that defer
+        // them, and the engine panics if one slips through.
+        assert!(
+            cfg.faults.is_empty()
+                && cfg.fault_plan.events().is_empty()
+                && cfg.snapshot_period.is_none()
+                && cfg.topology.is_none(),
+            "sync_matrix set on a run that defers barrier operations"
+        );
+        let n = 1 + num_servers;
+        let mut direct = vec![vec![Time::MAX; n]; n];
+        for s in 1..n {
+            direct[0][s] = lookahead;
+            direct[s][0] = lookahead;
+        }
+        sim = sim.with_pair_lookahead(direct);
+    }
     if let Some(t) = threads {
         sim = sim.with_threads(t);
     }
@@ -2539,6 +2597,41 @@ mod tests {
         assert_eq!(a.writes_done, b.writes_done);
         assert_eq!(a.throughput_gbps, b.throughput_gbps);
         assert_eq!(a.p999_us, b.p999_us);
+    }
+
+    #[test]
+    fn sync_matrix_executes_the_flat_schedule_in_fewer_rounds() {
+        // The pair-lookahead matrix is a pure synchronization optimization:
+        // every simulated outcome must be bit-identical to the flat
+        // window's; only the round count may (and must) drop.
+        let mut cfg = quick(Design::SmartDs { ports: 2 });
+        cfg.outstanding = 128;
+        let (flat_report, _, flat) = run_counted_stats(&cfg, |_| {}, Some(2));
+        let cfg = cfg.with_sync_matrix();
+        for threads in [1usize, 4] {
+            let (report, _, stats) = run_counted_stats(&cfg, |_| {}, Some(threads));
+            assert_eq!(
+                format!("{report:?}"),
+                format!("{flat_report:?}"),
+                "matrix changed the simulation"
+            );
+            assert_eq!(stats.events, flat.events);
+            assert_eq!(stats.messages, flat.messages);
+            assert!(
+                stats.rounds < flat.rounds,
+                "matrix should cut rounds: {} vs flat {}",
+                stats.rounds,
+                flat.rounds
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sync_matrix requires a fair-weather")]
+    fn sync_matrix_rejects_runs_that_defer_barrier_operations() {
+        let _ = quick(Design::SmartDs { ports: 1 })
+            .with_fault(Time::from_ms(3.0), 0, false)
+            .with_sync_matrix();
     }
 
     #[test]

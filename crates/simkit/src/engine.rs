@@ -39,8 +39,7 @@
 //! ```
 
 use crate::time::Time;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::wheel::TimerWheel;
 
 /// A simulation world: owns all model state and handles its own events.
 pub trait World {
@@ -64,9 +63,9 @@ pub(crate) struct Scheduled<E> {
     pub(crate) at: Time,
     /// `CLASS_DELIVERED` for cross-shard mailbox deliveries, `CLASS_LOCAL`
     /// for events scheduled by this shard.
-    class: u8,
+    pub(crate) class: u8,
     /// Sending shard id (deliveries) or 0 (local events).
-    src: u32,
+    pub(crate) src: u32,
     /// Local FIFO sequence (local events) or the sender's per-message
     /// sequence (deliveries). `pub(crate)` so the shard engine can stamp
     /// it into shardsan violation reports.
@@ -97,11 +96,13 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// A cross-shard message parked in a sender's outbox until the engine's
-/// synchronization barrier merges it into the destination queue.
+/// A cross-shard message parked in a sender's per-destination outbox until
+/// the engine's synchronization barrier merges it into the destination
+/// queue. The destination is the outbox's index, not a field, so a
+/// window's traffic for one `(sender, receiver)` pair is a contiguous
+/// growable buffer the engine swaps out wholesale each epoch.
 #[derive(Debug)]
 pub(crate) struct Outgoing<E> {
-    pub(crate) dst: u32,
     pub(crate) at: Time,
     pub(crate) seq: u64,
     pub(crate) event: E,
@@ -114,14 +115,17 @@ pub(crate) struct Outgoing<E> {
 pub struct Scheduler<E> {
     now: Time,
     seq: u64,
-    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    queue: TimerWheel<E>,
     stopped: bool,
     /// This shard's id and conservative lookahead, set by the sharded
     /// engine. `None` in plain sequential simulations, where [`Scheduler::send`]
     /// and [`Scheduler::defer_global`] are misuse.
     remote: Option<(u32, Time)>,
-    /// Cross-shard messages sent during the current window.
-    outbox: Vec<Outgoing<E>>,
+    /// Cross-shard messages sent during the current window, one growable
+    /// buffer per destination shard (index = destination id). The sharded
+    /// engine swaps these against empty same-capacity buffers at each
+    /// barrier, so steady-state epochs allocate nothing here.
+    outboxes: Vec<Vec<Outgoing<E>>>,
     /// Per-sender message sequence: the deterministic mailbox tie-break.
     msg_seq: u64,
     /// Barrier operations deferred to the end of the current window.
@@ -133,10 +137,10 @@ impl<E> Scheduler<E> {
         Scheduler {
             now: Time::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: TimerWheel::new(),
             stopped: false,
             remote: None,
-            outbox: Vec::new(),
+            outboxes: Vec::new(),
             msg_seq: 0,
             globals: Vec::new(),
         }
@@ -161,13 +165,13 @@ impl<E> Scheduler<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled {
+        self.queue.push(Scheduled {
             at,
             class: CLASS_LOCAL,
             src: 0,
             seq,
             event,
-        }));
+        });
     }
 
     /// Schedules `event` after a relative delay from now.
@@ -200,10 +204,13 @@ impl<E> Scheduler<E> {
             delay >= lookahead,
             "cross-shard delay {delay:?} below lookahead {lookahead:?}"
         );
+        assert!(
+            (dst as usize) < self.outboxes.len(),
+            "message to unknown shard {dst}"
+        );
         let seq = self.msg_seq;
         self.msg_seq += 1;
-        self.outbox.push(Outgoing {
-            dst,
+        self.outboxes[dst as usize].push(Outgoing {
             at: self.now.saturating_add(delay),
             seq,
             event,
@@ -236,24 +243,33 @@ impl<E> Scheduler<E> {
         self.remote.is_some()
     }
 
-    pub(crate) fn enable_remote(&mut self, shard: u32, lookahead: Time) {
+    pub(crate) fn enable_remote(&mut self, shard: u32, lookahead: Time, shards: usize) {
         self.remote = Some((shard, lookahead));
+        self.outboxes = (0..shards).map(|_| Vec::new()).collect();
     }
 
     /// Pushes a cross-shard delivery (class 0: before same-time locals).
     pub(crate) fn deliver(&mut self, at: Time, src: u32, seq: u64, event: E) {
         debug_assert!(at >= self.now, "delivery into the past");
-        self.heap.push(Reverse(Scheduled {
+        self.queue.push(Scheduled {
             at,
             class: CLASS_DELIVERED,
             src,
             seq,
             event,
-        }));
+        });
     }
 
-    pub(crate) fn take_outbox(&mut self) -> Vec<Outgoing<E>> {
-        std::mem::take(&mut self.outbox)
+    /// Exchanges the per-destination outboxes against `bufs` (one empty
+    /// buffer per shard): the engine walks off with this window's traffic
+    /// and leaves last window's drained buffers — capacity included — in
+    /// their place.
+    pub(crate) fn swap_outboxes(&mut self, bufs: &mut [Vec<Outgoing<E>>]) {
+        debug_assert_eq!(bufs.len(), self.outboxes.len());
+        for (mine, theirs) in self.outboxes.iter_mut().zip(bufs) {
+            debug_assert!(theirs.is_empty());
+            std::mem::swap(mine, theirs);
+        }
     }
 
     pub(crate) fn take_globals(&mut self) -> Vec<E> {
@@ -296,13 +312,13 @@ impl<E> Scheduler<E> {
             self.now
         );
         assert!(seq < self.seq, "sequence {seq} was never reserved");
-        self.heap.push(Reverse(Scheduled {
+        self.queue.push(Scheduled {
             at,
             class: CLASS_LOCAL,
             src: 0,
             seq,
             event,
-        }));
+        });
     }
 
     /// Requests that the executor stop after the current event.
@@ -312,16 +328,26 @@ impl<E> Scheduler<E> {
 
     /// Number of pending events.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
     }
 
     /// The timestamp of the next pending event, if any.
     pub fn next_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(s)| s.at)
+        self.queue.next_time()
     }
 
     pub(crate) fn pop(&mut self) -> Option<Scheduled<E>> {
-        self.heap.pop().map(|Reverse(s)| s)
+        self.queue.pop()
+    }
+
+    /// Pops the next event only if it fires strictly before `horizon` —
+    /// the sharded engine's inner-loop step, fused so a window pass costs
+    /// one queue operation instead of a peek plus a pop.
+    pub(crate) fn pop_if_before(&mut self, horizon: Time) -> Option<Scheduled<E>> {
+        match self.queue.next_time() {
+            Some(t) if t < horizon => self.queue.pop(),
+            _ => None,
+        }
     }
 }
 
@@ -522,5 +548,94 @@ mod tests {
         }
         sim.run();
         assert_eq!(sim.executed(), 5);
+    }
+
+    testkit::prop! {
+        cases = 48;
+
+        fn scheduler_pop_order_matches_a_shadow_heap(
+            raws in testkit::gen::vecs(
+                (testkit::gen::u64s(0..1 << 48), testkit::gen::u64s(0..10)),
+                1..=300,
+            ),
+        ) {
+            // Drive the wheel-backed scheduler and a plain binary heap over
+            // the full ordering key through the same interleaving of
+            // schedule_at / reserve_seq / schedule_at_seq / deliver / pop,
+            // asserting identical pop sequences. Reservations are filled
+            // out of order (LIFO) and sometimes left unfilled, exactly the
+            // deferred-push freedom `simkit::wake` exploits.
+            use std::cmp::Reverse;
+            use std::collections::BinaryHeap;
+            let mut sched: Scheduler<u64> = Scheduler::new();
+            sched.enable_remote(0, Time::from_ps(1), 1);
+            let mut shadow: BinaryHeap<Reverse<Scheduled<u64>>> = BinaryHeap::new();
+            let mut reserved: Vec<u64> = Vec::new();
+            let mut msg_seq = 0u64;
+            for (raw, kind) in &raws {
+                let at = Time::from_ps(*raw);
+                match kind {
+                    0..=2 => {
+                        let w = sched.pop();
+                        let o = shadow.pop().map(|Reverse(s)| s);
+                        let key = |s: &Scheduled<u64>| (s.at, s.class, s.src, s.seq);
+                        assert_eq!(
+                            w.as_ref().map(key),
+                            o.as_ref().map(key),
+                            "scheduler diverged from shadow heap"
+                        );
+                    }
+                    3 => reserved.push(sched.reserve_seq()),
+                    4 | 5 => {
+                        if let Some(seq) = reserved.pop() {
+                            sched.schedule_at_seq(at, seq, *raw);
+                            shadow.push(Reverse(Scheduled {
+                                at,
+                                class: CLASS_LOCAL,
+                                src: 0,
+                                seq,
+                                event: *raw,
+                            }));
+                        }
+                    }
+                    6 => {
+                        msg_seq += 1;
+                        sched.deliver(at, 1, msg_seq, *raw);
+                        shadow.push(Reverse(Scheduled {
+                            at,
+                            class: CLASS_DELIVERED,
+                            src: 1,
+                            seq: msg_seq,
+                            event: *raw,
+                        }));
+                    }
+                    _ => {
+                        let seq = sched.seq;
+                        sched.schedule_at(at, *raw);
+                        shadow.push(Reverse(Scheduled {
+                            at,
+                            class: CLASS_LOCAL,
+                            src: 0,
+                            seq,
+                            event: *raw,
+                        }));
+                    }
+                }
+                assert_eq!(sched.pending(), shadow.len(), "length diverged");
+                assert_eq!(
+                    sched.next_time(),
+                    shadow.peek().map(|Reverse(s)| s.at),
+                    "peek diverged"
+                );
+            }
+            while let Some(o) = shadow.pop() {
+                let w = sched.pop().expect("scheduler drained early");
+                assert_eq!((w.at, w.class, w.src, w.seq), {
+                    let Reverse(s) = o;
+                    (s.at, s.class, s.src, s.seq)
+                });
+            }
+            assert_eq!(sched.pending(), 0);
+        }
     }
 }

@@ -71,6 +71,19 @@ use std::cell::Cell;
 /// Residual byte count below which a flow is considered complete.
 const EPS_BYTES: f64 = 0.5;
 
+/// Completion instant of `remaining` bytes at `rate` from `base`: ceil to
+/// the next picosecond, + 1 ps so the wake lands strictly after the
+/// completion instant even when the division is exactly representable.
+/// Pure per-flow arithmetic — used by both the fused wake-min updates and
+/// the fallback [`FluidResource::next_wake`] scan, which therefore agree
+/// bit-for-bit.
+#[inline]
+fn wake_at(base: Time, remaining: f64, rate: f64) -> Time {
+    let secs = remaining / rate;
+    base.saturating_add(Time::from_secs_ceil(secs))
+        .saturating_add(Time::from_ps(1))
+}
+
 /// Identifier for a flow within one [`FluidResource`].
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct FlowId(u32);
@@ -140,19 +153,14 @@ pub struct FlowEnd {
     pub token: u64,
 }
 
-#[derive(Debug, Clone)]
-struct Flow {
-    remaining: f64,
-    spec: FlowSpec,
-    rate: f64,
-    token: u64,
-    live: bool,
-}
-
 /// A shared-bandwidth resource with weighted max-min fair allocation.
 ///
 /// See the module-level documentation for the driving protocol and the
-/// performance model.
+/// performance model. The flow table is stored struct-of-arrays: the
+/// hot passes ([`FluidResource::sync`], `recompute`) each touch only
+/// the one or two columns they need, so a pass over the live set reads
+/// a handful of dense cache lines instead of one scattered 64-byte
+/// record per flow.
 #[derive(Debug)]
 pub struct FluidResource {
     name: &'static str,
@@ -160,7 +168,15 @@ pub struct FluidResource {
     /// Design capacity; `capacity` may be scaled below this by fault
     /// injection and restored via [`FluidResource::set_capacity_frac`].
     nominal: f64,
-    flows: Vec<Flow>,
+    /// Per-slot flow columns (struct-of-arrays, all the same length).
+    /// A slot's entries are meaningful only while `live[slot]`.
+    rate: Vec<f64>,
+    remaining: Vec<f64>,
+    weight: Vec<f64>,
+    cap: Vec<f64>,
+    class: Vec<u8>,
+    token: Vec<u64>,
+    live: Vec<bool>,
     free: Vec<u32>,
     active: usize,
     last_sync: Time,
@@ -180,6 +196,14 @@ pub struct FluidResource {
     order_valid: bool,
     /// Number of live flows with a finite rate cap.
     capped_live: usize,
+    /// Incrementally maintained sum of live-flow weights. Trusted by
+    /// `recompute` only while `weights_exact` holds.
+    weight_sum: f64,
+    /// True while every weight ever admitted was an exact multiple of
+    /// 1/16 small enough that `weight_sum` stays bit-identical to a
+    /// fresh summing pass (f64 sums of such values below 2^40 are exact
+    /// in any order). Sticky-false once an inexact weight shows up.
+    weights_exact: bool,
     /// Memoized [`FluidResource::next_wake`]; `None` means "recompute".
     // simlint: allow(shared-mutable, reason = "single-owner memo cache; never crosses a shard boundary")
     wake_cache: Cell<Option<Option<Time>>>,
@@ -200,7 +224,13 @@ impl FluidResource {
             name,
             capacity,
             nominal: capacity,
-            flows: Vec::new(),
+            rate: Vec::new(),
+            remaining: Vec::new(),
+            weight: Vec::new(),
+            cap: Vec::new(),
+            class: Vec::new(),
+            token: Vec::new(),
+            live: Vec::new(),
             free: Vec::new(),
             active: 0,
             last_sync: Time::ZERO,
@@ -211,6 +241,8 @@ impl FluidResource {
             order: Vec::new(),
             order_valid: false,
             capped_live: 0,
+            weight_sum: 0.0,
+            weights_exact: true,
             // simlint: allow(shared-mutable, reason = "single-owner memo cache; never crosses a shard boundary")
             wake_cache: Cell::new(None),
         }
@@ -284,7 +316,7 @@ impl FluidResource {
     pub fn allocated_rate(&self) -> f64 {
         self.live_idx
             .iter()
-            .map(|&s| self.flows[s as usize].rate)
+            .map(|&s| self.rate[s as usize])
             .sum()
     }
 
@@ -294,16 +326,18 @@ impl FluidResource {
     ///
     /// Panics if the flow has already completed or been ended.
     pub fn flow_rate(&self, id: FlowId) -> f64 {
-        let f = &self.flows[id.0 as usize];
-        assert!(f.live, "{}: flow {id:?} is not live", self.name);
-        f.rate
+        assert!(
+            self.live[id.0 as usize],
+            "{}: flow {id:?} is not live",
+            self.name
+        );
+        self.rate[id.0 as usize]
     }
 
     /// The water-filling sort key of a live slot. NaN-free: `start_flow`
     /// rejects non-positive weights and NaN caps.
     fn order_key(&self, slot: u32) -> f64 {
-        let f = &self.flows[slot as usize];
-        f.spec.rate_cap / f.spec.weight
+        self.cap[slot as usize] / self.weight[slot as usize]
     }
 
     /// Position of `slot` in `order` under the `(key, slot)` total order:
@@ -327,7 +361,12 @@ impl FluidResource {
     fn index_insert(&mut self, slot: u32) {
         let pos = self.live_idx.partition_point(|&s| s < slot);
         self.live_idx.insert(pos, slot);
-        self.capped_live += self.flows[slot as usize].spec.rate_cap.is_finite() as usize;
+        let w = self.weight[slot as usize];
+        self.weight_sum += w;
+        if (w * 16.0).fract() != 0.0 || w > 1048576.0 || self.weight_sum > 1.1e12 {
+            self.weights_exact = false;
+        }
+        self.capped_live += self.cap[slot as usize].is_finite() as usize;
         if self.capped_live == 0 {
             self.drop_order();
         } else if self.order_valid {
@@ -346,7 +385,8 @@ impl FluidResource {
         let pos = self.live_idx.partition_point(|&s| s < slot);
         debug_assert_eq!(self.live_idx.get(pos).copied(), Some(slot));
         self.live_idx.remove(pos);
-        self.capped_live -= self.flows[slot as usize].spec.rate_cap.is_finite() as usize;
+        self.weight_sum -= self.weight[slot as usize];
+        self.capped_live -= self.cap[slot as usize].is_finite() as usize;
         if self.capped_live == 0 {
             self.drop_order();
         }
@@ -370,36 +410,46 @@ impl FluidResource {
         if dt == 0.0 || self.active == 0 {
             return;
         }
-        self.wake_cache.set(None);
         let mut retired = false;
         for k in 0..self.live_idx.len() {
             let i = self.live_idx[k] as usize;
-            let f = &mut self.flows[i];
-            if f.rate == 0.0 {
+            let rate = self.rate[i];
+            if rate == 0.0 {
                 continue;
             }
-            let moved = (f.rate * dt).min(f.remaining);
-            self.class_bytes[f.spec.class as usize] += moved;
-            if f.remaining.is_finite() {
-                f.remaining -= moved;
-                if f.remaining <= EPS_BYTES {
-                    f.live = false;
+            let rem = self.remaining[i];
+            let moved = (rate * dt).min(rem);
+            self.class_bytes[self.class[i] as usize] += moved;
+            if rem.is_finite() {
+                let rem = rem - moved;
+                self.remaining[i] = rem;
+                if rem <= EPS_BYTES {
+                    self.live[i] = false;
                     retired = true;
                     self.active -= 1;
-                    self.capped_live -= f.spec.rate_cap.is_finite() as usize;
-                    self.completed.push(FlowEnd { token: f.token });
+                    self.capped_live -= self.cap[i].is_finite() as usize;
+                    self.weight_sum -= self.weight[i];
+                    self.completed.push(FlowEnd { token: self.token[i] });
                     self.free.push(i as u32);
                 }
             }
         }
         if retired {
-            self.live_idx.retain(|&s| self.flows[s as usize].live);
+            let live = &self.live;
+            self.live_idx.retain(|&s| live[s as usize]);
+            if self.order_valid {
+                self.order.retain(|&s| live[s as usize]);
+            }
             if self.capped_live == 0 {
                 self.drop_order();
-            } else if self.order_valid {
-                self.order.retain(|&s| self.flows[s as usize].live);
             }
+            // `recompute` refreshes the wake cache from the new rates.
             self.recompute();
+        } else {
+            // Rates are unchanged but every remaining byte count moved:
+            // completion instants shift by rounding, so the memo must be
+            // recomputed on the next query.
+            self.wake_cache.set(None);
         }
     }
 
@@ -427,27 +477,32 @@ impl FluidResource {
         );
         assert!(spec.class < 8, "accounting class out of range: {}", spec.class);
         self.sync(now);
-        let flow = Flow {
-            remaining: bytes,
-            spec,
-            rate: 0.0,
-            token,
-            live: true,
-        };
         let id = match self.free.pop() {
             Some(slot) => {
-                self.flows[slot as usize] = flow;
+                let i = slot as usize;
+                self.rate[i] = 0.0;
+                self.remaining[i] = bytes;
+                self.weight[i] = spec.weight;
+                self.cap[i] = spec.rate_cap;
+                self.class[i] = spec.class;
+                self.token[i] = token;
+                self.live[i] = true;
                 FlowId(slot)
             }
             None => {
-                self.flows.push(flow);
-                FlowId((self.flows.len() - 1) as u32)
+                self.rate.push(0.0);
+                self.remaining.push(bytes);
+                self.weight.push(spec.weight);
+                self.cap.push(spec.rate_cap);
+                self.class.push(spec.class);
+                self.token.push(token);
+                self.live.push(true);
+                FlowId((self.rate.len() - 1) as u32)
             }
         };
         // A zero-byte flow completes immediately without affecting rates.
         if bytes <= EPS_BYTES {
-            let f = &mut self.flows[id.0 as usize];
-            f.live = false;
+            self.live[id.0 as usize] = false;
             self.completed.push(FlowEnd { token });
             self.free.push(id.0);
             return id;
@@ -466,9 +521,9 @@ impl FluidResource {
     /// Panics if the flow is not live.
     pub fn end_flow(&mut self, now: Time, id: FlowId) {
         self.sync(now);
-        let f = &mut self.flows[id.0 as usize];
-        assert!(f.live, "{}: ending non-live flow {id:?}", self.name);
-        f.live = false;
+        let i = id.0 as usize;
+        assert!(self.live[i], "{}: ending non-live flow {id:?}", self.name);
+        self.live[i] = false;
         self.active -= 1;
         self.index_remove(id.0);
         self.free.push(id.0);
@@ -487,17 +542,17 @@ impl FluidResource {
             self.name
         );
         self.sync(now);
-        let f = &self.flows[id.0 as usize];
-        assert!(f.live, "{}: capping non-live flow {id:?}", self.name);
+        let i = id.0 as usize;
+        assert!(self.live[i], "{}: capping non-live flow {id:?}", self.name);
         // The sort key changes: pull the slot out under its old key and
         // re-insert it under the new one.
-        let was_finite = f.spec.rate_cap.is_finite();
+        let was_finite = self.cap[i].is_finite();
         if self.order_valid {
             let pos = self.order_pos(id.0);
             debug_assert_eq!(self.order.get(pos).copied(), Some(id.0));
             self.order.remove(pos);
         }
-        self.flows[id.0 as usize].spec.rate_cap = cap;
+        self.cap[i] = cap;
         self.capped_live -= was_finite as usize;
         self.capped_live += cap.is_finite() as usize;
         if self.capped_live == 0 {
@@ -514,6 +569,13 @@ impl FluidResource {
         std::mem::take(&mut self.completed)
     }
 
+    /// Appends the completed-flow buffer to `out` and clears it, keeping
+    /// both allocations alive for reuse — the zero-allocation counterpart
+    /// of [`FluidResource::take_completed`] for per-event drain loops.
+    pub fn take_completed_into(&mut self, out: &mut Vec<FlowEnd>) {
+        out.append(&mut self.completed);
+    }
+
     /// The instant of the next flow completion under current rates, if any.
     ///
     /// Memoized: O(1) until the next sync or rate change.
@@ -523,17 +585,11 @@ impl FluidResource {
         }
         let mut best: Option<Time> = None;
         for &s in &self.live_idx {
-            let f = &self.flows[s as usize];
-            if f.rate <= 0.0 || !f.remaining.is_finite() {
+            let i = s as usize;
+            if self.rate[i] <= 0.0 || !self.remaining[i].is_finite() {
                 continue;
             }
-            let secs = f.remaining / f.rate;
-            // Ceil + 1 ps so the wake lands strictly after the completion
-            // instant even when `secs` is exactly representable.
-            let at = self
-                .last_sync
-                .saturating_add(Time::from_secs_ceil(secs))
-                .saturating_add(Time::from_ps(1));
+            let at = wake_at(self.last_sync, self.remaining[i], self.rate[i]);
             best = Some(match best {
                 Some(b) => b.min(at),
                 None => at,
@@ -547,15 +603,14 @@ impl FluidResource {
     /// order `(key, slot)` reproduces exactly what a stable sort of the
     /// ascending live slots by key alone would yield.
     fn rebuild_order(&mut self) {
-        let flows = &self.flows;
+        let cap = &self.cap;
+        let weight = &self.weight;
         let mut order = std::mem::take(&mut self.order);
         order.clear();
         order.extend_from_slice(&self.live_idx);
         order.sort_unstable_by(|&a, &b| {
-            let fa = &flows[a as usize];
-            let fb = &flows[b as usize];
-            let ka = fa.spec.rate_cap / fa.spec.weight;
-            let kb = fb.spec.rate_cap / fb.spec.weight;
+            let ka = cap[a as usize] / weight[a as usize];
+            let kb = cap[b as usize] / weight[b as usize];
             match ka.partial_cmp(&kb) {
                 Some(std::cmp::Ordering::Equal) | None => a.cmp(&b),
                 Some(o) => o,
@@ -575,8 +630,8 @@ impl FluidResource {
     /// and is never sorted here.
     fn recompute(&mut self) {
         self.epoch += 1;
-        self.wake_cache.set(None);
         if self.active == 0 {
+            self.wake_cache.set(Some(None));
             return;
         }
         let use_live = self.capped_live == 0;
@@ -588,28 +643,57 @@ impl FluidResource {
         } else {
             std::mem::take(&mut self.order)
         };
+        // While every live weight is an exact dyadic (see `weight_exact`),
+        // the incrementally maintained `weight_sum` equals the fresh pass
+        // sum bit-for-bit (sums of multiples of 1/16 below 2^40 are exact
+        // in f64 in any order), so the summing pass is skipped.
+        let mut remaining_weight: f64 = if self.weights_exact {
+            self.weight_sum
+        } else {
+            order.iter().map(|&i| self.weight[i as usize]).sum()
+        };
         let mut remaining_cap = self.capacity;
-        let mut remaining_weight: f64 = order
-            .iter()
-            .map(|&i| self.flows[i as usize].spec.weight)
-            .sum();
+        // The wake min is folded into the allocation pass, over *seconds*:
+        // each flow's completion instant is `ceil(secs) + 1 ps` from the
+        // same base, and `from_secs_ceil` is monotone, so converting the
+        // f64 min once afterwards yields exactly the min of the converted
+        // values a separate `next_wake` pass would take.
+        let mut best_secs = f64::INFINITY;
         for &i in &order {
-            let f = &mut self.flows[i as usize];
+            let i = i as usize;
+            let w = self.weight[i];
             let share = if remaining_weight > 0.0 {
-                remaining_cap * f.spec.weight / remaining_weight
+                remaining_cap * w / remaining_weight
             } else {
                 0.0
             };
-            let rate = share.min(f.spec.rate_cap);
-            f.rate = rate;
+            let rate = share.min(self.cap[i]);
+            self.rate[i] = rate;
             remaining_cap = (remaining_cap - rate).max(0.0);
-            remaining_weight -= f.spec.weight;
+            remaining_weight -= w;
+            let rem = self.remaining[i];
+            if rate > 0.0 && rem.is_finite() {
+                let secs = rem / rate;
+                if secs < best_secs {
+                    best_secs = secs;
+                }
+            }
         }
         if use_live {
             self.live_idx = order;
         } else {
             self.order = order;
         }
+        let best = if best_secs.is_finite() {
+            Some(
+                self.last_sync
+                    .saturating_add(Time::from_secs_ceil(best_secs))
+                    .saturating_add(Time::from_ps(1)),
+            )
+        } else {
+            None
+        };
+        self.wake_cache.set(Some(best));
     }
 }
 

@@ -83,6 +83,7 @@ mod server;
 pub mod shard;
 mod time;
 pub mod wake;
+mod wheel;
 
 pub use bytes::Bytes;
 pub use engine::{Scheduler, Simulation, World};

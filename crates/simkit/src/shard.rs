@@ -36,12 +36,37 @@
 //!    share no state (barrier operations run single-threaded between
 //!    windows), so the final state is identical for any thread count.
 //!
+//! # Pair lookahead
+//!
+//! The flat window above derives everyone's horizon from the *global*
+//! minimum next-event time and the single worst-case lookahead `L`. When
+//! the model's communication graph is known, that is pessimistic:
+//! [`ShardedSim::with_pair_lookahead`] accepts a per-(sender, receiver)
+//! matrix of minimum direct message latencies, closes it transitively
+//! (Floyd–Warshall over walks of ≥ 1 hop, so `D⁺(i, i)` is the minimum
+//! round-trip cycle), and widens each shard's horizon to
+//! `hᵢ = min over j of (Nⱼ + D⁺(j, i))` where `Nⱼ` is shard `j`'s next
+//! event. A message from `j` can reach `i` no earlier than `Nⱼ + D(j, i)`
+//! — directly or through any relay chain — so every shard still executes
+//! strictly inside its causal safe zone and the merged schedule is
+//! *identical* to the flat window's; only the number of synchronization
+//! rounds drops. Barrier operations ([`Scheduler::defer_global`]) are
+//! incompatible with per-shard horizons (they need every shard paused at
+//! one instant) and panic in this mode, so drivers only opt in for runs
+//! that cannot defer globals.
+//!
 //! # Costs
 //!
 //! Each round is two barrier crossings plus one outbox merge; the engine
 //! reports [`EngineStats`] (payload events vs. synchronization rounds and
 //! messages) so perf budgets can cap protocol overhead separately from
-//! model work.
+//! model work. With one worker thread the engine skips the scoped-thread
+//! machinery entirely — no spawns, no barriers, no atomics — and sweeps
+//! the shards inline; the executed schedule is byte-identical by
+//! construction and pinned by a test. Cross-shard traffic moves through
+//! per-(sender, receiver) growable buffers that are swapped, drained, and
+//! swapped back each epoch, so the mailbox path allocates nothing in
+//! steady state.
 
 use crate::engine::{Outgoing, Scheduler, World};
 use crate::sanitizer;
@@ -102,11 +127,19 @@ struct Cell<W: ShardWorld> {
 pub struct ShardedSim<W: ShardWorld> {
     cells: Vec<Mutex<Cell<W>>>,
     lookahead: Time,
+    /// Transitive closure `D⁺` of the pair-latency matrix (`n × n`,
+    /// sender-major), when pair-lookahead windows are enabled.
+    matrix: Option<Vec<Time>>,
     threads: usize,
     rounds: u64,
     messages: u64,
-    /// Every window horizon, in round order — the epoch sequence the
-    /// property suite asserts is thread-invariant.
+    /// Per-(sender, receiver) mailbox buffers (`n × n`, sender-major),
+    /// swapped against each scheduler's outboxes at every barrier so the
+    /// merge reuses their capacity instead of allocating per round.
+    mail: Vec<Vec<Outgoing<W::Event>>>,
+    /// Every window horizon, in round order (per-shard horizons in matrix
+    /// mode) — the epoch sequence the property suite asserts is
+    /// thread-invariant.
     #[cfg(test)]
     epoch_log: Vec<u64>,
 }
@@ -132,11 +165,9 @@ fn get_mut<W: ShardWorld>(cell: &mut Mutex<Cell<W>>) -> &mut Cell<W> {
 /// the window are done.
 fn run_window<W: ShardWorld>(shard: u32, cell: &mut Cell<W>, horizon: Time) {
     while !cell.sched.is_stopped() {
-        match cell.sched.next_time() {
-            Some(t) if t < horizon => {}
-            _ => break,
-        }
-        let Some(s) = cell.sched.pop() else { break };
+        let Some(s) = cell.sched.pop_if_before(horizon) else {
+            break;
+        };
         cell.sched.set_now(s.at);
         cell.executed += 1;
         sanitizer::enter_event(shard, s.at, s.seq);
@@ -160,12 +191,13 @@ where
     pub fn new(worlds: Vec<W>, lookahead: Time) -> Self {
         assert!(!worlds.is_empty(), "a sharded sim needs at least one shard");
         assert!(lookahead > Time::ZERO, "lookahead must be positive");
-        let cells = worlds
+        let n = worlds.len();
+        let cells: Vec<Mutex<Cell<W>>> = worlds
             .into_iter()
             .enumerate()
             .map(|(i, world)| {
                 let mut sched = Scheduler::new();
-                sched.enable_remote(i as u32, lookahead);
+                sched.enable_remote(i as u32, lookahead, n);
                 Mutex::new(Cell {
                     world,
                     sched,
@@ -176,9 +208,11 @@ where
         ShardedSim {
             cells,
             lookahead,
+            matrix: None,
             threads: env_threads(),
             rounds: 0,
             messages: 0,
+            mail: (0..n * n).map(|_| Vec::new()).collect(),
             #[cfg(test)]
             epoch_log: Vec::new(),
         }
@@ -188,6 +222,60 @@ where
     /// simulated outcome is identical for any value; only wall time moves.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Switches the engine to per-shard-pair conservative windows (see the
+    /// module docs). `direct[i][j]` is the minimum simulated latency of any
+    /// message shard `i` sends shard `j` — [`Time::MAX`] for pairs that
+    /// never exchange messages directly. The engine closes the matrix
+    /// transitively over ≥ 1-hop walks, so relayed causality (including
+    /// round-trip self-cycles) is bounded too, and widens each round's
+    /// per-shard horizon accordingly. The executed schedule is identical
+    /// to flat-lookahead mode; only `rounds` in [`EngineStats`] drops. A
+    /// latency claim the model then undercuts is caught by the merge-time
+    /// lookahead assertion, and [`Scheduler::defer_global`] panics under
+    /// this mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `n × n` or any finite entry is below
+    /// the engine's flat lookahead (the flat bound is what
+    /// [`Scheduler::send`] enforces, so a smaller pair entry would claim
+    /// traffic the send path forbids anyway).
+    pub fn with_pair_lookahead(mut self, direct: Vec<Vec<Time>>) -> Self {
+        let n = self.cells.len();
+        assert_eq!(direct.len(), n, "pair-lookahead matrix must be n x n");
+        let mut dist = vec![Time::MAX; n * n];
+        for (i, row) in direct.iter().enumerate() {
+            assert_eq!(row.len(), n, "pair-lookahead matrix must be n x n");
+            for (j, &d) in row.iter().enumerate() {
+                assert!(
+                    d >= self.lookahead,
+                    "pair lookahead {d:?} for ({i} -> {j}) below flat lookahead {:?}",
+                    self.lookahead
+                );
+                dist[i * n + j] = d;
+            }
+        }
+        // Floyd–Warshall over walks of at least one edge: with the
+        // diagonal seeded from direct self-edges (usually MAX), dist[i][i]
+        // converges to the minimum round-trip cycle through any relay.
+        for k in 0..n {
+            for i in 0..n {
+                let ik = dist[i * n + k];
+                if ik == Time::MAX {
+                    continue;
+                }
+                for j in 0..n {
+                    let through = ik.saturating_add(dist[k * n + j]);
+                    if through < dist[i * n + j] {
+                        dist[i * n + j] = through;
+                    }
+                }
+            }
+        }
+        self.matrix = Some(dist);
         self
     }
 
@@ -248,16 +336,69 @@ where
     pub fn run(&mut self) {
         let n = self.cells.len();
         let threads = self.threads.min(n).max(1);
-        // One barrier party per worker, coordinator included. With a single
-        // thread the waits are free and the loop degenerates to an inline
-        // sweep over the shards — same code path, same outcome.
+        if threads == 1 {
+            self.run_inline();
+        } else {
+            self.run_scoped(threads);
+        }
+    }
+
+    /// The single-thread path: an inline sweep over the shards with no
+    /// worker spawns, no barrier crossings, and no atomics. Rounds,
+    /// horizons, and the merge are computed by the same helpers as the
+    /// scoped path, so the executed schedule is identical by construction
+    /// (and pinned by the `inline_and_scoped_paths_are_byte_identical`
+    /// test).
+    fn run_inline(&mut self) {
+        let n = self.cells.len();
+        let mut next: Vec<Option<Time>> = vec![None; n];
+        let mut horizons: Vec<Time> = vec![Time::ZERO; n];
+        loop {
+            if !compute_horizons(
+                &self.cells,
+                self.lookahead,
+                self.matrix.as_deref(),
+                &mut next,
+                &mut horizons,
+            ) {
+                break;
+            }
+            self.rounds += 1;
+            #[cfg(test)]
+            self.epoch_log.extend(log_epochs(&horizons, self.matrix.is_some()));
+            for (i, cell) in self.cells.iter_mut().enumerate() {
+                run_window(i as u32, get_mut(cell), horizons[i]);
+            }
+            sanitizer::exit_parallel();
+            let stop = merge_windows(
+                &self.cells,
+                &horizons,
+                self.matrix.is_some(),
+                &mut self.mail,
+                &mut self.messages,
+            );
+            if stop {
+                break;
+            }
+        }
+    }
+
+    /// The multi-thread path: workers sweep strided shard subsets between
+    /// two barrier crossings per round; the coordinator computes horizons
+    /// and merges mailboxes in between.
+    fn run_scoped(&mut self, threads: usize) {
+        let n = self.cells.len();
         let barrier = Barrier::new(threads);
-        let horizon_ps = AtomicU64::new(0);
+        let horizon_ps: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         let done = AtomicBool::new(false);
         let cells = &self.cells;
+        let matrix = self.matrix.as_deref();
+        let mut mail = std::mem::take(&mut self.mail);
         let mut rounds = 0u64;
         let mut messages = 0u64;
         let lookahead = self.lookahead;
+        let mut next: Vec<Option<Time>> = vec![None; n];
+        let mut horizons: Vec<Time> = vec![Time::ZERO; n];
         #[cfg(test)]
         let mut epochs: Vec<u64> = Vec::new();
         std::thread::scope(|scope| {
@@ -270,8 +411,8 @@ where
                     if done.load(Ordering::Acquire) {
                         break;
                     }
-                    let h = Time::from_ps(horizon_ps.load(Ordering::Acquire));
                     for i in (w..n).step_by(threads) {
+                        let h = Time::from_ps(horizon_ps[i].load(Ordering::Acquire));
                         run_window(i as u32, &mut lock(&cells[i]), h);
                     }
                     sanitizer::exit_parallel();
@@ -279,25 +420,30 @@ where
                 });
             }
             loop {
-                let Some(t) = min_next(cells) else { break };
-                let horizon = t.saturating_add(lookahead);
+                if !compute_horizons(cells, lookahead, matrix, &mut next, &mut horizons) {
+                    break;
+                }
                 rounds += 1;
                 #[cfg(test)]
-                epochs.push(horizon.as_ps());
-                horizon_ps.store(horizon.as_ps(), Ordering::Release);
+                epochs.extend(log_epochs(&horizons, matrix.is_some()));
+                for (slot, h) in horizon_ps.iter().zip(&horizons) {
+                    slot.store(h.as_ps(), Ordering::Release);
+                }
                 barrier.wait();
                 for i in (0..n).step_by(threads) {
-                    run_window(i as u32, &mut lock(&cells[i]), horizon);
+                    run_window(i as u32, &mut lock(&cells[i]), horizons[i]);
                 }
                 sanitizer::exit_parallel();
                 barrier.wait();
-                if merge_windows(cells, horizon, &mut messages) {
+                let stop = merge_windows(cells, &horizons, matrix.is_some(), &mut mail, &mut messages);
+                if stop {
                     break;
                 }
             }
             done.store(true, Ordering::Release);
             barrier.wait();
         });
+        self.mail = mail;
         self.rounds += rounds;
         self.messages += messages;
         #[cfg(test)]
@@ -305,54 +451,119 @@ where
     }
 }
 
-/// Global minimum next-event time across shards.
-fn min_next<W: ShardWorld>(cells: &[Mutex<Cell<W>>]) -> Option<Time> {
-    cells.iter().filter_map(|c| lock(c).sched.next_time()).min()
+/// One horizon sequence entry per round: the shared horizon in flat mode,
+/// every per-shard horizon in matrix mode.
+#[cfg(test)]
+fn log_epochs(horizons: &[Time], matrix: bool) -> Vec<u64> {
+    if matrix {
+        horizons.iter().map(|h| h.as_ps()).collect()
+    } else {
+        vec![horizons[0].as_ps()]
+    }
 }
 
-/// Post-window barrier work: merge outboxes into destination queues, run
-/// deferred barrier operations, and report whether any shard requested a
-/// stop. Single-threaded; fully deterministic (shards are visited in shard
-/// order, operations keep defer order).
+/// Computes this round's per-shard horizons from every shard's next-event
+/// time. Returns `false` when all queues are empty (the run is complete).
+///
+/// Flat mode: every horizon is `min_j(N_j) + L`. Matrix mode:
+/// `h_i = min_j(N_j + D⁺(j, i))` — each shard runs to the earliest instant
+/// any other shard's pending work could causally reach it, including its
+/// own sends reflected back (`j = i` with the min round-trip cycle).
+fn compute_horizons<W: ShardWorld>(
+    cells: &[Mutex<Cell<W>>],
+    lookahead: Time,
+    matrix: Option<&[Time]>,
+    next: &mut [Option<Time>],
+    horizons: &mut [Time],
+) -> bool {
+    let n = cells.len();
+    for (slot, cell) in next.iter_mut().zip(cells) {
+        *slot = lock(cell).sched.next_time();
+    }
+    match matrix {
+        None => {
+            let Some(t) = next.iter().flatten().min().copied() else {
+                return false;
+            };
+            horizons.fill(t.saturating_add(lookahead));
+            true
+        }
+        Some(dist) => {
+            if next.iter().all(Option::is_none) {
+                return false;
+            }
+            for (i, h) in horizons.iter_mut().enumerate() {
+                let mut bound = Time::MAX;
+                for (j, nj) in next.iter().enumerate() {
+                    if let Some(nj) = nj {
+                        bound = bound.min(nj.saturating_add(dist[j * n + i]));
+                    }
+                }
+                *h = bound;
+            }
+            true
+        }
+    }
+}
+
+/// Post-window barrier work: merge the per-(sender, receiver) mailbox
+/// buffers into destination queues, run deferred barrier operations, and
+/// report whether any shard requested a stop. Single-threaded; fully
+/// deterministic (sender-major swap order, receiver-major drain order —
+/// and delivery order cannot matter anyway, because the queue orders by
+/// the `(time, class, src, seq)` key stamped at send time).
 fn merge_windows<W: ShardWorld>(
     cells: &[Mutex<Cell<W>>],
-    horizon: Time,
+    horizons: &[Time],
+    matrix: bool,
+    mail: &mut [Vec<Outgoing<W::Event>>],
     messages: &mut u64,
 ) -> bool {
     // Only the coordinator runs here, after the post-window barrier:
     // Barrier mode lets ownership checks pass while `assert_barrier`
     // call sites in `handle_global` paths verify they really are at a
     // window boundary.
-    sanitizer::enter_barrier(horizon);
+    let barrier_at = horizons.iter().copied().min().unwrap_or(Time::ZERO);
+    sanitizer::enter_barrier(barrier_at);
     let n = cells.len();
     let mut stop = false;
-    let mut msgs: Vec<(u32, Outgoing<W::Event>)> = Vec::new();
     let mut globals: Vec<W::Event> = Vec::new();
     for (src, cell) in cells.iter().enumerate() {
         let mut c = lock(cell);
-        for m in c.sched.take_outbox() {
-            msgs.push((src as u32, m));
-        }
+        c.sched.swap_outboxes(&mut mail[src * n..(src + 1) * n]);
         globals.append(&mut c.sched.take_globals());
         stop |= c.sched.is_stopped();
     }
-    for (src, m) in msgs {
-        assert!((m.dst as usize) < n, "message to unknown shard {}", m.dst);
-        assert!(
-            m.at >= horizon,
-            "lookahead violation: arrival {:?} inside window ending {horizon:?}",
-            m.at
-        );
-        *messages += 1;
-        lock(&cells[m.dst as usize])
-            .sched
-            .deliver(m.at, src, m.seq, m.event);
+    for (dst, cell) in cells.iter().enumerate() {
+        let mut c = lock(cell);
+        for src in 0..n {
+            let buf = &mut mail[src * n + dst];
+            if buf.is_empty() {
+                continue;
+            }
+            *messages += buf.len() as u64;
+            for m in buf.drain(..) {
+                assert!(
+                    m.at >= horizons[dst],
+                    "lookahead violation: arrival {:?} inside window ending {:?}",
+                    m.at,
+                    horizons[dst]
+                );
+                c.sched.deliver(m.at, src as u32, m.seq, m.event);
+            }
+        }
     }
     if !globals.is_empty() {
+        assert!(
+            !matrix,
+            "Scheduler::defer_global under pair-lookahead windows: barrier \
+             operations need every shard paused at one horizon; run this \
+             workload in flat-lookahead mode"
+        );
         let mut guards: Vec<MutexGuard<'_, Cell<W>>> = cells.iter().map(lock).collect();
         let mut worlds: Vec<&mut W> = guards.iter_mut().map(|g| &mut g.world).collect();
         for ev in globals {
-            W::handle_global(&mut worlds, horizon, ev);
+            W::handle_global(&mut worlds, barrier_at, ev);
         }
     }
     sanitizer::exit_barrier();
@@ -446,15 +657,17 @@ mod tests {
     /// sent immediately. No lookahead, no windows — the oracle the
     /// windowed engine must match exactly.
     fn run_reference(stores: usize, script: &Script) -> (Vec<Node>, Vec<u64>) {
+        let n = stores + 1;
         let mut cells: Vec<(Node, Scheduler<TEv>, u64)> = build_worlds(stores)
             .into_iter()
             .enumerate()
             .map(|(i, w)| {
                 let mut s = Scheduler::new();
-                s.enable_remote(i as u32, LOOKAHEAD);
+                s.enable_remote(i as u32, LOOKAHEAD, n);
                 (w, s, 0u64)
             })
             .collect();
+        let mut bufs: Vec<Vec<Outgoing<TEv>>> = (0..n).map(|_| Vec::new()).collect();
         for (shard, at, ev) in script {
             cells[*shard].1.schedule_at(Time::from_ps(*at), ev.clone());
         }
@@ -477,10 +690,12 @@ mod tests {
             s.set_now(ev.at);
             *ex += 1;
             w.handle(ev.event, s);
-            let out = s.take_outbox();
-            for m in out {
-                let src = shard as u32;
-                cells[m.dst as usize].1.deliver(m.at, src, m.seq, m.event);
+            s.swap_outboxes(&mut bufs);
+            let src = shard as u32;
+            for dst in 0..n {
+                for m in bufs[dst].drain(..) {
+                    cells[dst].1.deliver(m.at, src, m.seq, m.event);
+                }
             }
         }
         let counts = cells.iter().map(|c| c.2).collect();
@@ -680,6 +895,179 @@ mod tests {
             vec![(0, 10), (0, 20), (0, 99)],
             "mailbox merge order must be (time, src shard, seq), before locals"
         );
+    }
+
+    /// The star-topology pair matrix for the toy hub/store model: hub ↔
+    /// store edges at the flat lookahead, store ↔ store only via the hub.
+    fn star_matrix(stores: usize) -> Vec<Vec<Time>> {
+        let n = stores + 1;
+        let mut m = vec![vec![Time::MAX; n]; n];
+        for j in 1..n {
+            m[0][j] = LOOKAHEAD;
+            m[j][0] = LOOKAHEAD;
+        }
+        m
+    }
+
+    /// The single-thread inline sweep and the scoped-thread machinery
+    /// driven with one worker must produce byte-identical results: same
+    /// logs, completions, executed counts, stats, and epoch sequence.
+    #[test]
+    fn inline_and_scoped_paths_are_byte_identical() {
+        let script = fixed_script(STORES);
+        let run = |scoped: bool| {
+            let mut sim =
+                ShardedSim::new(build_worlds(STORES), LOOKAHEAD).with_threads(1);
+            for (shard, at, ev) in &script {
+                sim.schedule_at(*shard, Time::from_ps(*at), ev.clone());
+            }
+            if scoped {
+                sim.run_scoped(1);
+            } else {
+                sim.run(); // threads = 1: takes the inline path
+            }
+            let stats = sim.stats();
+            let epochs = sim.epoch_log.clone();
+            let worlds = sim.into_worlds();
+            (worlds, stats, epochs)
+        };
+        let (w_inline, stats_inline, epochs_inline) = run(false);
+        let (w_scoped, stats_scoped, epochs_scoped) = run(true);
+        assert_eq!(stats_inline, stats_scoped, "stats drifted inline vs scoped");
+        assert_eq!(epochs_inline, epochs_scoped, "epochs drifted inline vs scoped");
+        for (i, (a, b)) in w_inline.iter().zip(&w_scoped).enumerate() {
+            assert_eq!(a.log, b.log, "shard {i} log drifted inline vs scoped");
+            assert_eq!(
+                a.completions, b.completions,
+                "shard {i} completions drifted inline vs scoped"
+            );
+        }
+    }
+
+    /// Pair-lookahead windows must leave the executed schedule untouched
+    /// — same oracle match as flat mode, at every thread count — while
+    /// strictly reducing synchronization rounds on the hub/store script
+    /// (stores gain slack from each other's 2-hop closure entries).
+    #[test]
+    fn pair_lookahead_matches_oracle_with_fewer_rounds() {
+        let script = fixed_script(STORES);
+        let (ref_worlds, ref_counts) = run_reference(STORES, &script);
+        let (_, flat_stats, _, _) = run_sharded(STORES, &script, 1);
+        let mut first: Option<(EngineStats, Vec<u64>)> = None;
+        for threads in [1usize, 2, 4] {
+            let mut sim = ShardedSim::new(build_worlds(STORES), LOOKAHEAD)
+                .with_pair_lookahead(star_matrix(STORES))
+                .with_threads(threads);
+            for (shard, at, ev) in &script {
+                sim.schedule_at(*shard, Time::from_ps(*at), ev.clone());
+            }
+            sim.run();
+            let stats = sim.stats();
+            let counts: Vec<u64> = (0..STORES + 1)
+                .map(|i| get_mut(&mut sim.cells[i]).executed)
+                .collect();
+            let epochs = sim.epoch_log.clone();
+            let worlds = sim.into_worlds();
+            assert_eq!(counts, ref_counts, "threads={threads}: counts drifted");
+            for (i, (w, r)) in worlds.iter().zip(&ref_worlds).enumerate() {
+                assert_eq!(w.log, r.log, "threads={threads}: shard {i} log drifted");
+                assert_eq!(
+                    w.completions, r.completions,
+                    "threads={threads}: shard {i} completions drifted"
+                );
+            }
+            assert_eq!(
+                stats.events, flat_stats.events,
+                "threads={threads}: payload events must not change"
+            );
+            assert_eq!(
+                stats.messages, flat_stats.messages,
+                "threads={threads}: message count must not change"
+            );
+            assert!(
+                stats.rounds < flat_stats.rounds,
+                "threads={threads}: matrix mode should need fewer rounds \
+                 ({} vs flat {})",
+                stats.rounds,
+                flat_stats.rounds
+            );
+            match &first {
+                None => first = Some((stats, epochs)),
+                Some((s1, e1)) => {
+                    assert_eq!(&stats, s1, "threads={threads}: stats drifted");
+                    assert_eq!(&epochs, e1, "threads={threads}: epochs drifted");
+                }
+            }
+        }
+    }
+
+    // Pair-lookahead mode against the oracle on random topologies and
+    // scripts — the matrix analogue of the flat-mode property above.
+    testkit::prop! {
+        cases = 16;
+
+        fn pair_lookahead_random_scripts_match_reference_oracle(
+            stores in testkit::gen::u64s(1..=5),
+            issues in testkit::gen::vecs(
+                (testkit::gen::u64s(0..40), testkit::gen::u64s(0..6)),
+                1..=40,
+            ),
+        ) {
+            let stores = stores as usize;
+            let slot = LOOKAHEAD.as_ps() / 4;
+            let mut script: Script = Vec::new();
+            for (id, (at_slot, dst)) in issues.iter().enumerate() {
+                script.push((
+                    0,
+                    10 + at_slot * slot,
+                    TEv::Issue {
+                        id: id as u64,
+                        dst: (dst % stores as u64) as u32 + 1,
+                        service: 0,
+                    },
+                ));
+            }
+            let (ref_worlds, ref_counts) = run_reference(stores, &script);
+            for threads in [1usize, 3] {
+                let mut sim = ShardedSim::new(build_worlds(stores), LOOKAHEAD)
+                    .with_pair_lookahead(star_matrix(stores))
+                    .with_threads(threads);
+                for (shard, at, ev) in &script {
+                    sim.schedule_at(*shard, Time::from_ps(*at), ev.clone());
+                }
+                sim.run();
+                let counts: Vec<u64> = (0..stores + 1)
+                    .map(|i| get_mut(&mut sim.cells[i]).executed)
+                    .collect();
+                let worlds = sim.into_worlds();
+                assert_eq!(counts, ref_counts, "threads={threads}: counts drifted");
+                for (i, (w, r)) in worlds.iter().zip(&ref_worlds).enumerate() {
+                    assert_eq!(w.log, r.log, "threads={threads}: shard {i} drifted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pair-lookahead")]
+    fn defer_global_under_pair_lookahead_panics() {
+        #[derive(Clone, Debug)]
+        struct G;
+        struct GWorld;
+        impl World for GWorld {
+            type Event = G;
+            fn handle(&mut self, _: G, sched: &mut Scheduler<G>) {
+                sched.defer_global(G);
+            }
+        }
+        impl ShardWorld for GWorld {}
+        let mut m = vec![vec![Time::MAX; 2]; 2];
+        m[0][1] = LOOKAHEAD;
+        m[1][0] = LOOKAHEAD;
+        let mut sim =
+            ShardedSim::new(vec![GWorld, GWorld], LOOKAHEAD).with_pair_lookahead(m);
+        sim.schedule_at(0, Time::from_ps(5), G);
+        sim.run();
     }
 
     #[test]
